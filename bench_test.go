@@ -1,0 +1,152 @@
+package ecocapsule
+
+// The benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation. Each bench regenerates its experiment through the
+// internal/expt runner, reports domain-specific metrics via b.ReportMetric,
+// and fails the bench if the qualitative shape checks (who wins, where the
+// crossovers fall) diverge from the paper. Run them all with
+//
+//	go test -bench=. -benchmem
+//
+// and see EXPERIMENTS.md for the paper-vs-measured record.
+
+import (
+	"testing"
+
+	"ecocapsule/internal/expt"
+)
+
+// runExperiment drives one runner inside the benchmark loop.
+func runExperiment(b *testing.B, id string) *expt.Result {
+	b.Helper()
+	r := expt.ByID(id)
+	if r == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var res *expt.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = r.Run()
+	}
+	b.StopTimer()
+	if !res.Passed() {
+		b.Fatalf("%s failed its shape checks: %v", id, res.FailedChecks())
+	}
+	return res
+}
+
+func BenchmarkTable1Materials(b *testing.B) {
+	res := runExperiment(b, "table1")
+	b.ReportMetric(float64(len(res.Rows)), "rows")
+}
+
+func BenchmarkFig04ModeAmplitudes(b *testing.B) {
+	res := runExperiment(b, "fig04")
+	b.ReportMetric(float64(len(res.Rows)), "angles")
+}
+
+func BenchmarkFig05FrequencyResponse(b *testing.B) {
+	res := runExperiment(b, "fig05")
+	b.ReportMetric(float64(len(res.Rows)), "freq_points")
+}
+
+func BenchmarkFig07RingEffect(b *testing.B) {
+	res := runExperiment(b, "fig07")
+	b.ReportMetric(float64(len(res.Series)), "renderings")
+}
+
+func BenchmarkFig12RangeVsVoltage(b *testing.B) {
+	res := runExperiment(b, "fig12")
+	b.ReportMetric(float64(len(res.Series)), "structures")
+}
+
+func BenchmarkFig13PowerConsumption(b *testing.B) {
+	res := runExperiment(b, "fig13")
+	b.ReportMetric(float64(len(res.Rows)), "bitrates")
+}
+
+func BenchmarkFig14ColdStart(b *testing.B) {
+	res := runExperiment(b, "fig14")
+	b.ReportMetric(float64(len(res.Rows)), "voltages")
+}
+
+func BenchmarkFig15BERvsSNR(b *testing.B) {
+	res := runExperiment(b, "fig15")
+	b.ReportMetric(float64(len(res.Rows)), "snr_points")
+}
+
+func BenchmarkFig16SNRvsBitrate(b *testing.B) {
+	res := runExperiment(b, "fig16")
+	b.ReportMetric(float64(len(res.Rows)), "bitrates")
+}
+
+func BenchmarkFig17Throughput(b *testing.B) {
+	res := runExperiment(b, "fig17")
+	b.ReportMetric(float64(len(res.Rows)), "concretes")
+}
+
+func BenchmarkFig18SNRvsPosition(b *testing.B) {
+	res := runExperiment(b, "fig18")
+	b.ReportMetric(float64(len(res.Series)), "positions")
+}
+
+func BenchmarkFig19PrismEffect(b *testing.B) {
+	res := runExperiment(b, "fig19")
+	b.ReportMetric(float64(len(res.Rows)), "angles")
+}
+
+func BenchmarkFig20AntiRing(b *testing.B) {
+	res := runExperiment(b, "fig20")
+	b.ReportMetric(float64(len(res.Rows)), "bitrates")
+}
+
+func BenchmarkFig21PilotStudy(b *testing.B) {
+	res := runExperiment(b, "fig21")
+	b.ReportMetric(float64(len(res.Rows)), "days_and_sections")
+}
+
+func BenchmarkFig22BackscatterSignal(b *testing.B) {
+	res := runExperiment(b, "fig22")
+	b.ReportMetric(float64(len(res.Rows)), "segments")
+}
+
+func BenchmarkFig24SelfInterference(b *testing.B) {
+	res := runExperiment(b, "fig24")
+	b.ReportMetric(float64(len(res.Rows)), "spectral_lines")
+}
+
+func BenchmarkTable2HealthLevels(b *testing.B) {
+	res := runExperiment(b, "table2")
+	b.ReportMetric(float64(len(res.Rows)), "pao_rows")
+}
+
+// BenchmarkEndToEndInventory measures the full public-API pipeline: cast,
+// cure, charge, inventory — the operation a building operator repeats.
+func BenchmarkEndToEndInventory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		wall := Wall()
+		cast, err := NewCasting(wall)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, n := range PlanCapsules(wall, 4, 0x10, int64(i)) {
+			if err := cast.Mix(n); err != nil {
+				b.Fatal(err)
+			}
+		}
+		cast.Seal()
+		r, err := cast.AttachReader(ReaderConfig{
+			TXPosition:   Position(0.1, 10, 0),
+			DriveVoltage: 200,
+			Seed:         int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Charge(0.3)
+		res := r.Inventory(16)
+		if len(res.Discovered) == 0 {
+			b.Fatal("inventory found nothing")
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Command concretecast casts a simulated self-sensing concrete structure
+// with embedded EcoCapsules and emits the deployment as JSON: the
+// structure, material, capsule positions, CT report, and per-capsule link
+// budget at a chosen drive voltage. It is the planning tool an engineer
+// would run before a pour.
+//
+// Usage:
+//
+//	concretecast [-structure wall|slab|column|protective] [-capsules N]
+//	             [-voltage V] [-material NC|UHPC|UHPFRC] [-pretty]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ecocapsule/internal/core"
+	"ecocapsule/internal/geometry"
+	"ecocapsule/internal/material"
+	"ecocapsule/internal/reader"
+)
+
+type capsuleOut struct {
+	Handle       string  `json:"handle"`
+	X            float64 `json:"x_m"`
+	Y            float64 `json:"y_m"`
+	Z            float64 `json:"z_m"`
+	PZTAmplitude float64 `json:"pzt_amplitude_v"`
+	PoweredUp    bool    `json:"powers_up"`
+}
+
+type output struct {
+	Structure      string       `json:"structure"`
+	Material       string       `json:"material"`
+	DimensionsM    []float64    `json:"dimensions_m"`
+	DriveVoltage   float64      `json:"drive_voltage_v"`
+	Capsules       []capsuleOut `json:"capsules"`
+	CTIntact       bool         `json:"ct_intact"`
+	VolumeFraction float64      `json:"capsule_volume_fraction"`
+	MaxRangeM      float64      `json:"max_power_up_range_m"`
+}
+
+func main() {
+	var (
+		structure = flag.String("structure", "wall", "structure: wall|slab|column|protective")
+		capsules  = flag.Int("capsules", 5, "capsules to embed")
+		voltage   = flag.Float64("voltage", 200, "drive voltage (V)")
+		matName   = flag.String("material", "", "override concrete: NC|UHPC|UHPFRC")
+		pretty    = flag.Bool("pretty", false, "indent the JSON output")
+	)
+	flag.Parse()
+
+	var s *geometry.Structure
+	switch *structure {
+	case "slab":
+		s = geometry.Slab()
+	case "column":
+		s = geometry.Column()
+	case "protective":
+		s = geometry.ProtectiveWall()
+	default:
+		s = geometry.CommonWall()
+	}
+	if *matName != "" {
+		m := material.ByName(*matName)
+		if m == nil {
+			fmt.Fprintf(os.Stderr, "concretecast: unknown material %q\n", *matName)
+			os.Exit(2)
+		}
+		s.Material = m
+	}
+
+	cast, err := core.NewCasting(s)
+	if err != nil {
+		fatal(err)
+	}
+	nodes := core.PlanGrid(s, *capsules, 0x10, 7)
+	for _, n := range nodes {
+		if err := cast.Mix(n); err != nil {
+			fatal(fmt.Errorf("capsule %#04x: %w", n.Handle(), err))
+		}
+	}
+	rep := cast.Seal()
+
+	tx := geometry.Vec3{X: 0.1, Y: s.Height / 2, Z: 0}
+	if s.Shape == geometry.Cylinder {
+		tx = geometry.Vec3{X: 0, Y: 0.05, Z: s.Diameter / 2}
+	}
+	cfg := reader.Config{TXPosition: tx, DriveVoltage: *voltage, Seed: 7}
+	r, err := cast.AttachReader(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	r.Charge(0.5)
+
+	maxRange, err := reader.MaxPowerUpRange(reader.Config{
+		Structure: s, TXPosition: tx,
+	}, *voltage)
+	if err != nil {
+		fatal(err)
+	}
+
+	out := output{
+		Structure:      s.Name,
+		Material:       s.Material.Name,
+		DimensionsM:    []float64{s.Length, s.Height, s.Thickness},
+		DriveVoltage:   *voltage,
+		CTIntact:       rep.Intact(),
+		VolumeFraction: rep.VolumeFraction,
+		MaxRangeM:      maxRange,
+	}
+	if s.Shape == geometry.Cylinder {
+		out.DimensionsM = []float64{s.Diameter, s.Height}
+	}
+	for _, n := range r.Nodes() {
+		amp, _ := r.NodeAmplitude(n.Handle())
+		out.Capsules = append(out.Capsules, capsuleOut{
+			Handle:       fmt.Sprintf("%#04x", n.Handle()),
+			X:            n.Position().X,
+			Y:            n.Position().Y,
+			Z:            n.Position().Z,
+			PZTAmplitude: amp,
+			PoweredUp:    n.PoweredUp(),
+		})
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	if *pretty {
+		enc.SetIndent("", "  ")
+	}
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "concretecast: %v\n", err)
+	os.Exit(1)
+}

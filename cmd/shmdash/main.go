@@ -1,0 +1,40 @@
+// Command shmdash serves the footbridge pilot's SHM data over HTTP: a
+// self-contained HTML dashboard with inline-SVG charts at /, and a JSON
+// API under /api/ (month, daily, health, anomalies, modal) for
+// building-management integration.
+//
+// Usage:
+//
+//	shmdash -listen 127.0.0.1:8080 [-seed 2021] [-damage 0.0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"ecocapsule/internal/bridge"
+	"ecocapsule/internal/dashboard"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
+		seed   = flag.Int64("seed", 2021, "simulation seed")
+		damage = flag.Float64("damage", 0, "simulated stiffness loss 0..0.9 (modal damage scenario)")
+	)
+	flag.Parse()
+
+	sim := bridge.NewSim(*seed)
+	if *damage > 0 {
+		sim.SetDamage(*damage)
+	}
+	srv := dashboard.NewServer(sim)
+	fmt.Printf("shmdash: serving the July-2021 pilot on http://%s/ (damage %.0f%%)\n",
+		*listen, *damage*100)
+	if err := http.ListenAndServe(*listen, srv.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "shmdash: %v\n", err)
+		os.Exit(1)
+	}
+}

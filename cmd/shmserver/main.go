@@ -1,0 +1,153 @@
+// Command shmserver streams the footbridge pilot's SHM telemetry over TCP
+// using the shmwire binary protocol. In server mode it replays the
+// simulated July-2021 month (accelerated), fusing capsule telemetry,
+// per-section health rows, and threshold/anomaly alerts. In client mode it
+// subscribes and prints the stream.
+//
+// Usage:
+//
+//	shmserver -listen 127.0.0.1:7455 [-speedup 3600] [-hours 744]
+//	shmserver -connect 127.0.0.1:7455 [-n 50]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"ecocapsule/internal/bridge"
+	"ecocapsule/internal/shm"
+	"ecocapsule/internal/shmwire"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "", "serve on this address")
+		connect = flag.String("connect", "", "subscribe to this address")
+		speedup = flag.Float64("speedup", 3600, "simulated seconds per wall-clock second")
+		hours   = flag.Int("hours", 24*31, "simulated hours to stream")
+		nEvents = flag.Int("n", 50, "client: events to print before exiting")
+	)
+	flag.Parse()
+
+	switch {
+	case *listen != "":
+		if err := serve(*listen, *speedup, *hours); err != nil {
+			fmt.Fprintf(os.Stderr, "shmserver: %v\n", err)
+			os.Exit(1)
+		}
+	case *connect != "":
+		if err := subscribe(*connect, *nEvents); err != nil {
+			fmt.Fprintf(os.Stderr, "shmserver: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func serve(addr string, speedup float64, hours int) error {
+	srv, err := shmwire.NewServer(addr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("shmserver: listening on %s (replaying %d h at %gx)\n",
+		srv.Addr(), hours, speedup)
+
+	sim := bridge.NewSim(2021)
+	th := shm.FootbridgeThresholds()
+	det := shm.NewAnomalyDetector()
+	month := sim.SimulateMonth()
+	anomalies := det.Detect(month.Acceleration)
+	anomalous := make(map[int]bool)
+	for _, a := range anomalies {
+		for h := a.Start; h < a.End; h++ {
+			anomalous[h] = true
+		}
+	}
+
+	tick := time.Duration(3600 / speedup * float64(time.Second))
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	for h := 0; h < hours && h < len(month.Acceleration); h++ {
+		ts := sim.Start().Add(time.Duration(h) * time.Hour)
+		env := sim.CapsuleEnvironment(h)
+		// Five embedded capsules report in turn (§6 deployment).
+		capsule := uint16(0x10 + h%5)
+		srv.BroadcastTelemetry(shmwire.Telemetry{
+			Timestamp:    ts,
+			CapsuleID:    capsule,
+			Acceleration: env.AccelerationMS2,
+			StressMPa:    env.StressMPa,
+			TemperatureC: env.TemperatureC,
+			Humidity:     env.RelativeHumidity,
+		})
+		if status, err := sim.SectionStatus(h); err == nil {
+			for _, sec := range status {
+				srv.BroadcastHealth(shmwire.Health{
+					Timestamp:   ts,
+					Section:     sec.Section[0],
+					Level:       sec.Level.String()[0],
+					Pedestrians: uint16(sec.Pedestrians),
+					SpeedMS:     sec.SpeedMS,
+				})
+			}
+		}
+		if v := th.Check(shm.Measurement{
+			VerticalAccel: math.Abs(env.AccelerationMS2),
+			SteelStress:   math.Abs(env.StressMPa),
+			PAO:           5,
+		}); len(v) > 0 {
+			srv.BroadcastAlert(shmwire.Alert{
+				Timestamp: ts, Code: shmwire.AlertThreshold, Message: v[0].String(),
+			})
+		}
+		if anomalous[h] && h%24 == 0 {
+			srv.BroadcastAlert(shmwire.Alert{
+				Timestamp: ts, Code: shmwire.AlertAnomaly,
+				Message: fmt.Sprintf("acceleration anomaly window around %s (tropical cyclone)", ts.Format("2006-01-02")),
+			})
+		}
+		time.Sleep(tick)
+	}
+	srv.Broadcast(shmwire.MsgBye, nil)
+	fmt.Println("shmserver: replay complete")
+	return nil
+}
+
+func subscribe(addr string, n int) error {
+	cl, err := shmwire.Dial(addr, "shmserver-cli")
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	for i := 0; i < n; i++ {
+		ev, err := cl.Next()
+		if err != nil {
+			return err
+		}
+		switch ev.Type {
+		case shmwire.MsgTelemetry:
+			t := ev.Telemetry
+			fmt.Printf("%s capsule %#04x  accel %+0.4f m/s²  stress %6.1f MPa  %4.1f °C  %3.0f %%RH\n",
+				t.Timestamp.Format("01-02 15:04"), t.CapsuleID,
+				t.Acceleration, t.StressMPa, t.TemperatureC, t.Humidity)
+		case shmwire.MsgHealth:
+			h := ev.Health
+			fmt.Printf("%s section %c  health %c  peds %d  speed %.1f m/s\n",
+				h.Timestamp.Format("01-02 15:04"), h.Section, h.Level, h.Pedestrians, h.SpeedMS)
+		case shmwire.MsgAlert:
+			a := ev.Alert
+			fmt.Printf("%s ALERT(%d): %s\n", a.Timestamp.Format("01-02 15:04"), a.Code, a.Message)
+		case shmwire.MsgBye:
+			fmt.Println("stream ended by server")
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+// Package ecocapsule is the public API of the self-sensing-concrete SHM
+// stack, a reproduction of "Empowering Smart Buildings with Self-Sensing
+// Concrete for Structural Health Monitoring" (SIGCOMM 2022).
+//
+// The typical workflow mirrors the paper's deployment story:
+//
+//	wall := ecocapsule.Wall()                       // pick a structure
+//	cast, _ := ecocapsule.NewCasting(wall)          // start the pour
+//	for _, n := range ecocapsule.PlanCapsules(wall, 5, 0x10, 1) {
+//		cast.Mix(n)                                 // mix capsules in
+//	}
+//	report := cast.Seal()                           // cure + CT check
+//	r, _ := cast.AttachReader(ecocapsule.ReaderConfig{
+//		TXPosition:   ecocapsule.Position(0.1, 10, 0),
+//		DriveVoltage: 200,
+//	})
+//	r.Charge(0.5)                                   // continuous body wave
+//	found := r.Inventory(16)                        // TDMA singulation
+//	temp, _ := r.ReadSensor(found.Discovered[0], ecocapsule.TempHumidity)
+//
+// The facade re-exports the subsystem types a downstream user needs; the
+// internal packages carry the full physics, DSP, protocol, and simulation
+// stack described in DESIGN.md.
+package ecocapsule
+
+import (
+	"ecocapsule/internal/core"
+	"ecocapsule/internal/geometry"
+	"ecocapsule/internal/node"
+	"ecocapsule/internal/reader"
+	"ecocapsule/internal/sensors"
+	"ecocapsule/internal/shm"
+)
+
+// Re-exported types. Each alias carries the documentation of its origin.
+type (
+	// Structure is a concrete body (or baseline pool) hosting capsules.
+	Structure = geometry.Structure
+	// Vec3 is a position in metres within a structure's local frame.
+	Vec3 = geometry.Vec3
+	// Casting is an in-progress self-sensing concrete pour.
+	Casting = core.Casting
+	// CTReport is the post-cure intactness examination result.
+	CTReport = core.CTReport
+	// Node is one EcoCapsule.
+	Node = node.Node
+	// NodeConfig parameterises a capsule.
+	NodeConfig = node.Config
+	// Reader drives a structure of embedded capsules.
+	Reader = reader.Reader
+	// ReaderConfig parameterises a reader deployment.
+	ReaderConfig = reader.Config
+	// InventoryResult summarises a TDMA inventory.
+	InventoryResult = reader.InventoryResult
+	// Environment is the physical ground truth sensors sample.
+	Environment = sensors.Environment
+	// SensorType selects a capsule payload.
+	SensorType = sensors.SensorType
+	// HealthLevel grades structural health A–F.
+	HealthLevel = shm.HealthLevel
+	// Region selects a Table 2 level-of-service standard.
+	Region = shm.Region
+)
+
+// Sensor type selectors.
+const (
+	// TempHumidity selects the AHT10-style combined sensor.
+	TempHumidity = sensors.TypeTempHumidity
+	// Strain selects the full-bridge strain gauge.
+	Strain = sensors.TypeStrain
+	// Accelerometer selects the acceleration + stress payload.
+	Accelerometer = sensors.TypeAccelerometer
+)
+
+// Structure constructors (the §5.1 evaluation set).
+var (
+	// Slab returns S1, the 150×50×15 cm slab.
+	Slab = geometry.Slab
+	// Column returns S2, the 250 cm load-bearing column.
+	Column = geometry.Column
+	// Wall returns S3, the 2000×2000×20 cm common wall.
+	Wall = geometry.CommonWall
+	// ProtectiveWall returns S4, the 50 cm-thick wall.
+	ProtectiveWall = geometry.ProtectiveWall
+)
+
+// NewCasting starts a self-sensing concrete pour into a structure.
+func NewCasting(s *Structure) (*Casting, error) { return core.NewCasting(s) }
+
+// NewNode builds one EcoCapsule.
+func NewNode(cfg NodeConfig) *Node { return node.New(cfg) }
+
+// PlanCapsules lays out count capsules along the structure's long axis.
+func PlanCapsules(s *Structure, count int, firstHandle uint16, seed int64) []*Node {
+	return core.PlanGrid(s, count, firstHandle, seed)
+}
+
+// Position builds a Vec3.
+func Position(x, y, z float64) Vec3 { return Vec3{X: x, Y: y, Z: z} }
+
+// MaxPowerUpRange sweeps a probe along the structure and returns the
+// farthest power-up distance at the given drive voltage (the Fig. 12
+// measurement).
+func MaxPowerUpRange(cfg ReaderConfig, voltage float64) (float64, error) {
+	return reader.MaxPowerUpRange(cfg, voltage)
+}
+
+// GradeHealth grades structural health from pedestrian area occupancy
+// (m² per pedestrian) under a regional standard (Table 2).
+func GradeHealth(region Region, pao float64) (HealthLevel, error) {
+	return shm.GradePAO(region, pao)
+}
+
+// Regions of Table 2.
+const (
+	UnitedStates = shm.UnitedStates
+	HongKong     = shm.HongKong
+	Bangkok      = shm.Bangkok
+	Manila       = shm.Manila
+)

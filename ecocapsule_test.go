@@ -1,0 +1,95 @@
+package ecocapsule
+
+import (
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the documented public workflow: cast a wall
+// with capsules, cure it, attach a reader, charge, inventory, and read a
+// sensor.
+func TestFacadeEndToEnd(t *testing.T) {
+	wall := Wall()
+	cast, err := NewCasting(wall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capsules := PlanCapsules(wall, 4, 0x10, 1)
+	if len(capsules) != 4 {
+		t.Fatalf("planned %d capsules", len(capsules))
+	}
+	for _, n := range capsules {
+		if err := cast.Mix(n); err != nil {
+			t.Fatalf("mix %#04x: %v", n.Handle(), err)
+		}
+	}
+	report := cast.Seal()
+	if !report.Intact() || report.Capsules != 4 {
+		t.Fatalf("CT report %+v", report)
+	}
+	r, err := cast.AttachReader(ReaderConfig{
+		TXPosition:   Position(0.1, 10, 0),
+		DriveVoltage: 200,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetEnvironment(func(Vec3) Environment {
+		return Environment{TemperatureC: 26, RelativeHumidity: 64}
+	})
+	// PlanCapsules spreads nodes across the 20 m wall; only those within
+	// the power-up range wake.
+	up := r.Charge(0.5)
+	if up == 0 {
+		t.Fatal("no capsule powered up at 200 V")
+	}
+	found := r.Inventory(16)
+	if len(found.Discovered) != up {
+		t.Fatalf("inventory found %d of %d powered capsules", len(found.Discovered), up)
+	}
+	vals, err := r.ReadSensor(found.Discovered[0], TempHumidity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || vals[0] < 23 || vals[0] > 29 {
+		t.Errorf("temperature reading %v implausible", vals)
+	}
+}
+
+func TestFacadeRangeSweep(t *testing.T) {
+	d, err := MaxPowerUpRange(ReaderConfig{
+		Structure:  Wall(),
+		TXPosition: Position(0.1, 10, 0),
+	}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 3 || d > 8 {
+		t.Errorf("200 V range %.2f m, want metres (paper ≈5 m)", d)
+	}
+}
+
+func TestFacadeHealthGrading(t *testing.T) {
+	lvl, err := GradeHealth(HongKong, 3.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvl.String() != "A" {
+		t.Errorf("3.5 m²/ped in HK = %v, want A", lvl)
+	}
+	bad, err := GradeHealth(UnitedStates, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.String() != "F" {
+		t.Errorf("0.4 m²/ped in US = %v, want F", bad)
+	}
+}
+
+func TestFacadeStructures(t *testing.T) {
+	for _, s := range []*Structure{Slab(), Column(), Wall(), ProtectiveWall()} {
+		if s.Material == nil {
+			t.Errorf("%s: nil material", s.Name)
+		}
+	}
+}

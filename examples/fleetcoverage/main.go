@@ -1,0 +1,81 @@
+// Fleet coverage: a 20 m load-bearing wall exceeds any single reader's
+// power-up range (≈5–6 m at the amplifier ceiling, Fig. 12), so full
+// monitoring plans a fleet of reader stations. This example plans the
+// station set with the deploy package, builds the fleet, charges and
+// inventories every capsule, and reads a sensor through each capsule's
+// best-serving station.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ecocapsule/internal/deploy"
+	"ecocapsule/internal/fleet"
+	"ecocapsule/internal/geometry"
+	"ecocapsule/internal/node"
+	"ecocapsule/internal/sensors"
+)
+
+func main() {
+	wall := geometry.CommonWall()
+
+	// Eight capsules spread across the full 20 m of the wall.
+	var capsules []*node.Node
+	var positions []geometry.Vec3
+	for i := 0; i < 8; i++ {
+		pos := geometry.Vec3{X: 1.0 + 2.5*float64(i), Y: 10, Z: 0.1}
+		positions = append(positions, pos)
+		capsules = append(capsules, node.New(node.Config{
+			Handle:   uint16(0x90 + i),
+			Position: pos,
+			Seed:     int64(i),
+		}))
+	}
+
+	// Plan the stations at 200 V.
+	plan, err := deploy.Cover(wall, positions, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployment plan at %.0f V: %d station(s), feasible=%v\n",
+		plan.Voltage, len(plan.Stations), plan.Feasible())
+	for i, st := range plan.Stations {
+		fmt.Printf("  station %d at x=%.1f m (range %.1f m) covers %d capsule(s)\n",
+			i, st.Position.X, st.RangeM, len(st.Covers))
+	}
+
+	// What would the cheapest voltage be with at most 4 stations?
+	if v, p, err := deploy.MinimumVoltage(wall, positions, 4); err == nil {
+		fmt.Printf("minimum voltage for ≤4 stations: %.0f V (%d stations)\n",
+			v, len(p.Stations))
+	}
+
+	// Build and run the fleet.
+	fl, err := fleet.New(wall, plan, capsules, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fl.SetEnvironment(func(pos geometry.Vec3) sensors.Environment {
+		return sensors.Environment{
+			TemperatureC:     24 + 0.2*pos.X,
+			RelativeHumidity: 65,
+			StrainX:          30e-6,
+		}
+	})
+	up := fl.Charge(0.5)
+	fmt.Printf("\nfleet charge: %d/%d capsules powered up\n", up, len(capsules))
+	fmt.Printf("per-station load: %v\n", fl.Coverage())
+
+	found := fl.Inventory(16)
+	fmt.Printf("fleet inventory discovered %d capsule(s):\n", len(found))
+	for _, h := range found {
+		vals, err := fl.ReadSensor(h, sensors.TypeTempHumidity)
+		if err != nil {
+			fmt.Printf("  capsule %#04x: read failed: %v\n", h, err)
+			continue
+		}
+		fmt.Printf("  capsule %#04x via station %d: %.1f °C, %.0f %%RH\n",
+			h, fl.BestStation(h), vals[0], vals[1])
+	}
+}

@@ -1,0 +1,73 @@
+// Quickstart: cast a self-sensing wall, power up its capsules through the
+// continuous body wave, inventory them, and read an in-concrete sensor —
+// the minimal end-to-end tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ecocapsule"
+)
+
+func main() {
+	// 1. Pick a structure and start the pour.
+	wall := ecocapsule.Wall() // S3: 20 m × 20 m × 20 cm common wall
+	cast, err := ecocapsule.NewCasting(wall)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Mix capsules into the fresh concrete.
+	for _, capsule := range ecocapsule.PlanCapsules(wall, 3, 0x10, 1) {
+		if err := cast.Mix(capsule); err != nil {
+			log.Fatalf("mixing capsule %#04x: %v", capsule.Handle(), err)
+		}
+	}
+
+	// 3. Cure and verify (the Fig. 10 CT examination).
+	report := cast.Seal()
+	fmt.Printf("cured: %d capsule(s), all shells intact: %v, volume fraction %.4f%%\n",
+		report.Capsules, report.Intact(), report.VolumeFraction*100)
+
+	// 4. Attach the reader: transmitting PZT behind a 60° PLA prism.
+	rd, err := cast.AttachReader(ecocapsule.ReaderConfig{
+		TXPosition:   ecocapsule.Position(0.1, 10, 0),
+		DriveVoltage: 200, // volts at the PZT (amplifier caps at 250)
+		Seed:         1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rd.SetEnvironment(func(pos ecocapsule.Vec3) ecocapsule.Environment {
+		return ecocapsule.Environment{
+			TemperatureC:     27.5,
+			RelativeHumidity: 71,
+			StrainX:          35e-6,
+			StrainY:          22e-6,
+		}
+	})
+
+	// 5. Charge: the continuous body wave wakes every capsule in range.
+	powered := rd.Charge(0.5)
+	fmt.Printf("charging: %d capsule(s) powered up\n", powered)
+
+	// 6. Inventory: TDMA singulation discovers the capsules.
+	inv := rd.Inventory(16)
+	fmt.Printf("inventory: discovered %d capsule(s) in %d round(s)\n",
+		len(inv.Discovered), inv.Rounds)
+
+	// 7. Read sensors from the first discovered capsule.
+	for _, h := range inv.Discovered {
+		temp, err := rd.ReadSensor(h, ecocapsule.TempHumidity)
+		if err != nil {
+			log.Fatalf("capsule %#04x: %v", h, err)
+		}
+		strain, err := rd.ReadSensor(h, ecocapsule.Strain)
+		if err != nil {
+			log.Fatalf("capsule %#04x: %v", h, err)
+		}
+		fmt.Printf("capsule %#04x: %.1f °C, %.0f %%RH, strain (%.0f, %.0f) µε\n",
+			h, temp[0], temp[1], strain[0]*1e6, strain[1]*1e6)
+	}
+}

@@ -1,0 +1,3 @@
+module ecocapsule
+
+go 1.22

@@ -1,0 +1,324 @@
+package bridge
+
+import (
+	"math"
+	"testing"
+
+	"ecocapsule/internal/dsp"
+	"ecocapsule/internal/shm"
+)
+
+func TestConventionalLayoutHas88SensorsOf13Types(t *testing.T) {
+	layout := ConventionalLayout()
+	if len(layout) != 88 {
+		t.Fatalf("sensor count %d, want 88 (§6)", len(layout))
+	}
+	types := map[string]bool{}
+	ids := map[int]bool{}
+	for _, s := range layout {
+		types[s.Type] = true
+		if ids[s.ID] {
+			t.Fatalf("duplicate sensor ID %d", s.ID)
+		}
+		ids[s.ID] = true
+		if s.Section < "A" || s.Section > "E" {
+			t.Fatalf("sensor %d has invalid section %q", s.ID, s.Section)
+		}
+	}
+	if len(types) != 13 {
+		t.Errorf("type count %d, want 13", len(types))
+	}
+}
+
+func TestSensorCategoryString(t *testing.T) {
+	for _, c := range []SensorCategory{Environmental, Loads, Responses} {
+		if c.String() == "" {
+			t.Error("category must format")
+		}
+	}
+	if SensorCategory(9).String() == "" {
+		t.Error("unknown category must format")
+	}
+}
+
+func TestBridgeGeometry(t *testing.T) {
+	// §6 published dimensions.
+	if math.Abs(MainSpanM+SideSpanM-TotalLengthM) > 1e-9 {
+		t.Errorf("spans (%.2f + %.2f) must sum to the total length %.2f",
+			MainSpanM, SideSpanM, TotalLengthM)
+	}
+}
+
+func TestWeatherStormWindow(t *testing.T) {
+	s := NewSim(1)
+	// Day 10 (11 July): calm. Day 18 (19 July): storm.
+	calm := s.WeatherAt(10*24 + 12)
+	storm := s.WeatherAt(18*24 + 12)
+	if calm.Storm {
+		t.Error("11 July must be calm")
+	}
+	if !storm.Storm {
+		t.Error("19 July must be stormy")
+	}
+	if storm.WindSpeedMS <= calm.WindSpeedMS {
+		t.Error("storm wind must exceed calm wind")
+	}
+	if storm.Humidity <= calm.Humidity-5 {
+		t.Errorf("storm humidity (%.0f) should saturate vs calm (%.0f)",
+			storm.Humidity, calm.Humidity)
+	}
+	if storm.PressureKPa >= calm.PressureKPa {
+		t.Error("storm pressure must drop")
+	}
+}
+
+func TestWeatherPlausibleRanges(t *testing.T) {
+	s := NewSim(2)
+	for h := 0; h < 31*24; h++ {
+		w := s.WeatherAt(h)
+		if w.TemperatureC < 15 || w.TemperatureC > 45 {
+			t.Fatalf("hour %d: temperature %.1f outside Hong Kong July range", h, w.TemperatureC)
+		}
+		if w.Humidity < 30 || w.Humidity > 100 {
+			t.Fatalf("hour %d: humidity %.1f%% implausible", h, w.Humidity)
+		}
+		if w.PressureKPa < 96 || w.PressureKPa > 102 {
+			t.Fatalf("hour %d: pressure %.2f kPa implausible (Fig. 28 range 97.5–100)", h, w.PressureKPa)
+		}
+	}
+}
+
+func TestPedestrianDiurnalPattern(t *testing.T) {
+	s := NewSim(3)
+	// Average over calm days to smooth noise.
+	avgAt := func(hod int) float64 {
+		var sum float64
+		n := 0
+		for day := 0; day < 14; day++ {
+			sum += float64(s.PedestriansAt(day*24 + hod))
+			n++
+		}
+		return sum / float64(n)
+	}
+	night := avgAt(3)
+	morning := avgAt(8)
+	evening := avgAt(18)
+	if morning < 2*night || evening < 2*night {
+		t.Errorf("commuter peaks must dominate night: night %.1f morning %.1f evening %.1f",
+			night, morning, evening)
+	}
+}
+
+func TestStormSuppressesPedestrians(t *testing.T) {
+	s := NewSim(4)
+	var calm, storm float64
+	for day := 0; day < 14; day++ {
+		calm += float64(s.PedestriansAt(day*24 + 18))
+	}
+	for day := 15; day < 23; day++ {
+		storm += float64(s.PedestriansAt(day*24 + 18))
+	}
+	calm /= 14
+	storm /= 8
+	if storm > calm/2 {
+		t.Errorf("storm must suppress traffic: calm %.1f vs storm %.1f", calm, storm)
+	}
+}
+
+func TestResponseStormAmplification(t *testing.T) {
+	// Fig. 21(a)/(b): acceleration and stress swing much harder during
+	// 15–23 July.
+	s := NewSim(5)
+	series := s.SimulateMonth()
+	accRMS := func(d0, d1 int) float64 {
+		return dsp.RMS(series.Acceleration[d0*24 : d1*24])
+	}
+	calm := accRMS(0, 14)
+	storm := accRMS(15, 23)
+	if storm < 2*calm {
+		t.Errorf("storm acceleration RMS (%.4g) must dwarf calm (%.4g)", storm, calm)
+	}
+	// Stress stays compressive (negative) and within the plotted envelope.
+	for i, v := range series.Stress {
+		if v > -20 || v < -120 {
+			t.Fatalf("hour %d: stress %.1f MPa outside Fig. 21(b) envelope (−100..−20)", i, v)
+		}
+	}
+}
+
+func TestAccelerationWithinEnvelope(t *testing.T) {
+	// Fig. 21(a): |acceleration| ≤ ≈0.05 m/s² peaks.
+	s := NewSim(6)
+	series := s.SimulateMonth()
+	for i, v := range series.Acceleration {
+		if math.Abs(v) > 0.12 {
+			t.Fatalf("hour %d: |accel| %.3f m/s² beyond plotted envelope", i, v)
+		}
+	}
+	// It must also stay far below the structural limit (0.7).
+	if dsp.MaxAbs(series.Acceleration) > 0.7 {
+		t.Error("acceleration must stay below the §6 structural limit")
+	}
+}
+
+func TestStormDetectableByAnomalyDetector(t *testing.T) {
+	// The pilot pipeline: simulated telemetry → anomaly detector flags
+	// the cyclone window.
+	s := NewSim(7)
+	series := s.SimulateMonth()
+	det := shm.NewAnomalyDetector()
+	anomalies := det.Detect(series.Acceleration)
+	if len(anomalies) == 0 {
+		t.Fatal("the cyclone must be detectable in the acceleration series")
+	}
+	found := false
+	for _, a := range anomalies {
+		dayStart, dayEnd := a.Start/24, a.End/24
+		if dayStart <= 16 && dayEnd >= 20 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no anomaly covers the storm core (days 16–20): %+v", anomalies)
+	}
+}
+
+func TestSimulateMonthLengths(t *testing.T) {
+	s := NewSim(8)
+	m := s.SimulateMonth()
+	want := 24 * 31
+	if len(m.Hours) != want || len(m.Acceleration) != want || len(m.Stress) != want ||
+		len(m.Temperature) != want || len(m.Humidity) != want ||
+		len(m.Pressure) != want || len(m.Pedestrians) != want {
+		t.Error("all series must cover 31 days hourly")
+	}
+}
+
+func TestSectionStatus(t *testing.T) {
+	s := NewSim(9)
+	status, err := s.SectionStatus(8) // morning rush, day 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(status) != 5 {
+		t.Fatalf("five sections expected, got %d", len(status))
+	}
+	total := 0
+	for i, sec := range status {
+		if sec.Section != Sections[i] {
+			t.Errorf("section %d name %q", i, sec.Section)
+		}
+		total += sec.Pedestrians
+		if sec.Pedestrians == 0 && sec.SpeedMS != 0 {
+			t.Error("empty section must have zero speed")
+		}
+		// §6: the bridge health always remained at B or above during the
+		// social-distancing era; with our light traffic every section
+		// should grade A or B.
+		if sec.Level > shm.LevelB {
+			t.Errorf("section %s graded %v; expected A/B under light traffic", sec.Section, sec.Level)
+		}
+	}
+	if total < 0 {
+		t.Error("negative pedestrians")
+	}
+}
+
+func TestCapsuleEnvironmentConsistency(t *testing.T) {
+	s := NewSim(10)
+	env := s.CapsuleEnvironment(12)
+	if env.TemperatureC < 15 || env.TemperatureC > 40 {
+		t.Errorf("capsule temperature %.1f implausible", env.TemperatureC)
+	}
+	if env.RelativeHumidity > 100 {
+		t.Error("humidity must clamp at 100")
+	}
+	if env.StressMPa > -20 || env.StressMPa < -120 {
+		t.Errorf("capsule stress %.1f outside envelope", env.StressMPa)
+	}
+	// Strain is tensile-positive: compressive stress → positive strain
+	// with our sign convention σ/−E with σ<0.
+	if env.StrainX <= 0 || env.StrainY <= 0 {
+		t.Errorf("strain signs: %g %g", env.StrainX, env.StrainY)
+	}
+}
+
+func TestSimDeterminism(t *testing.T) {
+	a := NewSim(42).SimulateMonth()
+	b := NewSim(42).SimulateMonth()
+	for i := range a.Acceleration {
+		if a.Acceleration[i] != b.Acceleration[i] || a.Stress[i] != b.Stress[i] {
+			t.Fatal("same seed must reproduce the month exactly")
+		}
+	}
+}
+
+func TestStartEpoch(t *testing.T) {
+	s := NewSim(11)
+	if got := s.Start(); got.Year() != 2021 || got.Month().String() != "July" {
+		t.Errorf("epoch %v, want July 2021", got)
+	}
+}
+
+func TestModalDamageDetectionEndToEnd(t *testing.T) {
+	// The vibration-based SHM loop: record a burst on the healthy bridge,
+	// establish the baseline mode, damage the structure, and detect the
+	// stiffness loss from the frequency shift.
+	const fs = 50.0
+	healthy := NewSim(20)
+	hb := healthy.VibrationBurst(12, fs, 120)
+	base, err := shm.EstimateNaturalFrequency(hb, fs, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(base.FrequencyHz-HealthyFundamentalHz) > 0.1 {
+		t.Errorf("healthy mode %.3f Hz, want ≈%.1f", base.FrequencyHz, HealthyFundamentalHz)
+	}
+
+	damaged := NewSim(21)
+	damaged.SetDamage(0.3) // 30 % stiffness loss
+	db := damaged.VibrationBurst(12, fs, 120)
+	cur, err := shm.EstimateNaturalFrequency(db, fs, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.FrequencyHz >= base.FrequencyHz {
+		t.Fatalf("damaged mode %.3f Hz must drop below healthy %.3f", cur.FrequencyHz, base.FrequencyHz)
+	}
+	idx := shm.ModalDamageIndex(base.FrequencyHz, cur.FrequencyHz)
+	if math.Abs(idx-0.3) > 0.08 {
+		t.Errorf("damage index %.2f, want ≈0.30", idx)
+	}
+	if sev := shm.ClassifyModalDamage(idx); sev < shm.DamageModerate {
+		t.Errorf("30%% loss must classify ≥ moderate, got %v", sev)
+	}
+}
+
+func TestSetDamageClamping(t *testing.T) {
+	s := NewSim(22)
+	s.SetDamage(-1)
+	if s.Damage() != 0 {
+		t.Error("negative damage must clamp to 0")
+	}
+	s.SetDamage(2)
+	if s.Damage() != 0.9 {
+		t.Error("excess damage must clamp to 0.9")
+	}
+	if f := s.NaturalFrequencyHz(); f >= HealthyFundamentalHz {
+		t.Error("damaged frequency must drop")
+	}
+}
+
+func TestVibrationBurstProperties(t *testing.T) {
+	s := NewSim(23)
+	b := s.VibrationBurst(12, 50, 60)
+	if len(b) != 3000 {
+		t.Fatalf("burst length %d", len(b))
+	}
+	if dsp.RMS(b) <= 0 {
+		t.Error("burst must carry energy")
+	}
+	if s.VibrationBurst(12, 50, 0) != nil {
+		t.Error("zero duration must return nil")
+	}
+}

@@ -1,0 +1,69 @@
+package channel
+
+import (
+	"testing"
+
+	"ecocapsule/internal/geometry"
+	"ecocapsule/internal/units"
+	"ecocapsule/internal/waveform"
+)
+
+func benchChannel(b *testing.B) *Channel {
+	b.Helper()
+	ch, err := New(Config{
+		Structure:   geometry.CommonWall(),
+		Source:      geometry.Vec3{X: 0.1, Y: 10, Z: 0},
+		Destination: geometry.Vec3{X: 2.1, Y: 10, Z: 0.1},
+		PrismAngle:  units.Deg2Rad(60),
+		Seed:        1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ch
+}
+
+func BenchmarkChannelNew(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := New(Config{
+			Structure:   geometry.CommonWall(),
+			Source:      geometry.Vec3{X: 0.1, Y: 10, Z: 0},
+			Destination: geometry.Vec3{X: 2.1, Y: 10, Z: 0.1},
+			PrismAngle:  units.Deg2Rad(60),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChannelTransmit10ms(b *testing.B) {
+	ch := benchChannel(b)
+	syn := waveform.NewSynth(1e6)
+	x := syn.CBW(230e3, 1, 10e-3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.Transmit(x)
+	}
+}
+
+func BenchmarkToneResponse(b *testing.B) {
+	ch := benchChannel(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.ToneResponse(230e3 + float64(i%100)*10)
+	}
+}
+
+func BenchmarkTuneCarrier(b *testing.B) {
+	ch := benchChannel(b)
+	ch.AddScatterers(RandomScatterers(geometry.CommonWall(), 40, 2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.TuneCarrier(10*units.KHz, 500)
+	}
+}

@@ -1,0 +1,178 @@
+package channel
+
+import (
+	"math"
+	"testing"
+
+	"ecocapsule/internal/geometry"
+	"ecocapsule/internal/units"
+)
+
+func scattererChannel(t *testing.T) *Channel {
+	t.Helper()
+	ch, err := New(Config{
+		Structure:   geometry.CommonWall(),
+		Source:      geometry.Vec3{X: 0.1, Y: 10, Z: 0},
+		Destination: geometry.Vec3{X: 2.1, Y: 10, Z: 0.1},
+		PrismAngle:  units.Deg2Rad(60),
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+func TestAddScatterersExtendsResponse(t *testing.T) {
+	ch := scattererChannel(t)
+	before := len(ch.Arrivals())
+	objs := []Scatterer{
+		{Kind: Rebar, Position: geometry.Vec3{X: 1.0, Y: 10.2, Z: 0.1}, Size: 0.02},
+		{Kind: Cavity, Position: geometry.Vec3{X: 1.5, Y: 9.8, Z: 0.05}, Size: 0.006},
+		{Kind: Gravel, Position: geometry.Vec3{X: 0.7, Y: 10.1, Z: 0.12}, Size: 0.015},
+	}
+	ch.AddScatterers(objs)
+	after := len(ch.Arrivals())
+	if after <= before {
+		t.Fatalf("scatterers must add paths: %d → %d", before, after)
+	}
+	// Still sorted by delay.
+	arr := ch.Arrivals()
+	for i := 1; i < len(arr); i++ {
+		if arr[i].Delay < arr[i-1].Delay {
+			t.Fatal("arrivals must remain sorted after AddScatterers")
+		}
+	}
+}
+
+func TestScattererStrengthOrdering(t *testing.T) {
+	// At equal size and position, rebar reflects more than gravel.
+	pos := geometry.Vec3{X: 1.0, Y: 10, Z: 0.1}
+	chR := scattererChannel(t)
+	baseEnergy := totalGain(chR)
+	chR.AddScatterers([]Scatterer{{Kind: Rebar, Position: pos, Size: 0.02}})
+	rebarAdd := totalGain(chR) - baseEnergy
+
+	chG := scattererChannel(t)
+	chG.AddScatterers([]Scatterer{{Kind: Gravel, Position: pos, Size: 0.02}})
+	gravelAdd := totalGain(chG) - baseEnergy
+	if rebarAdd <= gravelAdd {
+		t.Errorf("rebar path (%g) must out-reflect gravel (%g)", rebarAdd, gravelAdd)
+	}
+}
+
+func totalGain(c *Channel) float64 {
+	var g float64
+	for _, a := range c.Arrivals() {
+		g += a.Gain
+	}
+	return g
+}
+
+func TestSmallScatterersAreWeak(t *testing.T) {
+	// §3.5(2): foreign objects "cannot cause strong interference in most
+	// cases" — a realistic population must not dominate the direct field.
+	ch := scattererChannel(t)
+	base := ch.PathGain()
+	objs := RandomScatterers(geometry.CommonWall(), 40, 9)
+	ch.AddScatterers(objs)
+	with := ch.PathGain()
+	if with < base {
+		t.Errorf("adding paths cannot reduce total energy: %g → %g", base, with)
+	}
+	if with > base*1.5 {
+		t.Errorf("scatterer population too strong: %g → %g (>50%% boost)", base, with)
+	}
+}
+
+func TestAddScatterersNoOp(t *testing.T) {
+	ch := scattererChannel(t)
+	n := len(ch.Arrivals())
+	ch.AddScatterers(nil)
+	if len(ch.Arrivals()) != n {
+		t.Error("nil scatterers must be a no-op")
+	}
+}
+
+func TestTuneCarrierImprovesDeterioratedChannel(t *testing.T) {
+	// The §3.5 remedy: after scatterers deteriorate the channel, the
+	// carrier tuner must find a frequency at least as good as nominal —
+	// and when the nominal sits in a fade, significantly better.
+	ch := scattererChannel(t)
+	ch.AddScatterers(RandomScatterers(geometry.CommonWall(), 60, 3))
+	f, g := ch.TuneCarrier(10*units.KHz, 500)
+	at := ch.ToneResponse(230 * units.KHz)
+	if g < at {
+		t.Errorf("tuned gain %g must be ≥ nominal %g", g, at)
+	}
+	if f < 220*units.KHz || f > 240*units.KHz {
+		t.Errorf("tuned carrier %.0f outside the sweep window", f)
+	}
+	depth := ch.FadeDepth(10 * units.KHz)
+	if depth < 0 {
+		t.Errorf("fade depth %g cannot be negative", depth)
+	}
+}
+
+func TestTuneCarrierDefaults(t *testing.T) {
+	ch := scattererChannel(t)
+	f, g := ch.TuneCarrier(0, 0) // defaults kick in
+	if f <= 0 || g <= 0 {
+		t.Errorf("default tune failed: f=%g g=%g", f, g)
+	}
+}
+
+func TestRandomScatterersPopulation(t *testing.T) {
+	wall := geometry.CommonWall()
+	objs := RandomScatterers(wall, 200, 1)
+	if len(objs) != 200 {
+		t.Fatalf("count %d", len(objs))
+	}
+	kinds := map[ScattererKind]int{}
+	for _, o := range objs {
+		kinds[o.Kind]++
+		if !wall.Inside(o.Position) {
+			t.Fatalf("scatterer outside the wall: %+v", o)
+		}
+		if o.Size <= 0 || o.Size > 0.05 {
+			t.Fatalf("implausible size %g", o.Size)
+		}
+	}
+	if kinds[Gravel] < kinds[Rebar] || kinds[Gravel] < kinds[Cavity] {
+		t.Errorf("gravel must dominate the mix: %v", kinds)
+	}
+	if kinds[Rebar] == 0 || kinds[Cavity] == 0 {
+		t.Errorf("all kinds must appear in a 200-object population: %v", kinds)
+	}
+	if RandomScatterers(wall, 0, 1) != nil {
+		t.Error("zero count must return nil")
+	}
+}
+
+func TestRandomScatterersDeterminism(t *testing.T) {
+	a := RandomScatterers(geometry.CommonWall(), 10, 7)
+	b := RandomScatterers(geometry.CommonWall(), 10, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce the population")
+		}
+	}
+}
+
+func TestScattererKindString(t *testing.T) {
+	for _, k := range []ScattererKind{Rebar, Gravel, Cavity} {
+		if k.String() == "" {
+			t.Error("kind must format")
+		}
+	}
+	if ScattererKind(9).String() == "" {
+		t.Error("unknown kind must format")
+	}
+}
+
+func TestFadeDepthFinite(t *testing.T) {
+	ch := scattererChannel(t)
+	if d := ch.FadeDepth(8 * units.KHz); math.IsInf(d, 0) || math.IsNaN(d) {
+		t.Errorf("fade depth %g must be finite for a live channel", d)
+	}
+}

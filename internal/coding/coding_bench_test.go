@@ -1,0 +1,76 @@
+package coding
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchBits(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	bits := make([]byte, n)
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	return bits
+}
+
+func BenchmarkFM0Encode(b *testing.B) {
+	bits := benchBits(1024, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FM0Encode(bits); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFM0DecodeML(b *testing.B) {
+	bits := benchBits(1024, 2)
+	halves, err := FM0Encode(bits)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	noisy := make([]float64, len(halves))
+	for i, v := range halves {
+		noisy[i] = v + rng.NormFloat64()*0.3
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FM0DecodeML(noisy)
+	}
+}
+
+func BenchmarkFM0DecodeHard(b *testing.B) {
+	bits := benchBits(1024, 4)
+	halves, _ := FM0Encode(bits)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FM0DecodeHard(halves)
+	}
+}
+
+func BenchmarkCRC16(b *testing.B) {
+	data := make([]byte, 256)
+	rand.New(rand.NewSource(5)).Read(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CRC16(data)
+	}
+}
+
+func BenchmarkPIEEncode(b *testing.B) {
+	cfg := DefaultPIE()
+	bits := benchBits(512, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Encode(bits); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

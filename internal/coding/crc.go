@@ -1,0 +1,72 @@
+package coding
+
+// CRC16 implements the CCITT CRC-16 used by the EPC Gen2 air protocol the
+// paper's packet structure follows (§5.1): polynomial 0x1021, initial value
+// 0xFFFF, final XOR 0xFFFF.
+func CRC16(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc ^ 0xFFFF
+}
+
+// CRC16Check verifies data followed by its big-endian CRC-16.
+func CRC16Check(frame []byte) bool {
+	if len(frame) < 2 {
+		return false
+	}
+	payload := frame[:len(frame)-2]
+	want := uint16(frame[len(frame)-2])<<8 | uint16(frame[len(frame)-1])
+	return CRC16(payload) == want
+}
+
+// AppendCRC16 appends the big-endian CRC-16 of data to data and returns it.
+func AppendCRC16(data []byte) []byte {
+	crc := CRC16(data)
+	return append(data, byte(crc>>8), byte(crc))
+}
+
+// CRC5 implements the Gen2 CRC-5 used over Query commands: polynomial
+// x⁵+x³+1 (0x09), initial value 0b01001, computed over the bit string.
+func CRC5(bits []byte) byte {
+	reg := byte(0x09)
+	for _, b := range bits {
+		bit := b & 1
+		msb := (reg >> 4) & 1
+		reg = (reg << 1) & 0x1F
+		if msb^bit == 1 {
+			reg ^= 0x09
+		}
+	}
+	return reg & 0x1F
+}
+
+// BytesToBits expands bytes MSB-first into a slice of 0/1 bytes.
+func BytesToBits(data []byte) []byte {
+	bits := make([]byte, 0, len(data)*8)
+	for _, b := range data {
+		for i := 7; i >= 0; i-- {
+			bits = append(bits, (b>>uint(i))&1)
+		}
+	}
+	return bits
+}
+
+// BitsToBytes packs 0/1 bits MSB-first into bytes; the tail is zero-padded.
+func BitsToBytes(bits []byte) []byte {
+	out := make([]byte, (len(bits)+7)/8)
+	for i, b := range bits {
+		if b&1 == 1 {
+			out[i/8] |= 1 << uint(7-i%8)
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package coding
+
+import (
+	"errors"
+	"math"
+)
+
+// FM0 (bi-phase space) coding for the uplink (§3.4): the level always
+// inverts at every symbol boundary; a bit 0 additionally inverts mid-symbol
+// while a bit 1 holds its level across the symbol window. The decoder
+// therefore looks for the presence or absence of a mid-symbol transition
+// rather than interval durations, which is what makes it robust to clock
+// drift in a battery-free node.
+
+// FM0Encode converts bits to one baseband level (+1/−1) per half-symbol.
+// The sequence starts from level +1 by convention; output length is
+// 2·len(bits). Each bit must be 0 or 1.
+func FM0Encode(bits []byte) ([]float64, error) {
+	out := make([]float64, 0, 2*len(bits))
+	level := 1.0
+	for _, b := range bits {
+		switch b {
+		case 0:
+			// Transition at the symbol middle.
+			out = append(out, level, -level)
+		case 1:
+			// Constant level across the symbol.
+			out = append(out, level, level)
+		default:
+			return nil, errors.New("coding: FM0 bits must be 0 or 1")
+		}
+		// Mandatory inversion at the symbol boundary.
+		level = -out[len(out)-1]
+	}
+	return out, nil
+}
+
+// FM0DecodeHard performs hard-decision decoding of half-symbol levels
+// (output of FM0Encode possibly corrupted): a bit is 0 when the two halves
+// differ in sign, 1 when they match. It needs no reference level.
+func FM0DecodeHard(halves []float64) []byte {
+	n := len(halves) / 2
+	bits := make([]byte, n)
+	for i := 0; i < n; i++ {
+		a, b := halves[2*i], halves[2*i+1]
+		if a*b >= 0 {
+			bits[i] = 1
+		}
+	}
+	return bits
+}
+
+// FM0DecodeML is the maximum-likelihood sequence decoder the reader uses
+// (§5.1). Given noisy half-symbol samples it runs a two-state Viterbi over
+// the FM0 trellis (state = current level sign), which outperforms
+// per-symbol hard decisions because FM0 has memory: the level must invert
+// at every boundary, so an isolated sign flip is detectable.
+func FM0DecodeML(halves []float64) []byte {
+	n := len(halves) / 2
+	if n == 0 {
+		return nil
+	}
+	const (
+		statePos = 0 // next symbol starts at +1
+		stateNeg = 1 // next symbol starts at −1
+	)
+	type node struct {
+		cost float64
+		prev int8 // previous state
+		bit  byte
+	}
+	// trellis[i][s] is the best path ending before symbol i in state s.
+	trellis := make([][2]node, n+1)
+	trellis[0][statePos] = node{cost: 0}
+	trellis[0][stateNeg] = node{cost: 0}
+	inf := math.Inf(1)
+	for i := 1; i <= n; i++ {
+		trellis[i][0].cost = inf
+		trellis[i][1].cost = inf
+	}
+
+	levelOf := func(s int) float64 {
+		if s == statePos {
+			return 1
+		}
+		return -1
+	}
+	for i := 0; i < n; i++ {
+		a, b := halves[2*i], halves[2*i+1]
+		for s := 0; s < 2; s++ {
+			base := trellis[i][s].cost
+			if math.IsInf(base, 1) {
+				continue
+			}
+			l := levelOf(s)
+			// Bit 0: halves are (l, −l); next level is the inversion of −l = l,
+			// so the next state equals s... wait: next level = −(last half) =
+			// −(−l) = l → next state s.
+			{
+				cost := base + sq(a-l) + sq(b+l)
+				next := s
+				if cost < trellis[i+1][next].cost {
+					trellis[i+1][next] = node{cost: cost, prev: int8(s), bit: 0}
+				}
+			}
+			// Bit 1: halves are (l, l); next level = −l → state flips.
+			{
+				cost := base + sq(a-l) + sq(b-l)
+				next := 1 - s
+				if cost < trellis[i+1][next].cost {
+					trellis[i+1][next] = node{cost: cost, prev: int8(s), bit: 1}
+				}
+			}
+		}
+	}
+	// Trace back from the cheaper final state.
+	s := statePos
+	if trellis[n][stateNeg].cost < trellis[n][statePos].cost {
+		s = stateNeg
+	}
+	bits := make([]byte, n)
+	for i := n; i > 0; i-- {
+		bits[i-1] = trellis[i][s].bit
+		s = int(trellis[i][s].prev)
+	}
+	return bits
+}
+
+func sq(x float64) float64 { return x * x }
+
+// FM0TransitionValid checks the FM0 invariant on clean half-symbol levels:
+// the sign always inverts between the last half of one symbol and the first
+// half of the next.
+func FM0TransitionValid(halves []float64) bool {
+	for i := 2; i+1 < len(halves)+1 && i < len(halves); i += 2 {
+		if halves[i-1]*halves[i] > 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,189 @@
+// Package core is the paper's primary contribution assembled as a system:
+// self-sensing concrete. A Casting mixes EcoCapsule nodes into a concrete
+// structure (checking shell survivability per §4.1 and capsule volume
+// fraction per §8's structural-risk caveat), verifies intactness the way
+// the CT examination of Fig. 10 does, and produces a deployment a Reader
+// can attach to for charging, inventory, and sensing.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ecocapsule/internal/geometry"
+	"ecocapsule/internal/node"
+	"ecocapsule/internal/physics"
+	"ecocapsule/internal/reader"
+	"ecocapsule/internal/units"
+)
+
+// MaxCapsuleVolumeFraction caps how much of the structure's volume the
+// embedded capsules may displace. The conclusion (§8) flags the structural
+// risk of mixing large numbers of capsules; 0.5 % keeps the filler minor
+// relative to sand and aggregate.
+const MaxCapsuleVolumeFraction = 0.005
+
+// CapsuleVolume is the displaced volume of one capsule (45 mm sphere), m³.
+func CapsuleVolume() float64 {
+	r := 45 * units.MM / 2
+	return 4.0 / 3.0 * 3.141592653589793 * r * r * r
+}
+
+// Casting is a self-sensing concrete pour in progress.
+type Casting struct {
+	structure *geometry.Structure
+	nodes     []*node.Node
+	sealed    bool
+}
+
+// NewCasting starts a pour into the given structure.
+func NewCasting(s *geometry.Structure) (*Casting, error) {
+	if s == nil {
+		return nil, errors.New("core: nil structure")
+	}
+	if s.Material == nil || s.Material.Density <= 0 {
+		return nil, errors.New("core: structure needs a concrete material")
+	}
+	return &Casting{structure: s}, nil
+}
+
+// StructureVolume returns the host volume in m³.
+func (c *Casting) StructureVolume() float64 {
+	s := c.structure
+	if s.Shape == geometry.Cylinder {
+		r := s.Diameter / 2
+		return 3.141592653589793 * r * r * s.Height
+	}
+	return s.Length * s.Height * s.Thickness
+}
+
+// Errors returned while mixing capsules.
+var (
+	ErrSealed       = errors.New("core: casting already sealed")
+	ErrOutside      = errors.New("core: capsule position outside the mould")
+	ErrOverfilled   = errors.New("core: capsule volume fraction exceeds the structural-risk cap")
+	ErrDuplicate    = errors.New("core: duplicate capsule handle")
+	ErrShellCrushed = errors.New("core: shell cannot survive the embedment pressure")
+)
+
+// Mix adds one capsule to the pour at its configured position. The shell
+// stress check uses the capsule's depth below the top of the pour.
+func (c *Casting) Mix(n *node.Node) error {
+	if c.sealed {
+		return ErrSealed
+	}
+	pos := n.Position()
+	if !c.structure.Inside(pos) {
+		return fmt.Errorf("%w: %+v in %s", ErrOutside, pos, c.structure.Name)
+	}
+	for _, existing := range c.nodes {
+		if existing.Handle() == n.Handle() {
+			return fmt.Errorf("%w: %#04x", ErrDuplicate, n.Handle())
+		}
+	}
+	// Depth of concrete head above the capsule.
+	depth := c.structure.Height - pos.Y
+	if depth < 0 {
+		depth = 0
+	}
+	if err := n.EmbedCheck(c.structure.Material.Density, depth); err != nil {
+		return fmt.Errorf("%w: %v", ErrShellCrushed, err)
+	}
+	newFraction := float64(len(c.nodes)+1) * CapsuleVolume() / c.StructureVolume()
+	if newFraction > MaxCapsuleVolumeFraction {
+		return fmt.Errorf("%w: %.4f%% > %.4f%%", ErrOverfilled,
+			newFraction*100, MaxCapsuleVolumeFraction*100)
+	}
+	c.nodes = append(c.nodes, n)
+	return nil
+}
+
+// CTReport is the result of the Fig. 10 intactness examination.
+type CTReport struct {
+	Capsules       int
+	IntactShells   int
+	VolumeFraction float64
+}
+
+// Intact reports whether every shell survived the pour.
+func (r CTReport) Intact() bool { return r.Capsules == r.IntactShells }
+
+// Seal cures the pour and runs the CT-style verification: every capsule's
+// shell is re-checked against the final embedment pressure. After Seal the
+// casting is immutable (capsules are implanted permanently, §1).
+func (c *Casting) Seal() CTReport {
+	c.sealed = true
+	rep := CTReport{
+		Capsules:       len(c.nodes),
+		VolumeFraction: float64(len(c.nodes)) * CapsuleVolume() / c.StructureVolume(),
+	}
+	for _, n := range c.nodes {
+		depth := c.structure.Height - n.Position().Y
+		if depth < 0 {
+			depth = 0
+		}
+		if n.EmbedCheck(c.structure.Material.Density, depth) == nil {
+			rep.IntactShells++
+		}
+	}
+	return rep
+}
+
+// Sealed reports whether the pour has cured.
+func (c *Casting) Sealed() bool { return c.sealed }
+
+// Nodes returns the embedded capsules.
+func (c *Casting) Nodes() []*node.Node {
+	out := make([]*node.Node, len(c.nodes))
+	copy(out, c.nodes)
+	return out
+}
+
+// Structure returns the host structure.
+func (c *Casting) Structure() *geometry.Structure { return c.structure }
+
+// AttachReader mounts a reader on the cured structure and deploys every
+// embedded capsule into its acoustic field.
+func (c *Casting) AttachReader(cfg reader.Config) (*reader.Reader, error) {
+	if !c.sealed {
+		return nil, errors.New("core: seal the casting before attaching a reader")
+	}
+	cfg.Structure = c.structure
+	r, err := reader.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range c.nodes {
+		if err := r.Deploy(n); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// PlanGrid positions count capsules in a regular grid through the
+// structure's interior, spaced along the long axis at mid-height and
+// mid-thickness — a practical pour plan when exact positions don't matter.
+func PlanGrid(s *geometry.Structure, count int, firstHandle uint16, seed int64) []*node.Node {
+	if count <= 0 {
+		return nil
+	}
+	nodes := make([]*node.Node, 0, count)
+	axis := s.MaxRangeAxis()
+	for i := 0; i < count; i++ {
+		frac := (float64(i) + 0.5) / float64(count)
+		var pos geometry.Vec3
+		if s.Shape == geometry.Cylinder {
+			pos = geometry.Vec3{X: 0, Y: frac * axis, Z: 0}
+		} else {
+			pos = geometry.Vec3{X: frac * s.Length, Y: s.Height / 2, Z: s.Thickness / 2}
+		}
+		nodes = append(nodes, node.New(node.Config{
+			Handle:   firstHandle + uint16(i),
+			Position: pos,
+			Shell:    physics.ResinShell(),
+			Seed:     seed + int64(i),
+		}))
+	}
+	return nodes
+}

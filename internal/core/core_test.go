@@ -1,0 +1,210 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ecocapsule/internal/geometry"
+	"ecocapsule/internal/node"
+	"ecocapsule/internal/physics"
+	"ecocapsule/internal/reader"
+)
+
+func TestNewCastingValidation(t *testing.T) {
+	if _, err := NewCasting(nil); err == nil {
+		t.Error("nil structure must error")
+	}
+	bad := &geometry.Structure{Name: "bare", Shape: geometry.Box}
+	if _, err := NewCasting(bad); err == nil {
+		t.Error("structure without material must error")
+	}
+	if _, err := NewCasting(geometry.Slab()); err != nil {
+		t.Errorf("slab casting: %v", err)
+	}
+}
+
+func TestCapsuleVolume(t *testing.T) {
+	// 45 mm sphere ≈ 47.7 cm³.
+	got := CapsuleVolume() / 1e-6
+	if math.Abs(got-47.7) > 1 {
+		t.Errorf("capsule volume %.1f cm³, want ≈47.7", got)
+	}
+}
+
+func TestStructureVolume(t *testing.T) {
+	c, _ := NewCasting(geometry.Slab())
+	want := 1.5 * 0.5 * 0.15
+	if math.Abs(c.StructureVolume()-want) > 1e-12 {
+		t.Errorf("slab volume %g, want %g", c.StructureVolume(), want)
+	}
+	col, _ := NewCasting(geometry.Column())
+	wantCol := math.Pi * 0.35 * 0.35 * 2.5
+	if math.Abs(col.StructureVolume()-wantCol) > 1e-9 {
+		t.Errorf("column volume %g, want %g", col.StructureVolume(), wantCol)
+	}
+}
+
+func TestMixValidations(t *testing.T) {
+	c, _ := NewCasting(geometry.Slab())
+	inside := node.New(node.Config{Handle: 1, Position: geometry.Vec3{X: 0.7, Y: 0.2, Z: 0.07}})
+	if err := c.Mix(inside); err != nil {
+		t.Fatalf("valid mix: %v", err)
+	}
+	outside := node.New(node.Config{Handle: 2, Position: geometry.Vec3{X: 9, Y: 0.2, Z: 0.07}})
+	if err := c.Mix(outside); !errors.Is(err, ErrOutside) {
+		t.Errorf("outside: %v", err)
+	}
+	dup := node.New(node.Config{Handle: 1, Position: geometry.Vec3{X: 0.3, Y: 0.2, Z: 0.07}})
+	if err := c.Mix(dup); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate: %v", err)
+	}
+}
+
+func TestMixVolumeCap(t *testing.T) {
+	// The slab holds 0.1125 m³; 0.5 % is ≈0.56 L ≈ 11 capsules.
+	c, _ := NewCasting(geometry.Slab())
+	var err error
+	placed := 0
+	for i := 0; i < 40; i++ {
+		n := node.New(node.Config{
+			Handle:   uint16(i + 1),
+			Position: geometry.Vec3{X: 0.03 * float64(i+1), Y: 0.2, Z: 0.07},
+		})
+		if err = c.Mix(n); err != nil {
+			break
+		}
+		placed++
+	}
+	if !errors.Is(err, ErrOverfilled) {
+		t.Fatalf("expected overfill, got %v after %d capsules", err, placed)
+	}
+	if placed < 5 || placed > 20 {
+		t.Errorf("placed %d capsules before the cap; expected ≈11", placed)
+	}
+}
+
+func TestMixShellCrush(t *testing.T) {
+	// A tall column with a capsule at the bottom of a 300 m pour — use a
+	// synthetic skyscraper-core structure.
+	tall := &geometry.Structure{
+		Name: "core-wall", Shape: geometry.Box,
+		Material: geometry.CommonWall().Material,
+		Length:   5, Height: 300, Thickness: 0.5,
+	}
+	c, err := NewCasting(tall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep := node.New(node.Config{Handle: 1, Position: geometry.Vec3{X: 1, Y: 1, Z: 0.2}})
+	if err := c.Mix(deep); !errors.Is(err, ErrShellCrushed) {
+		t.Errorf("resin shell at 299 m depth must crush: %v", err)
+	}
+	// The same position with a steel shell survives.
+	steel := node.New(node.Config{
+		Handle: 2, Position: geometry.Vec3{X: 1, Y: 1, Z: 0.2},
+		Shell: physics.SteelShell(),
+	})
+	if err := c.Mix(steel); err != nil {
+		t.Errorf("steel shell must survive: %v", err)
+	}
+}
+
+func TestSealAndCTReport(t *testing.T) {
+	c, _ := NewCasting(geometry.Slab())
+	for i := 0; i < 3; i++ {
+		n := node.New(node.Config{
+			Handle:   uint16(i + 1),
+			Position: geometry.Vec3{X: 0.3 * float64(i+1), Y: 0.25, Z: 0.07},
+		})
+		if err := c.Mix(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := c.Seal()
+	if rep.Capsules != 3 || !rep.Intact() {
+		t.Errorf("CT report %+v, want 3 intact", rep)
+	}
+	if rep.VolumeFraction <= 0 || rep.VolumeFraction > MaxCapsuleVolumeFraction {
+		t.Errorf("volume fraction %g out of range", rep.VolumeFraction)
+	}
+	if !c.Sealed() {
+		t.Error("casting must report sealed")
+	}
+	late := node.New(node.Config{Handle: 9, Position: geometry.Vec3{X: 0.1, Y: 0.25, Z: 0.07}})
+	if err := c.Mix(late); !errors.Is(err, ErrSealed) {
+		t.Errorf("mixing after seal: %v", err)
+	}
+	if len(c.Nodes()) != 3 {
+		t.Error("node accessor")
+	}
+	if c.Structure() == nil {
+		t.Error("structure accessor")
+	}
+}
+
+func TestAttachReaderRequiresSeal(t *testing.T) {
+	c, _ := NewCasting(geometry.CommonWall())
+	n := node.New(node.Config{Handle: 1, Position: geometry.Vec3{X: 1, Y: 10, Z: 0.1}})
+	if err := c.Mix(n); err != nil {
+		t.Fatal(err)
+	}
+	cfg := reader.Config{
+		TXPosition:   geometry.Vec3{X: 0.1, Y: 10, Z: 0},
+		DriveVoltage: 200,
+	}
+	if _, err := c.AttachReader(cfg); err == nil {
+		t.Error("attaching before seal must error")
+	}
+	c.Seal()
+	r, err := c.AttachReader(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Nodes()) != 1 {
+		t.Error("reader must see the embedded capsule")
+	}
+	// End-to-end smoke: charge then inventory through the casting.
+	if up := r.Charge(0.3); up != 1 {
+		t.Errorf("capsule must power up, got %d", up)
+	}
+	res := r.Inventory(8)
+	if len(res.Discovered) != 1 || res.Discovered[0] != 1 {
+		t.Errorf("inventory through the casting failed: %+v", res)
+	}
+}
+
+func TestPlanGrid(t *testing.T) {
+	s := geometry.CommonWall()
+	nodes := PlanGrid(s, 5, 0x10, 1)
+	if len(nodes) != 5 {
+		t.Fatalf("plan size %d", len(nodes))
+	}
+	seen := map[uint16]bool{}
+	for _, n := range nodes {
+		if !s.Inside(n.Position()) {
+			t.Errorf("planned position %+v outside the wall", n.Position())
+		}
+		if seen[n.Handle()] {
+			t.Error("duplicate handle in plan")
+		}
+		seen[n.Handle()] = true
+	}
+	// Positions spread monotonically along the long axis.
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i].Position().X <= nodes[i-1].Position().X {
+			t.Error("grid must advance along the axis")
+		}
+	}
+	if PlanGrid(s, 0, 1, 1) != nil {
+		t.Error("zero count must return nil")
+	}
+	// Cylinder plan advances along Y.
+	col := geometry.Column()
+	cnodes := PlanGrid(col, 3, 1, 2)
+	for i := 1; i < len(cnodes); i++ {
+		if cnodes[i].Position().Y <= cnodes[i-1].Position().Y {
+			t.Error("column grid must advance along the axis")
+		}
+	}
+}

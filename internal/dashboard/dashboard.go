@@ -1,0 +1,294 @@
+// Package dashboard serves the footbridge pilot's SHM data over HTTP for
+// a building-management front end: a JSON API (month series, per-section
+// health, anomalies, modal state) and a self-contained HTML page with
+// inline SVG charts. It is the human-facing end of the monitoring chain
+// that starts at the capsules.
+package dashboard
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"ecocapsule/internal/bridge"
+	"ecocapsule/internal/dsp"
+	"ecocapsule/internal/shm"
+)
+
+// Server wraps the simulator and caches the month it serves.
+type Server struct {
+	mu    sync.Mutex
+	sim   *bridge.Sim
+	month *bridge.MonthlySeries
+}
+
+// NewServer builds a dashboard over a bridge simulation.
+func NewServer(sim *bridge.Sim) *Server {
+	return &Server{sim: sim}
+}
+
+// Handler returns the HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/api/month", s.handleMonth)
+	mux.HandleFunc("/api/daily", s.handleDaily)
+	mux.HandleFunc("/api/health", s.handleHealth)
+	mux.HandleFunc("/api/anomalies", s.handleAnomalies)
+	mux.HandleFunc("/api/modal", s.handleModal)
+	return mux
+}
+
+func (s *Server) series() *bridge.MonthlySeries {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.month == nil {
+		m := s.sim.SimulateMonth()
+		s.month = &m
+	}
+	return s.month
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// MonthResponse is the full hourly series.
+type MonthResponse struct {
+	Hours        []int     `json:"hours"`
+	Acceleration []float64 `json:"acceleration_ms2"`
+	Stress       []float64 `json:"stress_mpa"`
+	Temperature  []float64 `json:"temperature_c"`
+	Humidity     []float64 `json:"humidity_pct"`
+	Pressure     []float64 `json:"pressure_kpa"`
+	Pedestrians  []int     `json:"pedestrians"`
+}
+
+func (s *Server) handleMonth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	m := s.series()
+	writeJSON(w, MonthResponse{
+		Hours:        m.Hours,
+		Acceleration: m.Acceleration,
+		Stress:       m.Stress,
+		Temperature:  m.Temperature,
+		Humidity:     m.Humidity,
+		Pressure:     m.Pressure,
+		Pedestrians:  m.Pedestrians,
+	})
+}
+
+// DailyRow is one row of the daily digest.
+type DailyRow struct {
+	Day         int     `json:"day"`
+	AccelRMS    float64 `json:"accel_rms_ms2"`
+	StressMean  float64 `json:"stress_mean_mpa"`
+	Temperature float64 `json:"temperature_c"`
+	Humidity    float64 `json:"humidity_pct"`
+	Pedestrians float64 `json:"pedestrians_per_hour"`
+	Storm       bool    `json:"storm"`
+}
+
+func (s *Server) handleDaily(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	m := s.series()
+	rows := make([]DailyRow, 0, 31)
+	for day := 0; day < 31; day++ {
+		a, b := day*24, (day+1)*24
+		var peds float64
+		for _, p := range m.Pedestrians[a:b] {
+			peds += float64(p)
+		}
+		rows = append(rows, DailyRow{
+			Day:         day + 1,
+			AccelRMS:    dsp.RMS(m.Acceleration[a:b]),
+			StressMean:  dsp.Mean(m.Stress[a:b]),
+			Temperature: dsp.Mean(m.Temperature[a:b]),
+			Humidity:    dsp.Mean(m.Humidity[a:b]),
+			Pedestrians: peds / 24,
+			Storm:       s.sim.WeatherAt(a + 12).Storm,
+		})
+	}
+	writeJSON(w, rows)
+}
+
+// HealthResponse is the per-section status at one hour.
+type HealthResponse struct {
+	Hour     int             `json:"hour"`
+	Sections []SectionStatus `json:"sections"`
+}
+
+// SectionStatus is one section's row.
+type SectionStatus struct {
+	Section     string  `json:"section"`
+	Pedestrians int     `json:"pedestrians"`
+	Health      string  `json:"health"`
+	SpeedMS     float64 `json:"speed_ms"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	hour := 8
+	if q := r.URL.Query().Get("hour"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 || v >= 24*31 {
+			http.Error(w, "hour must be in [0, 744)", http.StatusBadRequest)
+			return
+		}
+		hour = v
+	}
+	status, err := s.sim.SectionStatus(hour)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp := HealthResponse{Hour: hour}
+	for _, sec := range status {
+		resp.Sections = append(resp.Sections, SectionStatus{
+			Section:     sec.Section,
+			Pedestrians: sec.Pedestrians,
+			Health:      sec.Level.String(),
+			SpeedMS:     sec.SpeedMS,
+		})
+	}
+	writeJSON(w, resp)
+}
+
+// AnomalyRow is one flagged window.
+type AnomalyRow struct {
+	StartDay int     `json:"start_day"`
+	EndDay   int     `json:"end_day"`
+	RMS      float64 `json:"rms"`
+	Baseline float64 `json:"baseline"`
+	Factor   float64 `json:"factor"`
+}
+
+func (s *Server) handleAnomalies(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	m := s.series()
+	det := shm.NewAnomalyDetector()
+	var rows []AnomalyRow
+	for _, a := range det.Detect(m.Acceleration) {
+		rows = append(rows, AnomalyRow{
+			StartDay: a.Start/24 + 1,
+			EndDay:   (a.End-1)/24 + 1,
+			RMS:      a.RMS,
+			Baseline: a.Baseline,
+			Factor:   a.RMS / a.Baseline,
+		})
+	}
+	writeJSON(w, rows)
+}
+
+// ModalResponse is the vibration-based health state.
+type ModalResponse struct {
+	BaselineHz  float64 `json:"baseline_hz"`
+	MeasuredHz  float64 `json:"measured_hz"`
+	DamageIndex float64 `json:"damage_index"`
+	Severity    string  `json:"severity"`
+}
+
+func (s *Server) handleModal(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	const fsHz = 50.0
+	burst := s.sim.VibrationBurst(12, fsHz, 120)
+	est, err := shm.EstimateNaturalFrequency(burst, fsHz, 0.5, 5)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	idx := shm.ModalDamageIndex(bridge.HealthyFundamentalHz, est.FrequencyHz)
+	writeJSON(w, ModalResponse{
+		BaselineHz:  bridge.HealthyFundamentalHz,
+		MeasuredHz:  est.FrequencyHz,
+		DamageIndex: idx,
+		Severity:    shm.ClassifyModalDamage(idx).String(),
+	})
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	m := s.series()
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html><html><head><meta charset=\"utf-8\">")
+	b.WriteString("<title>EcoCapsule SHM dashboard</title>")
+	b.WriteString("<style>body{font-family:sans-serif;margin:2em;}svg{border:1px solid #ccc;margin:0.5em 0;}h2{margin-top:1.5em;}</style>")
+	b.WriteString("</head><body><h1>Footbridge SHM — July 2021</h1>")
+	b.WriteString("<p>Simulated pilot study: per-day acceleration RMS and mean stress from the embedded EcoCapsules. ")
+	b.WriteString("The shaded band is the tropical-cyclone window (15–23 July).</p>")
+
+	daily := make([]float64, 31)
+	stress := make([]float64, 31)
+	for day := 0; day < 31; day++ {
+		a, c := day*24, (day+1)*24
+		daily[day] = dsp.RMS(m.Acceleration[a:c])
+		stress[day] = dsp.Mean(m.Stress[a:c])
+	}
+	b.WriteString("<h2>Acceleration RMS (m/s²)</h2>")
+	b.WriteString(sparklineSVG(daily, 14, 22))
+	b.WriteString("<h2>Mean stress (MPa)</h2>")
+	b.WriteString(sparklineSVG(stress, 14, 22))
+	b.WriteString("<p>JSON API: <a href=\"/api/daily\">/api/daily</a> · <a href=\"/api/health\">/api/health</a> · ")
+	b.WriteString("<a href=\"/api/anomalies\">/api/anomalies</a> · <a href=\"/api/modal\">/api/modal</a> · <a href=\"/api/month\">/api/month</a></p>")
+	b.WriteString("</body></html>")
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, b.String())
+}
+
+// sparklineSVG renders a minimal inline-SVG line chart of 31 daily values,
+// shading the storm-day band [stormLo, stormHi] (1-based, inclusive).
+func sparklineSVG(vals []float64, stormLo, stormHi int) string {
+	const width, height, pad = 640, 160, 10
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	x := func(i int) float64 {
+		return pad + float64(i)/float64(len(vals)-1)*(width-2*pad)
+	}
+	y := func(v float64) float64 {
+		return height - pad - (v-lo)/(hi-lo)*(height-2*pad)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "<svg width=\"%d\" height=\"%d\" xmlns=\"http://www.w3.org/2000/svg\">", width, height)
+	// Storm band.
+	if stormHi >= stormLo && stormLo >= 1 && stormHi <= len(vals) {
+		fmt.Fprintf(&b, "<rect x=\"%.1f\" y=\"0\" width=\"%.1f\" height=\"%d\" fill=\"#fdd\"/>",
+			x(stormLo-1), x(stormHi-1)-x(stormLo-1), height)
+	}
+	b.WriteString("<polyline fill=\"none\" stroke=\"#06c\" stroke-width=\"2\" points=\"")
+	for i, v := range vals {
+		fmt.Fprintf(&b, "%.1f,%.1f ", x(i), y(v))
+	}
+	b.WriteString("\"/></svg>")
+	return b.String()
+}

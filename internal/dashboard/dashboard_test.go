@@ -1,0 +1,203 @@
+package dashboard
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ecocapsule/internal/bridge"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(NewServer(bridge.NewSim(31)).Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func getJSON(t *testing.T, srv *httptest.Server, path string, v any) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: status %d", path, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("%s: content type %q", path, ct)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("%s: decode: %v", path, err)
+	}
+}
+
+func TestMonthEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var m MonthResponse
+	getJSON(t, srv, "/api/month", &m)
+	if len(m.Hours) != 24*31 || len(m.Acceleration) != 24*31 {
+		t.Errorf("month series lengths: %d hours, %d accel", len(m.Hours), len(m.Acceleration))
+	}
+	for _, v := range m.Stress {
+		if v > -20 || v < -120 {
+			t.Fatalf("stress %g outside the envelope", v)
+		}
+	}
+}
+
+func TestDailyEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var rows []DailyRow
+	getJSON(t, srv, "/api/daily", &rows)
+	if len(rows) != 31 {
+		t.Fatalf("daily rows %d", len(rows))
+	}
+	stormDays := 0
+	for _, r := range rows {
+		if r.Storm {
+			stormDays++
+		}
+		if r.AccelRMS <= 0 {
+			t.Fatalf("day %d: zero RMS", r.Day)
+		}
+	}
+	if stormDays < 7 || stormDays > 10 {
+		t.Errorf("storm days %d, want ≈9 (15–23 July)", stormDays)
+	}
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var h HealthResponse
+	getJSON(t, srv, "/api/health?hour=8", &h)
+	if h.Hour != 8 || len(h.Sections) != 5 {
+		t.Fatalf("health response %+v", h)
+	}
+	for _, sec := range h.Sections {
+		if sec.Health != "A" && sec.Health != "B" {
+			t.Errorf("section %s health %s; expect A/B under light traffic", sec.Section, sec.Health)
+		}
+	}
+	// Default hour.
+	var def HealthResponse
+	getJSON(t, srv, "/api/health", &def)
+	if def.Hour != 8 {
+		t.Errorf("default hour %d", def.Hour)
+	}
+	// Invalid hour.
+	resp, err := http.Get(srv.URL + "/api/health?hour=99999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid hour status %d", resp.StatusCode)
+	}
+}
+
+func TestAnomaliesEndpointFindsStorm(t *testing.T) {
+	srv := testServer(t)
+	var rows []AnomalyRow
+	getJSON(t, srv, "/api/anomalies", &rows)
+	if len(rows) == 0 {
+		t.Fatal("the cyclone window must be reported")
+	}
+	found := false
+	for _, r := range rows {
+		if r.StartDay <= 17 && r.EndDay >= 21 && r.Factor > 1.5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no anomaly covers the storm core: %+v", rows)
+	}
+}
+
+func TestModalEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var m ModalResponse
+	getJSON(t, srv, "/api/modal", &m)
+	if m.BaselineHz != bridge.HealthyFundamentalHz {
+		t.Errorf("baseline %g", m.BaselineHz)
+	}
+	if m.Severity != "none" {
+		t.Errorf("healthy bridge severity %q", m.Severity)
+	}
+	if m.DamageIndex > 0.03 {
+		t.Errorf("healthy damage index %g", m.DamageIndex)
+	}
+}
+
+func TestModalEndpointDamaged(t *testing.T) {
+	sim := bridge.NewSim(32)
+	sim.SetDamage(0.3)
+	srv := httptest.NewServer(NewServer(sim).Handler())
+	defer srv.Close()
+	var m ModalResponse
+	getJSON(t, srv, "/api/modal", &m)
+	if m.MeasuredHz >= m.BaselineHz {
+		t.Errorf("damaged mode %g must drop below baseline %g", m.MeasuredHz, m.BaselineHz)
+	}
+	if m.Severity == "none" {
+		t.Errorf("30%% damage must not classify as none (index %g)", m.DamageIndex)
+	}
+}
+
+func TestIndexPage(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("index status %d", resp.StatusCode)
+	}
+	buf := make([]byte, 1<<20)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	for _, want := range []string{"<svg", "Footbridge SHM", "/api/daily", "polyline"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index missing %q", want)
+		}
+	}
+}
+
+func TestNotFoundAndMethods(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path status %d", resp.StatusCode)
+	}
+	for _, path := range []string{"/api/month", "/api/daily", "/api/health", "/api/anomalies", "/api/modal"} {
+		resp, err := http.Post(srv.URL+path, "text/plain", strings.NewReader("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestMonthCaching(t *testing.T) {
+	// Two requests must serve the identical cached month (determinism).
+	srv := testServer(t)
+	var a, b MonthResponse
+	getJSON(t, srv, "/api/month", &a)
+	getJSON(t, srv, "/api/month", &b)
+	for i := range a.Acceleration {
+		if a.Acceleration[i] != b.Acceleration[i] {
+			t.Fatal("cached month must be stable across requests")
+		}
+	}
+}

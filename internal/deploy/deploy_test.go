@@ -1,0 +1,158 @@
+package deploy
+
+import (
+	"errors"
+	"testing"
+
+	"ecocapsule/internal/geometry"
+	"ecocapsule/internal/reader"
+)
+
+func wallCapsules(n int) []geometry.Vec3 {
+	wall := geometry.CommonWall()
+	out := make([]geometry.Vec3, n)
+	for i := range out {
+		frac := (float64(i) + 0.5) / float64(n)
+		out[i] = geometry.Vec3{X: frac * wall.Length, Y: 10, Z: 0.1}
+	}
+	return out
+}
+
+func TestCoverFullWallAt200V(t *testing.T) {
+	wall := geometry.CommonWall()
+	capsules := wallCapsules(8)
+	plan, err := Cover(wall, capsules, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible() {
+		t.Fatalf("200 V must cover the whole wall: uncovered %v", plan.Uncovered)
+	}
+	// Every capsule appears in exactly one station's cover list.
+	seen := map[int]int{}
+	for _, st := range plan.Stations {
+		if st.RangeM <= 0 {
+			t.Fatal("station with zero range")
+		}
+		if !wallOrSurface(wall, st.Position) {
+			t.Fatalf("station off the structure: %+v", st.Position)
+		}
+		for _, idx := range st.Covers {
+			seen[idx]++
+		}
+	}
+	for i := range capsules {
+		if seen[i] != 1 {
+			t.Errorf("capsule %d covered %d times", i, seen[i])
+		}
+	}
+	// The greedy planner should not be absurdly wasteful: a ~5 m range on
+	// a 20 m wall needs at most ~4-5 stations for 8 spread capsules.
+	if len(plan.Stations) > 6 {
+		t.Errorf("plan uses %d stations; expected ≤6", len(plan.Stations))
+	}
+}
+
+func wallOrSurface(s *geometry.Structure, p geometry.Vec3) bool {
+	// Stations sit on the surface (Z=0 face) within the wall footprint.
+	return p.X >= 0 && p.X <= s.Length && p.Y >= 0 && p.Y <= s.Height
+}
+
+func TestCoverNeedsMoreStationsAtLowVoltage(t *testing.T) {
+	wall := geometry.CommonWall()
+	capsules := wallCapsules(8)
+	high, err := Cover(wall, capsules, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := Cover(wall, capsules, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(low.Stations) <= len(high.Stations) && low.Feasible() && high.Feasible() {
+		t.Errorf("60 V (%d stations) should need more than 200 V (%d)",
+			len(low.Stations), len(high.Stations))
+	}
+}
+
+func TestCoverReportsUnreachable(t *testing.T) {
+	// At a very low voltage the range collapses and mid-wall capsules
+	// cannot be reached from the axis-sampled stations… with a tiny range
+	// the candidate grid still tracks the axis, so capsules stay within
+	// step/2 horizontally but the range may be below the lateral offset.
+	wall := geometry.CommonWall()
+	capsules := []geometry.Vec3{{X: 10, Y: 18, Z: 0.1}} // far off the mid-height axis
+	plan, err := Cover(wall, capsules, 30)
+	if err != nil {
+		if !errors.Is(err, ErrNoRange) {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		return // zero range at 30 V is also an acceptable outcome
+	}
+	if plan.Feasible() {
+		// Possible if 30 V still yields ≥8 m of range; sanity-check that.
+		if plan.Stations[0].RangeM < 8 {
+			t.Errorf("capsule 8 m off-axis covered with range %.1f m", plan.Stations[0].RangeM)
+		}
+	}
+}
+
+func TestCoverValidation(t *testing.T) {
+	wall := geometry.CommonWall()
+	if _, err := Cover(wall, nil, 200); !errors.Is(err, ErrNoCapsules) {
+		t.Errorf("no capsules: %v", err)
+	}
+	if _, err := Cover(wall, wallCapsules(2), 0); err == nil {
+		t.Error("invalid voltage must error")
+	}
+}
+
+func TestMinimumVoltage(t *testing.T) {
+	wall := geometry.CommonWall()
+	capsules := wallCapsules(6)
+	v, plan, err := MinimumVoltage(wall, capsules, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible() || len(plan.Stations) > 4 {
+		t.Fatalf("returned plan infeasible: %+v", plan)
+	}
+	if v <= 10 || v > reader.MaxDriveVoltage {
+		t.Errorf("voltage %.0f outside the search range", v)
+	}
+	// Slightly below the found voltage the constraint must fail or need
+	// more stations (the binary search found a boundary).
+	lower, err := Cover(wall, capsules, v*0.7)
+	if err == nil && lower.Feasible() && len(lower.Stations) <= 4 {
+		t.Errorf("%.0f V also works with ≤4 stations; %.0f was not minimal", v*0.7, v)
+	}
+}
+
+func TestMinimumVoltageInfeasible(t *testing.T) {
+	// One station cannot cover both ends of the 20 m wall at any legal
+	// voltage (max range ≈6 m).
+	wall := geometry.CommonWall()
+	ends := []geometry.Vec3{
+		{X: 0.5, Y: 10, Z: 0.1},
+		{X: 19.5, Y: 10, Z: 0.1},
+	}
+	if _, _, err := MinimumVoltage(wall, ends, 1); err == nil {
+		t.Error("a single station cannot span the wall; expected an error")
+	}
+}
+
+func TestCoverColumn(t *testing.T) {
+	col := geometry.Column()
+	capsules := []geometry.Vec3{
+		{X: 0, Y: 0.5, Z: 0},
+		{X: 0, Y: 1.5, Z: 0},
+		{X: 0, Y: 2.3, Z: 0},
+	}
+	plan, err := Cover(col, capsules, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible() {
+		t.Errorf("column at 200 V must be coverable: %+v", plan)
+	}
+}

@@ -1,0 +1,140 @@
+// Package dsp is the signal-processing substrate of the EcoCapsule stack:
+// FFT/spectrum analysis for the reader's decoder, FIR filtering and
+// digital down-conversion (the MATLAB post-processing pipeline of §5.1),
+// envelope detection (the node's demodulator), and deterministic noise
+// generation for the channel simulator.
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// FFT computes the in-place radix-2 decimation-in-time fast Fourier
+// transform of x. len(x) must be a power of two; the function panics
+// otherwise because callers control their buffer sizes.
+func FFT(x []complex128) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic("dsp: FFT length must be a power of two")
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Danielson–Lanczos butterflies.
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := cmplx.Rect(1, ang)
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			half := length / 2
+			for j := 0; j < half; j++ {
+				u := x[i+j]
+				v := x[i+j+half] * w
+				x[i+j] = u + v
+				x[i+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// IFFT computes the inverse FFT in place (normalised by 1/N).
+func IFFT(x []complex128) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	FFT(x)
+	inv := complex(1/float64(n), 0)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) * inv
+	}
+}
+
+// NextPow2 returns the smallest power of two >= n (and at least 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Spectrum computes the single-sided magnitude spectrum of the real signal
+// x sampled at rate fs. It zero-pads x to the next power of two and returns
+// parallel slices of frequencies (Hz) and linear magnitudes.
+func Spectrum(x []float64, fs float64) (freqs, mags []float64) {
+	if len(x) == 0 {
+		return nil, nil
+	}
+	n := NextPow2(len(x))
+	buf := make([]complex128, n)
+	for i, v := range x {
+		buf[i] = complex(v, 0)
+	}
+	FFT(buf)
+	half := n/2 + 1
+	freqs = make([]float64, half)
+	mags = make([]float64, half)
+	for i := 0; i < half; i++ {
+		freqs[i] = float64(i) * fs / float64(n)
+		mags[i] = cmplx.Abs(buf[i]) / float64(len(x))
+		if i != 0 && i != n/2 {
+			mags[i] *= 2 // fold the negative frequencies
+		}
+	}
+	return freqs, mags
+}
+
+// Goertzel evaluates the power of the real signal x at a single frequency f
+// (Hz) for sample rate fs — the cheap single-bin DFT an envelope-detector
+// MCU could afford. It returns the squared magnitude normalised by the
+// window length.
+func Goertzel(x []float64, fs, f float64) float64 {
+	n := len(x)
+	if n == 0 || fs <= 0 {
+		return 0
+	}
+	w := 2 * math.Pi * f / fs
+	coeff := 2 * math.Cos(w)
+	var s0, s1, s2 float64
+	for _, v := range x {
+		s0 = v + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	power := s1*s1 + s2*s2 - coeff*s1*s2
+	return power / float64(n*n) * 4
+}
+
+// PeakFrequency returns the frequency (Hz) of the strongest spectral bin of
+// x within [fLo, fHi]; the reader uses this for carrier-frequency
+// estimation before down-conversion (§5.1). Returns 0 for empty input.
+func PeakFrequency(x []float64, fs, fLo, fHi float64) float64 {
+	freqs, mags := Spectrum(x, fs)
+	best, bestMag := 0.0, -1.0
+	for i, f := range freqs {
+		if f < fLo || f > fHi {
+			continue
+		}
+		if mags[i] > bestMag {
+			best, bestMag = f, mags[i]
+		}
+	}
+	return best
+}

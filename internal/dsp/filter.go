@@ -1,0 +1,218 @@
+package dsp
+
+import "math"
+
+// FIRLowPass designs a windowed-sinc low-pass FIR filter with cutoff fc
+// (Hz) for sample rate fs and the given number of taps (forced odd). A
+// Hamming window bounds the sidelobes.
+func FIRLowPass(fs, fc float64, taps int) []float64 {
+	if taps < 3 {
+		taps = 3
+	}
+	if taps%2 == 0 {
+		taps++
+	}
+	h := make([]float64, taps)
+	mid := taps / 2
+	wc := 2 * math.Pi * fc / fs
+	var sum float64
+	for i := range h {
+		n := i - mid
+		var v float64
+		if n == 0 {
+			v = wc / math.Pi
+		} else {
+			v = math.Sin(wc*float64(n)) / (math.Pi * float64(n))
+		}
+		// Hamming window.
+		v *= 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(taps-1))
+		h[i] = v
+		sum += v
+	}
+	// Normalise to unity DC gain.
+	for i := range h {
+		h[i] /= sum
+	}
+	return h
+}
+
+// FIRBandPass designs a windowed-sinc band-pass filter passing [f1, f2] Hz.
+func FIRBandPass(fs, f1, f2 float64, taps int) []float64 {
+	lo := FIRLowPass(fs, f2, taps)
+	hi := FIRLowPass(fs, f1, taps)
+	h := make([]float64, len(lo))
+	for i := range h {
+		h[i] = lo[i] - hi[i]
+	}
+	return h
+}
+
+// Convolve filters x with kernel h, returning a slice the same length as x
+// (the kernel is centred, edges zero-padded).
+func Convolve(x, h []float64) []float64 {
+	if len(x) == 0 || len(h) == 0 {
+		return nil
+	}
+	y := make([]float64, len(x))
+	mid := len(h) / 2
+	for i := range x {
+		var acc float64
+		for k, hv := range h {
+			j := i + mid - k
+			if j >= 0 && j < len(x) {
+				acc += hv * x[j]
+			}
+		}
+		y[i] = acc
+	}
+	return y
+}
+
+// ConvolveComplex filters the complex signal x with real kernel h.
+func ConvolveComplex(x []complex128, h []float64) []complex128 {
+	if len(x) == 0 || len(h) == 0 {
+		return nil
+	}
+	y := make([]complex128, len(x))
+	mid := len(h) / 2
+	for i := range x {
+		var acc complex128
+		for k, hv := range h {
+			j := i + mid - k
+			if j >= 0 && j < len(x) {
+				acc += complex(hv, 0) * x[j]
+			}
+		}
+		y[i] = acc
+	}
+	return y
+}
+
+// MovingAverage smooths x with a boxcar of the given width (>=1).
+func MovingAverage(x []float64, width int) []float64 {
+	if width < 1 {
+		width = 1
+	}
+	y := make([]float64, len(x))
+	var acc float64
+	for i := range x {
+		acc += x[i]
+		if i >= width {
+			acc -= x[i-width]
+		}
+		n := width
+		if i+1 < width {
+			n = i + 1
+		}
+		y[i] = acc / float64(n)
+	}
+	return y
+}
+
+// Envelope implements the node's passive envelope detector (§4.2: the
+// voltage multiplier doubles as the detector): full-wave rectification
+// followed by an RC-style low-pass with time constant tau seconds.
+func Envelope(x []float64, fs, tau float64) []float64 {
+	y := make([]float64, len(x))
+	if len(x) == 0 {
+		return y
+	}
+	alpha := 1.0
+	if tau > 0 && fs > 0 {
+		alpha = 1 - math.Exp(-1/(fs*tau))
+	}
+	var state float64
+	for i, v := range x {
+		r := math.Abs(v)
+		if r > state {
+			// Diode charges the capacitor quickly.
+			state = r
+		} else {
+			// Capacitor discharges through the load.
+			state += alpha * (r - state) * 0.5
+			state -= state * alpha
+			if state < 0 {
+				state = 0
+			}
+		}
+		y[i] = state
+	}
+	return y
+}
+
+// Decimate keeps every factor-th sample of x (no pre-filtering; callers
+// low-pass first when aliasing matters).
+func Decimate(x []float64, factor int) []float64 {
+	if factor <= 1 {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out
+	}
+	out := make([]float64, 0, len(x)/factor+1)
+	for i := 0; i < len(x); i += factor {
+		out = append(out, x[i])
+	}
+	return out
+}
+
+// DownConvert mixes the real pass-band signal x (sample rate fs) with a
+// complex exponential at carrier fc and low-passes to the baseband
+// bandwidth bw, implementing the reader's digital down-conversion (§5.1).
+func DownConvert(x []float64, fs, fc, bw float64) []complex128 {
+	if len(x) == 0 {
+		return nil
+	}
+	mixed := make([]complex128, len(x))
+	w := 2 * math.Pi * fc / fs
+	for i, v := range x {
+		ph := w * float64(i)
+		mixed[i] = complex(v*math.Cos(ph), -v*math.Sin(ph))
+	}
+	taps := 101
+	h := FIRLowPass(fs, bw, taps)
+	return ConvolveComplex(mixed, h)
+}
+
+// Magnitude returns |x| element-wise.
+func Magnitude(x []complex128) []float64 {
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = math.Hypot(real(v), imag(v))
+	}
+	return y
+}
+
+// Mean returns the arithmetic mean of x (0 for empty input).
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// RMS returns the root-mean-square of x.
+func RMS(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s / float64(len(x)))
+}
+
+// MaxAbs returns the maximum absolute value in x.
+func MaxAbs(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}

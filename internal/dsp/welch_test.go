@@ -1,0 +1,115 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHannWindowShape(t *testing.T) {
+	w := HannWindow(64)
+	if w[0] > 1e-12 || w[63] > 1e-12 {
+		t.Error("Hann endpoints must be ≈0")
+	}
+	if math.Abs(w[31]-1) > 0.01 && math.Abs(w[32]-1) > 0.01 {
+		t.Error("Hann centre must be ≈1")
+	}
+	// Symmetry.
+	for i := 0; i < 32; i++ {
+		if math.Abs(w[i]-w[63-i]) > 1e-12 {
+			t.Fatalf("asymmetry at %d", i)
+		}
+	}
+	if HannWindow(1)[0] != 1 {
+		t.Error("single-point window is 1")
+	}
+}
+
+func TestWelchFindsTone(t *testing.T) {
+	fs := 50.0
+	f0 := 2.1
+	n := 6000
+	x := make([]float64, n)
+	noise := NewNoiseSource(1)
+	for i := range x {
+		x[i] = 0.01*math.Sin(2*math.Pi*f0*float64(i)/fs) + noise.Gaussian(0.01)
+	}
+	freqs, psd := WelchPSD(x, fs, 512)
+	best, bestP := 0.0, 0.0
+	for i := range freqs {
+		if psd[i] > bestP {
+			best, bestP = freqs[i], psd[i]
+		}
+	}
+	if math.Abs(best-f0) > 0.1 {
+		t.Errorf("Welch peak at %.2f Hz, want %.1f", best, f0)
+	}
+}
+
+func TestWelchSmoothsNoiseFloor(t *testing.T) {
+	// The variance of the Welch floor must be far below a single
+	// periodogram's — the whole point of segment averaging.
+	fs := 50.0
+	n := 8192
+	x := make([]float64, n)
+	noise := NewNoiseSource(2)
+	for i := range x {
+		x[i] = noise.Gaussian(1)
+	}
+	spread := func(psd []float64) float64 {
+		if len(psd) < 8 {
+			return 0
+		}
+		inner := psd[2 : len(psd)-2]
+		m := Mean(inner)
+		var v float64
+		for _, p := range inner {
+			v += (p - m) * (p - m)
+		}
+		return math.Sqrt(v/float64(len(inner))) / m
+	}
+	_, single := WelchPSD(x, fs, n)
+	_, averaged := WelchPSD(x, fs, 512)
+	if spread(averaged) > spread(single)/1.5 {
+		t.Errorf("averaging must reduce relative floor spread: %.3f vs %.3f",
+			spread(averaged), spread(single))
+	}
+}
+
+func TestWelchParsevalApprox(t *testing.T) {
+	// Integrated PSD ≈ signal variance for stationary noise.
+	fs := 100.0
+	n := 16384
+	x := make([]float64, n)
+	noise := NewNoiseSource(3)
+	sigma := 0.7
+	for i := range x {
+		x[i] = noise.Gaussian(sigma)
+	}
+	freqs, psd := WelchPSD(x, fs, 1024)
+	df := freqs[1] - freqs[0]
+	var power float64
+	for _, p := range psd {
+		power += p * df
+	}
+	if math.Abs(power-sigma*sigma)/(sigma*sigma) > 0.15 {
+		t.Errorf("integrated PSD %.3f, want ≈σ²=%.3f", power, sigma*sigma)
+	}
+}
+
+func TestWelchDegenerate(t *testing.T) {
+	if f, p := WelchPSD(nil, 50, 256); f != nil || p != nil {
+		t.Error("empty input → nil")
+	}
+	if f, _ := WelchPSD([]float64{1, 2, 3}, 0, 2); f != nil {
+		t.Error("zero fs → nil")
+	}
+	// Record shorter than the segment still produces a spectrum.
+	short := make([]float64, 100)
+	for i := range short {
+		short[i] = math.Sin(2 * math.Pi * 5 * float64(i) / 50)
+	}
+	f, p := WelchPSD(short, 50, 512)
+	if len(f) == 0 || len(p) != len(f) {
+		t.Error("short record must fall back to a padded periodogram")
+	}
+}

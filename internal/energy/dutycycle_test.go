@@ -1,0 +1,98 @@
+package energy
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func testBudget() Budget {
+	return Budget{Harvester: DefaultHarvester(), MCU: DefaultMCUPower()}
+}
+
+func TestPlanDutyCycleContinuous(t *testing.T) {
+	// A strongly excited capsule (3 V) runs continuously.
+	plan, err := PlanDutyCycle(testBudget(), DefaultReportCost(), 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Continuous {
+		t.Errorf("3 V must sustain continuous operation: %+v", plan)
+	}
+	if plan.Period != plan.ActiveTime {
+		t.Error("continuous plan reports back-to-back")
+	}
+	if plan.ReportsPerDay() < 1000 {
+		t.Errorf("continuous cadence %.0f/day implausibly low", plan.ReportsPerDay())
+	}
+}
+
+func TestPlanDutyCycleBanked(t *testing.T) {
+	// A weakly excited capsule (0.35 V, below the 0.5 V activation but
+	// harvesting above the sleep floor) banks charge between reports.
+	b := testBudget()
+	plan, err := PlanDutyCycle(b, DefaultReportCost(), 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Continuous {
+		t.Error("0.35 V must not be continuous")
+	}
+	if plan.Period <= plan.ActiveTime {
+		t.Errorf("banked plan needs rest: period %g vs active %g", plan.Period, plan.ActiveTime)
+	}
+	// Energy balance over one period must be non-negative.
+	banked := (plan.HarvestPower - b.MCU.SleepPower) * (plan.Period - plan.ActiveTime)
+	spent := plan.EnergyPerReport - plan.HarvestPower*plan.ActiveTime
+	if banked < spent-1e-15 {
+		t.Errorf("energy balance violated: banked %g < spent %g", banked, spent)
+	}
+	// SHM tolerates long periods; this one should still be sub-day.
+	if plan.ReportsPerDay() < 1 {
+		t.Errorf("cadence %.2f/day too slow for 0.35 V", plan.ReportsPerDay())
+	}
+}
+
+func TestPlanDutyCycleNeverSustainable(t *testing.T) {
+	// Below the diode drop nothing is harvested: no plan exists.
+	_, err := PlanDutyCycle(testBudget(), DefaultReportCost(), 0.05)
+	if !errors.Is(err, ErrNeverSustainable) {
+		t.Errorf("0.05 V must be unsustainable, got %v", err)
+	}
+}
+
+func TestPlanDutyCycleValidation(t *testing.T) {
+	bad := DefaultReportCost()
+	bad.Bitrate = 0
+	if _, err := PlanDutyCycle(testBudget(), bad, 1); err == nil {
+		t.Error("zero bitrate must error")
+	}
+	bad2 := DefaultReportCost()
+	bad2.FrameBits = 0
+	if _, err := PlanDutyCycle(testBudget(), bad2, 1); err == nil {
+		t.Error("zero frame must error")
+	}
+}
+
+func TestPlanDutyCycleMonotoneInAmplitude(t *testing.T) {
+	// More excitation never slows the cadence.
+	b := testBudget()
+	prev := math.Inf(1)
+	for _, v := range []float64{0.3, 0.5, 0.8, 1.2, 2.0, 3.0} {
+		plan, err := PlanDutyCycle(b, DefaultReportCost(), v)
+		if err != nil {
+			t.Fatalf("%g V: %v", v, err)
+		}
+		if plan.Period > prev+1e-12 {
+			t.Fatalf("period must not grow with amplitude: %g s at %g V after %g",
+				plan.Period, v, prev)
+		}
+		prev = plan.Period
+	}
+}
+
+func TestReportsPerDayDegenerate(t *testing.T) {
+	if !math.IsInf((DutyCyclePlan{}).ReportsPerDay(), 1) {
+		t.Error("zero period → infinite cadence sentinel")
+	}
+}

@@ -1,0 +1,177 @@
+package energy
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ecocapsule/internal/units"
+)
+
+func TestOpenCircuitVoltage(t *testing.T) {
+	h := DefaultHarvester()
+	// 4 stages: Voc = 8·Vin − 8·Vd.
+	want := 8*1.0 - 8*h.DiodeDrop
+	if got := h.OpenCircuitVoltage(1.0); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Voc(1V) = %g, want %g", got, want)
+	}
+	if h.OpenCircuitVoltage(0) != 0 {
+		t.Error("zero input must be zero Voc")
+	}
+	if h.OpenCircuitVoltage(0.05) != 0 {
+		t.Error("below diode drop Voc clamps to 0")
+	}
+}
+
+func TestActivationThreshold(t *testing.T) {
+	h := DefaultHarvester()
+	// Fig. 14: 500 mV is the minimum activation voltage.
+	if h.CanActivate(0.4) {
+		t.Error("0.4 V must not activate")
+	}
+	if !h.CanActivate(0.5) {
+		t.Error("0.5 V must activate")
+	}
+	if !h.CanActivate(2.0) {
+		t.Error("2 V must activate")
+	}
+}
+
+func TestColdStartMatchesFig14(t *testing.T) {
+	h := DefaultHarvester()
+	t05, err := h.ColdStartTime(0.5)
+	if err != nil {
+		t.Fatalf("0.5 V: %v", err)
+	}
+	if math.Abs(t05-55*units.MS) > 8*units.MS {
+		t.Errorf("cold start at 0.5 V = %.1f ms, want ≈55 ms", t05/units.MS)
+	}
+	t2, err := h.ColdStartTime(2.0)
+	if err != nil {
+		t.Fatalf("2 V: %v", err)
+	}
+	if math.Abs(t2-4.4*units.MS) > 1.5*units.MS {
+		t.Errorf("cold start at 2 V = %.2f ms, want ≈4.4 ms", t2/units.MS)
+	}
+	// Above 2 V the curve stays flat-ish and small.
+	t5, err := h.ColdStartTime(5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t5 > t2 {
+		t.Errorf("cold start must not grow with voltage: %.2f ms at 5 V vs %.2f ms at 2 V",
+			t5/units.MS, t2/units.MS)
+	}
+}
+
+func TestColdStartMonotoneDecreasing(t *testing.T) {
+	h := DefaultHarvester()
+	prev := math.Inf(1)
+	for v := 0.5; v <= 5.0; v += 0.1 {
+		ct, err := h.ColdStartTime(v)
+		if err != nil {
+			t.Fatalf("%.1f V: %v", v, err)
+		}
+		if ct > prev+1e-12 {
+			t.Fatalf("cold start must decrease with voltage (%.3f ms at %.1f V after %.3f ms)",
+				ct/units.MS, v, prev/units.MS)
+		}
+		prev = ct
+	}
+}
+
+func TestColdStartBelowThreshold(t *testing.T) {
+	h := DefaultHarvester()
+	if _, err := h.ColdStartTime(0.3); !errors.Is(err, ErrNeverActivates) {
+		t.Errorf("expected ErrNeverActivates, got %v", err)
+	}
+}
+
+func TestHarvestedPowerShape(t *testing.T) {
+	h := DefaultHarvester()
+	if h.HarvestedPower(0.05) != 0 {
+		t.Error("below diode drop no power")
+	}
+	p1, p2 := h.HarvestedPower(1), h.HarvestedPower(2)
+	if !(p2 > p1 && p1 > 0) {
+		t.Errorf("harvest must grow with amplitude: %g %g", p1, p2)
+	}
+	// Quadratic-ish: doubling amplitude should roughly quadruple power.
+	ratio := p2 / p1
+	if ratio < 3 || ratio > 5 {
+		t.Errorf("power ratio %g, want ≈4 (quadratic)", ratio)
+	}
+}
+
+func TestHarvestedPowerNonNegativeProperty(t *testing.T) {
+	h := DefaultHarvester()
+	f := func(raw float64) bool {
+		v := math.Mod(math.Abs(raw), 20)
+		p := h.HarvestedPower(v)
+		return p >= 0 && !math.IsNaN(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMCUPowerMatchesFig13(t *testing.T) {
+	m := DefaultMCUPower()
+	// Standby = 80.1 µW at zero bitrate.
+	if got := m.PowerAt(0); math.Abs(got-80.1*units.UW) > 0.1*units.UW {
+		t.Errorf("standby = %.1f µW, want 80.1", got/units.UW)
+	}
+	// Active fluctuates around 360 µW regardless of bitrate (1–8 kbps).
+	for _, kbps := range []float64{1, 2, 4, 6, 8} {
+		p := m.PowerAt(kbps * 1000)
+		if p < 350*units.UW || p > 375*units.UW {
+			t.Errorf("power at %g kbps = %.1f µW, want ≈360", kbps, p/units.UW)
+		}
+	}
+	// The plateau is nearly flat: 8 kbps draws < 3 % more than 1 kbps.
+	if m.PowerAt(8000) > m.PowerAt(1000)*1.03 {
+		t.Error("consumption must be nearly bitrate-independent")
+	}
+}
+
+func TestEnergyPerBit(t *testing.T) {
+	m := DefaultMCUPower()
+	if !math.IsInf(m.EnergyPerBit(0), 1) {
+		t.Error("zero bitrate → infinite energy/bit")
+	}
+	e1 := m.EnergyPerBit(1000)
+	e8 := m.EnergyPerBit(8000)
+	if e8 >= e1 {
+		t.Error("energy per bit must fall with bitrate on a flat power plateau")
+	}
+}
+
+func TestBudgetSustainable(t *testing.T) {
+	b := Budget{Harvester: DefaultHarvester(), MCU: DefaultMCUPower()}
+	if b.Sustainable(0.1, 1000) {
+		t.Error("0.1 V cannot sustain transmission")
+	}
+	if !b.Sustainable(3.0, 1000) {
+		t.Error("3 V must sustain 1 kbps")
+	}
+}
+
+func TestMinimumAmplitude(t *testing.T) {
+	b := Budget{Harvester: DefaultHarvester(), MCU: DefaultMCUPower()}
+	vStandby := b.MinimumAmplitude(0)
+	vActive := b.MinimumAmplitude(1000)
+	if math.IsInf(vStandby, 1) || math.IsInf(vActive, 1) {
+		t.Fatal("minimum amplitudes must be achievable")
+	}
+	if vActive <= vStandby {
+		t.Error("active mode needs more amplitude than standby")
+	}
+	// The found amplitude must actually sustain the load.
+	if !b.Sustainable(vActive*1.001, 1000) {
+		t.Error("MinimumAmplitude result does not sustain the load")
+	}
+	if b.Sustainable(vActive*0.95, 1000) {
+		t.Error("5 % below the minimum should not sustain the load")
+	}
+}

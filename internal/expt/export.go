@@ -1,0 +1,60 @@
+package expt
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CSV renders the result's tabular rows as RFC-4180 CSV (header + rows).
+// Pure tables export directly; figures export their row form.
+func (r *Result) CSV() (string, error) {
+	if len(r.Header) == 0 {
+		return "", fmt.Errorf("expt: %s has no tabular data to export", r.ID)
+	}
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	if err := w.Write(r.Header); err != nil {
+		return "", err
+	}
+	for _, row := range r.Rows {
+		if err := w.Write(row); err != nil {
+			return "", err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// SeriesCSV exports the figure series in long form:
+// series,x,y — one row per point, suitable for any plotting tool.
+func (r *Result) SeriesCSV() (string, error) {
+	if len(r.Series) == 0 {
+		return "", fmt.Errorf("expt: %s has no series to export", r.ID)
+	}
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	if err := w.Write([]string{"series", r.XLabel, r.YLabel}); err != nil {
+		return "", err
+	}
+	for _, s := range r.Series {
+		for i := range s.X {
+			if err := w.Write([]string{
+				s.Name,
+				strconv.FormatFloat(s.X[i], 'g', -1, 64),
+				strconv.FormatFloat(s.Y[i], 'g', -1, 64),
+			}); err != nil {
+				return "", err
+			}
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,169 @@
+// Package expt is the experiment harness: one runner per table and figure
+// of the paper's evaluation (§5, §6, appendices). Each runner regenerates
+// the corresponding rows/series from the simulation stack and returns a
+// Result that renders as an aligned-text table, plus a set of qualitative
+// Expectations (the paper's published shape) that the Check method
+// verifies. cmd/ecobench drives every runner; bench_test.go exposes each as
+// a testing.B benchmark.
+package expt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Series is one named (x, y) trace of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Result is the output of one experiment runner.
+type Result struct {
+	// ID is the experiment identifier (e.g. "fig12").
+	ID string
+	// Title mirrors the paper's caption.
+	Title string
+	// XLabel/YLabel annotate the series.
+	XLabel, YLabel string
+	// Series holds the traces (figures) — nil for pure tables.
+	Series []Series
+	// Rows holds tabular output (tables and per-row figures).
+	Header []string
+	Rows   [][]string
+	// Notes records paper-vs-measured commentary for EXPERIMENTS.md.
+	Notes []string
+	// Checks is the qualitative validation: name → pass.
+	Checks map[string]bool
+}
+
+// Passed reports whether every qualitative check succeeded.
+func (r *Result) Passed() bool {
+	for _, ok := range r.Checks {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// FailedChecks lists the failed check names, sorted.
+func (r *Result) FailedChecks() []string {
+	var out []string
+	for name, ok := range r.Checks {
+		if !ok {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// addCheck records one qualitative expectation.
+func (r *Result) addCheck(name string, ok bool) {
+	if r.Checks == nil {
+		r.Checks = make(map[string]bool)
+	}
+	r.Checks[name] = ok
+}
+
+// Render produces the aligned-text report of the result.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if len(r.Header) > 0 {
+		widths := make([]int, len(r.Header))
+		for i, h := range r.Header {
+			widths[i] = len(h)
+		}
+		for _, row := range r.Rows {
+			for i, cell := range row {
+				if i < len(widths) && len(cell) > widths[i] {
+					widths[i] = len(cell)
+				}
+			}
+		}
+		writeRow := func(cells []string) {
+			for i, cell := range cells {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			}
+			b.WriteByte('\n')
+		}
+		writeRow(r.Header)
+		for _, row := range r.Rows {
+			writeRow(row)
+		}
+	}
+	for _, s := range r.Series {
+		if len(r.Header) > 0 {
+			break // rows already carry the data
+		}
+		fmt.Fprintf(&b, "series %s (%s vs %s): %d points\n", s.Name, r.YLabel, r.XLabel, len(s.X))
+	}
+	if len(r.Notes) > 0 {
+		b.WriteString("notes:\n")
+		for _, n := range r.Notes {
+			fmt.Fprintf(&b, "  - %s\n", n)
+		}
+	}
+	b.WriteString("checks:\n")
+	names := make([]string, 0, len(r.Checks))
+	for name := range r.Checks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		status := "PASS"
+		if !r.Checks[name] {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "  [%s] %s\n", status, name)
+	}
+	return b.String()
+}
+
+// Runner is one experiment generator.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func() *Result
+}
+
+// All returns every experiment runner in paper order.
+func All() []Runner {
+	return []Runner{
+		{"table1", "Mix proportions and properties of concretes", Table1},
+		{"fig04", "Relative amplitudes of P and S waves vs incident angle", Fig04},
+		{"fig05", "Concrete frequency response", Fig05},
+		{"fig07", "Ring effect and suppressed tailing", Fig07},
+		{"fig12", "Range vs voltage", Fig12},
+		{"fig13", "Power consumption vs bitrate", Fig13},
+		{"fig14", "Cold start time vs activation voltage", Fig14},
+		{"fig15", "BER vs SNR", Fig15},
+		{"fig16", "SNR vs bitrate", Fig16},
+		{"fig17", "Throughput vs concrete type", Fig17},
+		{"fig18", "SNR vs node position", Fig18},
+		{"fig19", "Effect of prism incident angle", Fig19},
+		{"fig20", "SNR vs modulation (anti-ring)", Fig20},
+		{"fig21", "Pilot study: monthly telemetry and section health", Fig21},
+		{"fig22", "Received and demodulated backscatter signal", Fig22},
+		{"fig24", "Self-interference elimination spectrum", Fig24},
+		{"table2", "Health level vs pedestrian area occupancy", Table2},
+	}
+}
+
+// ByID returns the runner with the given ID, or nil.
+func ByID(id string) *Runner {
+	for _, r := range All() {
+		if r.ID == id {
+			c := r
+			return &c
+		}
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllRunnersExecuteAndPass(t *testing.T) {
+	for _, runner := range All() {
+		runner := runner
+		t.Run(runner.ID, func(t *testing.T) {
+			res := runner.Run()
+			if res == nil {
+				t.Fatal("runner returned nil result")
+			}
+			if res.ID != runner.ID {
+				t.Errorf("result ID %q, want %q", res.ID, runner.ID)
+			}
+			if len(res.Checks) == 0 {
+				t.Error("every experiment must carry qualitative checks")
+			}
+			if !res.Passed() {
+				t.Errorf("failed checks: %v", res.FailedChecks())
+			}
+			if len(res.Rows) == 0 && len(res.Series) == 0 {
+				t.Error("experiment produced neither rows nor series")
+			}
+		})
+	}
+}
+
+func TestRunnerCount(t *testing.T) {
+	// Two tables + fifteen figures of the evaluation are indexed.
+	if got := len(All()); got != 17 {
+		t.Errorf("runner count %d, want 17", got)
+	}
+}
+
+func TestByID(t *testing.T) {
+	r := ByID("fig12")
+	if r == nil || r.ID != "fig12" {
+		t.Fatal("ByID(fig12) failed")
+	}
+	if ByID("fig99") != nil {
+		t.Error("unknown ID must return nil")
+	}
+}
+
+func TestRenderContainsSections(t *testing.T) {
+	res := Fig13()
+	out := res.Render()
+	for _, want := range []string{"fig13", "checks:", "PASS", "kbps"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderAlignsColumns(t *testing.T) {
+	res := Table2()
+	out := res.Render()
+	lines := strings.Split(out, "\n")
+	var header string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "PAO") {
+			header = l
+			break
+		}
+	}
+	if header == "" {
+		t.Fatal("header row missing")
+	}
+}
+
+func TestFailedChecksSorted(t *testing.T) {
+	r := &Result{}
+	r.addCheck("zeta", false)
+	r.addCheck("alpha", false)
+	r.addCheck("mid", true)
+	got := r.FailedChecks()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
+		t.Errorf("FailedChecks = %v", got)
+	}
+	if r.Passed() {
+		t.Error("result with failures must not pass")
+	}
+}
+
+func TestSeriesHaveConsistentLengths(t *testing.T) {
+	for _, runner := range All() {
+		res := runner.Run()
+		for _, s := range res.Series {
+			if len(s.X) != len(s.Y) {
+				t.Errorf("%s/%s: X/Y length mismatch %d vs %d",
+					res.ID, s.Name, len(s.X), len(s.Y))
+			}
+		}
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	res := Table2()
+	out, err := res.CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != len(res.Rows)+1 {
+		t.Errorf("CSV rows %d, want %d", len(lines), len(res.Rows)+1)
+	}
+	if !strings.HasPrefix(lines[0], "PAO") {
+		t.Errorf("header line %q", lines[0])
+	}
+	empty := &Result{ID: "x"}
+	if _, err := empty.CSV(); err == nil {
+		t.Error("no tabular data must error")
+	}
+}
+
+func TestSeriesCSVExport(t *testing.T) {
+	res := Fig13()
+	out, err := res.SeriesCSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	wantPoints := 0
+	for _, s := range res.Series {
+		wantPoints += len(s.X)
+	}
+	if len(lines) != wantPoints+1 {
+		t.Errorf("series CSV rows %d, want %d", len(lines), wantPoints+1)
+	}
+	if !strings.Contains(lines[1], "EcoCapsule") {
+		t.Errorf("series name missing: %q", lines[1])
+	}
+	empty := &Result{ID: "x"}
+	if _, err := empty.SeriesCSV(); err == nil {
+		t.Error("no series must error")
+	}
+}

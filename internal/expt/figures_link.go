@@ -1,0 +1,153 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+
+	"ecocapsule/internal/link"
+	"ecocapsule/internal/material"
+)
+
+// Fig15 runs the Monte-Carlo BER-vs-SNR waterfalls for the EcoCapsule and
+// PAB links.
+func Fig15() *Result {
+	r := &Result{
+		ID: "fig15", Title: "BER vs SNR (EcoCapsule vs PAB)",
+		XLabel: "SNR (dB)", YLabel: "BER",
+		Header: []string{"SNR(dB)", "EcoCapsule", "PAB"},
+	}
+	snrs := []float64{0, 2, 4, 6, 8, 10, 12, 15, 18}
+	const maxBits = 200000
+	eco := link.BERCurve(link.EcoCapsuleProfile(), snrs, maxBits, 11)
+	pab := link.BERCurve(link.PABProfile(), snrs, maxBits, 12)
+	se := Series{Name: "EcoCapsule"}
+	sp := Series{Name: "PAB"}
+	for i, s := range snrs {
+		be, bp := eco[i].BER(), pab[i].BER()
+		se.X = append(se.X, s)
+		se.Y = append(se.Y, be)
+		sp.X = append(sp.X, s)
+		sp.Y = append(sp.Y, bp)
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprintf("%.0f", s),
+			fmt.Sprintf("%.2e", be),
+			fmt.Sprintf("%.2e", bp),
+		})
+	}
+	r.Series = []Series{se, sp}
+
+	berAt := func(c []link.BERResult, snr float64) float64 {
+		for _, p := range c {
+			if p.SNRdB == snr {
+				return p.BER()
+			}
+		}
+		return 1
+	}
+	r.addCheck("both waterfalls decrease with SNR", func() bool {
+		for i := 1; i < len(snrs); i++ {
+			if se.Y[i] > se.Y[i-1]+0.02 || sp.Y[i] > sp.Y[i-1]+0.02 {
+				return false
+			}
+		}
+		return true
+	}())
+	r.addCheck("EcoCapsule BER ≤1e-3 by 8 dB (paper: floor 1e-5 at 8 dB)",
+		berAt(eco, 8) <= 1e-3)
+	r.addCheck("PAB needs ≈3 dB more SNR than EcoCapsule",
+		berAt(pab, 6) > berAt(eco, 6))
+	r.addCheck("near coin-flip at 0–2 dB", berAt(eco, 0) > 0.02)
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("Eco BER %.1e @8 dB; PAB BER %.1e @8 dB (paper: Eco floors by 8 dB, PAB by 11 dB)",
+			berAt(eco, 8), berAt(pab, 8)))
+	return r
+}
+
+// Fig16 sweeps the uplink bitrate and reports the SNR of the three links.
+func Fig16() *Result {
+	r := &Result{
+		ID: "fig16", Title: "SNR vs bitrate (EcoCapsule, PAB, U²B)",
+		XLabel: "bitrate (kbps)", YLabel: "SNR (dB)",
+		Header: []string{"kbps", "EcoCapsule", "PAB", "U2B"},
+	}
+	profiles := []link.Profile{link.EcoCapsuleProfile(), link.PABProfile(), link.U2BProfile()}
+	rates := []float64{1, 2, 4, 6, 8, 10, 12, 13, 14, 15}
+	series := make([]Series, len(profiles))
+	for i, p := range profiles {
+		series[i].Name = p.Name
+	}
+	for _, kbps := range rates {
+		row := []string{fmt.Sprintf("%.0f", kbps)}
+		for i, p := range profiles {
+			snr := p.SNRAtBitrate(kbps * 1000)
+			series[i].X = append(series[i].X, kbps)
+			series[i].Y = append(series[i].Y, snr)
+			row = append(row, fmt.Sprintf("%.1f", snr))
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	r.Series = series
+
+	eco, pab, u2b := profiles[0], profiles[1], profiles[2]
+	r.addCheck("EcoCapsule SNR collapses past 13 kbps",
+		eco.SNRAtBitrate(13000)-eco.SNRAtBitrate(15000) > 3)
+	r.addCheck("PAB limited to ≈3 kbps",
+		pab.MaxBitrate() > 2000 && pab.MaxBitrate() < 4500)
+	r.addCheck("EcoCapsule sustains ≈13 kbps",
+		eco.MaxBitrate() > 11000 && eco.MaxBitrate() < 15500)
+	r.addCheck("U²B overtakes EcoCapsule at high bitrates",
+		u2b.SNRAtBitrate(14000) > eco.SNRAtBitrate(14000) &&
+			eco.SNRAtBitrate(4000) > u2b.SNRAtBitrate(4000))
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("max bitrates: Eco %.1f kbps, PAB %.1f kbps, U²B %.1f kbps",
+			eco.MaxBitrate()/1000, pab.MaxBitrate()/1000, u2b.MaxBitrate()/1000))
+	return r
+}
+
+// Fig17 measures goodput for capsules embedded in the three 15 cm blocks.
+func Fig17() *Result {
+	r := &Result{
+		ID: "fig17", Title: "Throughput vs concrete type",
+		XLabel: "concrete", YLabel: "throughput (kbps)",
+		Header: []string{"concrete", "best bitrate(kbps)", "goodput(kbps)"},
+	}
+	results := map[string]float64{}
+	s := Series{Name: "throughput"}
+	for i, m := range material.Concretes() {
+		p := link.ProfileForConcrete(m)
+		bestR, bestT := link.BestThroughput(p, int64(20+i))
+		results[m.Name] = bestT
+		s.X = append(s.X, float64(i))
+		s.Y = append(s.Y, bestT/1000)
+		r.Rows = append(r.Rows, []string{
+			m.Name,
+			fmt.Sprintf("%.1f", bestR/1000),
+			fmt.Sprintf("%.1f", bestT/1000),
+		})
+	}
+	r.Series = []Series{s}
+	r.addCheck("all blocks exceed ≈11 kbps (paper: ≥13 ±2)", func() bool {
+		for _, tp := range results {
+			if tp < 11000 {
+				return false
+			}
+		}
+		return true
+	}())
+	r.addCheck("UHPC ≈2 kbps above NC",
+		results["UHPC"]-results["NC"] > 800 && results["UHPC"]-results["NC"] < 4500)
+	r.addCheck("UHPFRC ≈2 kbps above NC",
+		results["UHPFRC"]-results["NC"] > 800)
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("NC %.1f, UHPC %.1f, UHPFRC %.1f kbps (paper: ≈13 with UHPC/UHPFRC ≈+2)",
+			results["NC"]/1000, results["UHPC"]/1000, results["UHPFRC"]/1000))
+	return r
+}
+
+// berSafe guards against division explosions in notes.
+func berSafe(b float64) float64 {
+	if b <= 0 {
+		return math.SmallestNonzeroFloat64
+	}
+	return b
+}

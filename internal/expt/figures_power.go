@@ -1,0 +1,167 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+
+	"ecocapsule/internal/energy"
+	"ecocapsule/internal/geometry"
+	"ecocapsule/internal/link"
+	"ecocapsule/internal/reader"
+	"ecocapsule/internal/units"
+)
+
+// Fig12 sweeps the drive voltage and reports the maximum power-up range on
+// S1–S4 (via the full channel + harvester stack) and the two PAB pools
+// (via the calibrated underwater range models).
+func Fig12() *Result {
+	r := &Result{
+		ID: "fig12", Title: "Range vs voltage (S1–S4 and PAB pools)",
+		XLabel: "voltage (V)", YLabel: "range (cm)",
+		Header: []string{"V", "S1(cm)", "S2(cm)", "S3(cm)", "S4(cm)", "PAB-P1(cm)", "PAB-P2(cm)"},
+	}
+	structures := []struct {
+		name string
+		s    *geometry.Structure
+		tx   geometry.Vec3
+	}{
+		{"S1", geometry.Slab(), geometry.Vec3{X: 0.02, Y: 0.25, Z: 0}},
+		{"S2", geometry.Column(), geometry.Vec3{X: 0, Y: 0.02, Z: 0.34}},
+		{"S3", geometry.CommonWall(), geometry.Vec3{X: 0.1, Y: 10, Z: 0}},
+		{"S4", geometry.ProtectiveWall(), geometry.Vec3{X: 0.1, Y: 10, Z: 0}},
+	}
+	pools := []link.RangeModel{link.PABPool1Model(), link.PABPool2Model()}
+	voltages := []float64{25, 50, 75, 100, 125, 150, 175, 200, 225, 250}
+
+	series := make([]Series, 0, 6)
+	ranges := make(map[string]map[float64]float64)
+	for _, st := range structures {
+		s := Series{Name: st.name}
+		ranges[st.name] = make(map[float64]float64)
+		for _, v := range voltages {
+			d, err := reader.MaxPowerUpRange(reader.Config{
+				Structure:  st.s,
+				TXPosition: st.tx,
+			}, v)
+			if err != nil {
+				d = 0
+			}
+			s.X = append(s.X, v)
+			s.Y = append(s.Y, d*100)
+			ranges[st.name][v] = d * 100
+		}
+		series = append(series, s)
+	}
+	for _, pm := range pools {
+		s := Series{Name: pm.Name}
+		ranges[pm.Name] = make(map[float64]float64)
+		for _, v := range voltages {
+			d := pm.RangeAt(v) * 100
+			s.X = append(s.X, v)
+			s.Y = append(s.Y, d)
+			ranges[pm.Name][v] = d
+		}
+		series = append(series, s)
+	}
+	r.Series = series
+	for i, v := range voltages {
+		row := []string{fmt.Sprintf("%.0f", v)}
+		for _, s := range series {
+			row = append(row, fmt.Sprintf("%.0f", s.Y[i]))
+		}
+		r.Rows = append(r.Rows, row)
+	}
+
+	// Qualitative checks against the §5.2 findings.
+	monotone := true
+	for _, s := range series {
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] < s.Y[i-1]-1e-6 {
+				monotone = false
+			}
+		}
+	}
+	r.addCheck("range grows with voltage for every structure", monotone)
+	r.addCheck("narrow S3 out-ranges wide S4", ranges["S3"][200] >= ranges["S4"][200])
+	r.addCheck("walls out-range the 70 cm column", ranges["S3"][200] > ranges["S2"][200])
+	r.addCheck("S3 reaches metres at 200 V (paper: ≈500 cm)",
+		ranges["S3"][200] > 300 && ranges["S3"][200] < 800)
+	r.addCheck("maximum range ≳6 m at 250 V", ranges["S3"][250] >= 550)
+	r.addCheck("concrete out-ranges PAB pool 1 at 50 V (paper: 130+ cm vs 19 cm)",
+		ranges["S3"][50] > ranges["PAB-pool1"][50])
+	r.addCheck("corridor pool 2 explodes past 125 V (paper: 6.5 m at 125 V)",
+		ranges["PAB-pool2"][125] > 400)
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("S3: %.0f cm @50 V, %.0f cm @200 V (paper: 134, 500)",
+			ranges["S3"][50], ranges["S3"][200]),
+		fmt.Sprintf("S1 curve terminates at the slab length (150 cm): %.0f cm @250 V", ranges["S1"][250]))
+	return r
+}
+
+// Fig13 reports the node power draw as a function of uplink bitrate.
+func Fig13() *Result {
+	r := &Result{
+		ID: "fig13", Title: "Power consumption vs bitrate",
+		XLabel: "bitrate (kbps)", YLabel: "power (µW)",
+		Header: []string{"kbps", "power(µW)"},
+	}
+	m := energy.DefaultMCUPower()
+	s := Series{Name: "EcoCapsule"}
+	for _, kbps := range []float64{0, 1, 2, 3, 4, 5, 6, 7, 8} {
+		p := m.PowerAt(kbps*1000) / units.UW
+		s.X = append(s.X, kbps)
+		s.Y = append(s.Y, p)
+		r.Rows = append(r.Rows, []string{fmt.Sprintf("%.0f", kbps), fmt.Sprintf("%.1f", p)})
+	}
+	r.Series = []Series{s}
+	standby := s.Y[0]
+	r.addCheck("standby ≈80.1 µW", math.Abs(standby-80.1) < 1)
+	flat := true
+	for _, p := range s.Y[1:] {
+		if p < 350 || p > 375 {
+			flat = false
+		}
+	}
+	r.addCheck("active plateau ≈360 µW regardless of bitrate", flat)
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("standby %.1f µW; active %.1f–%.1f µW (paper: 80.1 and ≈360)",
+			standby, s.Y[1], s.Y[len(s.Y)-1]))
+	return r
+}
+
+// Fig14 reports the cold-start time versus the activation voltage.
+func Fig14() *Result {
+	r := &Result{
+		ID: "fig14", Title: "Cold start time vs activation voltage",
+		XLabel: "voltage (V)", YLabel: "time (ms)",
+		Header: []string{"V", "cold-start(ms)"},
+	}
+	h := energy.DefaultHarvester()
+	s := Series{Name: "cold-start"}
+	for v := 0.5; v <= 5.0; v += 0.25 {
+		ct, err := h.ColdStartTime(v)
+		if err != nil {
+			continue
+		}
+		ms := ct / units.MS
+		s.X = append(s.X, v)
+		s.Y = append(s.Y, ms)
+		r.Rows = append(r.Rows, []string{fmt.Sprintf("%.2f", v), fmt.Sprintf("%.2f", ms)})
+	}
+	r.Series = []Series{s}
+	t05, _ := h.ColdStartTime(0.5)
+	t20, _ := h.ColdStartTime(2.0)
+	r.addCheck("500 mV is the minimum activation voltage", !h.CanActivate(0.49) && h.CanActivate(0.5))
+	r.addCheck("≈55 ms at 0.5 V", math.Abs(t05/units.MS-55) < 10)
+	r.addCheck("≈4.4 ms at 2 V", math.Abs(t20/units.MS-4.4) < 2)
+	mono := true
+	for i := 1; i < len(s.Y); i++ {
+		if s.Y[i] > s.Y[i-1]+1e-9 {
+			mono = false
+		}
+	}
+	r.addCheck("cold start shrinks monotonically with voltage", mono)
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("%.1f ms @0.5 V, %.2f ms @2 V (paper: ≈55, ≈4.4)", t05/units.MS, t20/units.MS))
+	return r
+}

@@ -1,0 +1,179 @@
+// Package fleet coordinates several readers over one structure. A single
+// reader's power-up range tops out around 6 m (Fig. 12); full-structure
+// monitoring of a 20 m wall therefore runs a fleet of stations — usually
+// the output of deploy.Cover — that share the embedded capsule population.
+// The fleet charges each capsule from whichever station delivers the most
+// amplitude, merges the per-station inventories, and routes sensor reads
+// through each capsule's best station.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ecocapsule/internal/deploy"
+	"ecocapsule/internal/geometry"
+	"ecocapsule/internal/node"
+	"ecocapsule/internal/reader"
+	"ecocapsule/internal/sensors"
+	"ecocapsule/internal/units"
+)
+
+// Fleet is a set of readers attached to one structure.
+type Fleet struct {
+	structure *geometry.Structure
+	readers   []*reader.Reader
+	nodes     []*node.Node
+	// best maps each capsule handle to the index of the station that
+	// delivers the highest PZT amplitude.
+	best map[uint16]int
+}
+
+// Errors.
+var (
+	ErrNoStations = errors.New("fleet: no stations in the plan")
+	ErrNoNodes    = errors.New("fleet: no capsules supplied")
+)
+
+// New builds a fleet from a deployment plan: one reader per station, every
+// capsule deployed into every station's acoustic field, and the best
+// station per capsule resolved from the channel gains.
+func New(s *geometry.Structure, plan deploy.Plan, capsules []*node.Node, seed int64) (*Fleet, error) {
+	if len(plan.Stations) == 0 {
+		return nil, ErrNoStations
+	}
+	if len(capsules) == 0 {
+		return nil, ErrNoNodes
+	}
+	f := &Fleet{
+		structure: s,
+		nodes:     capsules,
+		best:      make(map[uint16]int),
+	}
+	for i, st := range plan.Stations {
+		r, err := reader.New(reader.Config{
+			Structure:    s,
+			TXPosition:   st.Position,
+			DriveVoltage: plan.Voltage,
+			Seed:         seed + int64(i),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fleet: station %d: %w", i, err)
+		}
+		for _, n := range capsules {
+			if err := r.Deploy(n); err != nil {
+				return nil, fmt.Errorf("fleet: station %d deploying %#04x: %w", i, n.Handle(), err)
+			}
+		}
+		f.readers = append(f.readers, r)
+	}
+	// Resolve the best station per capsule.
+	for _, n := range capsules {
+		bestIdx, bestAmp := -1, 0.0
+		for i, r := range f.readers {
+			amp, err := r.NodeAmplitude(n.Handle())
+			if err != nil {
+				continue
+			}
+			if amp > bestAmp {
+				bestIdx, bestAmp = i, amp
+			}
+		}
+		if bestIdx >= 0 {
+			f.best[n.Handle()] = bestIdx
+		}
+	}
+	return f, nil
+}
+
+// Stations returns the number of readers in the fleet.
+func (f *Fleet) Stations() int { return len(f.readers) }
+
+// BestStation returns the station index serving a capsule (-1 if none).
+func (f *Fleet) BestStation(handle uint16) int {
+	if i, ok := f.best[handle]; ok {
+		return i
+	}
+	return -1
+}
+
+// Charge drives every capsule from its best station for the given duration
+// and returns the number powered up. Stations transmit one at a time (they
+// would otherwise interfere at the same carrier), so each capsule is
+// excited by its strongest server only.
+func (f *Fleet) Charge(duration float64) int {
+	cs := f.structure.Material.VS()
+	if cs == 0 {
+		cs = f.structure.Material.VP()
+	}
+	const dt = 1e-3
+	steps := int(duration / dt)
+	if steps < 1 {
+		steps = 1
+	}
+	for s := 0; s < steps; s++ {
+		for _, n := range f.nodes {
+			idx, ok := f.best[n.Handle()]
+			if !ok {
+				continue
+			}
+			amp, err := f.readers[idx].NodeAmplitude(n.Handle())
+			if err != nil {
+				continue
+			}
+			n.Excite(amp, 230*units.KHz, cs, dt)
+		}
+	}
+	up := 0
+	for _, n := range f.nodes {
+		if n.PoweredUp() {
+			up++
+		}
+	}
+	return up
+}
+
+// Inventory runs each station's inventory and merges the discoveries.
+// Stations take turns (TDMA across stations on top of the per-station
+// slotted ALOHA), so a capsule is singulated by its best station.
+func (f *Fleet) Inventory(maxRoundsPerStation int) []uint16 {
+	found := make(map[uint16]bool)
+	for _, r := range f.readers {
+		res := r.Inventory(maxRoundsPerStation)
+		for _, h := range res.Discovered {
+			found[h] = true
+		}
+	}
+	out := make([]uint16, 0, len(found))
+	for h := range found {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ReadSensor routes the request through the capsule's best station.
+func (f *Fleet) ReadSensor(handle uint16, st sensors.SensorType) ([]float64, error) {
+	idx, ok := f.best[handle]
+	if !ok {
+		return nil, fmt.Errorf("fleet: no station serves capsule %#04x", handle)
+	}
+	return f.readers[idx].ReadSensor(handle, st)
+}
+
+// SetEnvironment installs the ground-truth sampler on every station.
+func (f *Fleet) SetEnvironment(fn func(pos geometry.Vec3) sensors.Environment) {
+	for _, r := range f.readers {
+		r.SetEnvironment(fn)
+	}
+}
+
+// Coverage reports, per station, how many capsules it serves best.
+func (f *Fleet) Coverage() []int {
+	out := make([]int, len(f.readers))
+	for _, idx := range f.best {
+		out[idx]++
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+// Package geometry models the concrete structures of the evaluation (§5.1):
+// the S1 slab, S2 load-bearing column, S3 common wall and S4 protective
+// wall, plus the two PAB test pools used as the underwater baseline. It
+// provides the image-source reverberation model that turns a single
+// injected S-wave into the dense field of S-reflections (Fig. 3d) that
+// charges EcoCapsules at arbitrary positions.
+package geometry
+
+import (
+	"fmt"
+	"math"
+
+	"ecocapsule/internal/material"
+)
+
+// Vec3 is a point or direction in metres.
+type Vec3 struct{ X, Y, Z float64 }
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v − w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v·s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Norm returns |v|.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.X*v.X + v.Y*v.Y + v.Z*v.Z) }
+
+// Dist returns |v − w|.
+func (v Vec3) Dist(w Vec3) float64 { return v.Sub(w).Norm() }
+
+// Shape enumerates the gross geometry of a structure.
+type Shape int
+
+const (
+	// Box is a rectangular solid (slabs, walls, pools).
+	Box Shape = iota
+	// Cylinder is a vertical circular column.
+	Cylinder
+)
+
+func (s Shape) String() string {
+	switch s {
+	case Box:
+		return "box"
+	case Cylinder:
+		return "cylinder"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(s))
+	}
+}
+
+// Structure is one concrete body (or water pool) hosting nodes.
+type Structure struct {
+	Name     string
+	Shape    Shape
+	Material *material.Material
+
+	// Box dimensions (m): Length × Height × Thickness. For cylinders,
+	// Height is the axis length and Diameter the cross-section.
+	Length, Height, Thickness float64
+	Diameter                  float64
+
+	// SurfaceLossDB is the per-bounce amplitude loss in dB beyond the
+	// ideal impedance reflection (roughness, edge scattering).
+	SurfaceLossDB float64
+}
+
+// Inside reports whether p lies within the structure volume. The local
+// frame puts the origin at one corner (box) or the bottom axis centre
+// (cylinder).
+func (s *Structure) Inside(p Vec3) bool {
+	switch s.Shape {
+	case Box:
+		return p.X >= 0 && p.X <= s.Length &&
+			p.Y >= 0 && p.Y <= s.Height &&
+			p.Z >= 0 && p.Z <= s.Thickness
+	case Cylinder:
+		r := s.Diameter / 2
+		return p.Y >= 0 && p.Y <= s.Height && math.Hypot(p.X, p.Z) <= r
+	default:
+		return false
+	}
+}
+
+// MinTransverseDimension is the smallest confinement dimension: wall/slab
+// thickness or column diameter. Narrow structures act as waveguides,
+// concentrating the injected energy (§5.2 finding 2).
+func (s *Structure) MinTransverseDimension() float64 {
+	if s.Shape == Cylinder {
+		return s.Diameter
+	}
+	return s.Thickness
+}
+
+// MaxRangeAxis returns the longest straight-line distance available for a
+// reader-to-node link (the range sweep axis in Fig. 12): the largest
+// dimension of the structure.
+func (s *Structure) MaxRangeAxis() float64 {
+	m := s.Length
+	if s.Height > m {
+		m = s.Height
+	}
+	if s.Shape == Cylinder && s.Height > 0 {
+		m = s.Height
+	}
+	return m
+}
+
+// ReflectionCoefficientToAir is the boundary amplitude reflection against
+// the ambient medium (air), per eq. 1.
+func (s *Structure) ReflectionCoefficientToAir() float64 {
+	zc := s.Material.Impedance()
+	za := material.Air().Impedance()
+	return (zc - za) / (zc + za)
+}
+
+// Catalog of the evaluated structures.
+
+// Slab returns S1: a 150 × 50 × 15 cm concrete slab.
+func Slab() *Structure {
+	return &Structure{
+		Name: "S1-slab", Shape: Box, Material: material.NC(),
+		Length: 1.50, Height: 0.50, Thickness: 0.15,
+		SurfaceLossDB: 0.4,
+	}
+}
+
+// Column returns S2: a 250 cm-high load-bearing column, 70 cm diameter.
+func Column() *Structure {
+	return &Structure{
+		Name: "S2-column", Shape: Cylinder, Material: material.NC(),
+		Height: 2.50, Diameter: 0.70,
+		SurfaceLossDB: 0.5,
+	}
+}
+
+// CommonWall returns S3: a 2000 × 2000 × 20 cm common wall.
+func CommonWall() *Structure {
+	return &Structure{
+		Name: "S3-wall", Shape: Box, Material: material.NC(),
+		Length: 20.0, Height: 20.0, Thickness: 0.20,
+		SurfaceLossDB: 0.3,
+	}
+}
+
+// ProtectiveWall returns S4: a 2000 × 2000 × 50 cm protective wall.
+func ProtectiveWall() *Structure {
+	return &Structure{
+		Name: "S4-wall", Shape: Box, Material: material.NC(),
+		Length: 20.0, Height: 20.0, Thickness: 0.50,
+		SurfaceLossDB: 0.35,
+	}
+}
+
+// PABPool1 is the open test pool of the underwater baseline (PAB,
+// SIGCOMM'19): wide, weak confinement.
+func PABPool1() *Structure {
+	return &Structure{
+		Name: "PAB-pool1", Shape: Box, Material: material.Water(),
+		Length: 10.0, Height: 5.0, Thickness: 4.0,
+		SurfaceLossDB: 1.5,
+	}
+}
+
+// PABPool2 is the elongated corridor-like pool where confinement extends
+// the range dramatically (§5.2 finding 2: only 125 V for a node 6.5 m away).
+func PABPool2() *Structure {
+	return &Structure{
+		Name: "PAB-pool2", Shape: Box, Material: material.Water(),
+		Length: 12.0, Height: 1.2, Thickness: 1.0,
+		SurfaceLossDB: 0.6,
+	}
+}
+
+// EvaluationStructures returns S1–S4 in paper order.
+func EvaluationStructures() []*Structure {
+	return []*Structure{Slab(), Column(), CommonWall(), ProtectiveWall()}
+}
+
+// ConfinementGain models the waveguide effect: energy injected into a
+// narrow structure spreads cylindrically/planarly instead of spherically,
+// raising the intensity at range d relative to free 3-D spreading. The
+// gain (linear, ≥1) grows as the range exceeds the transverse dimension.
+func (s *Structure) ConfinementGain(d float64) float64 {
+	w := s.MinTransverseDimension()
+	if w <= 0 || d <= w {
+		return 1
+	}
+	// Beyond one transverse width the spreading transitions from spherical
+	// (∝1/d²) towards planar guided (∝1/d): intensity gain ≈ d/w capped by
+	// how well the boundary retains energy.
+	r := math.Abs(s.ReflectionCoefficientToAir())
+	gain := 1 + (d/w-1)*r*r
+	return gain
+}
+
+// SpreadingLossDB is the geometric intensity loss (dB) over range d,
+// blending spherical spreading with the structure's confinement gain and
+// the material attenuation at frequency f.
+func (s *Structure) SpreadingLossDB(d, f float64) float64 {
+	if d <= 0 {
+		return 0
+	}
+	ref := 0.05 // reference distance 5 cm
+	if d < ref {
+		d = ref
+	}
+	spherical := 20 * math.Log10(d/ref)
+	confinement := 10 * math.Log10(s.ConfinementGain(d))
+	absorption := s.Material.AttenuationAt(f) * d
+	loss := spherical - confinement + absorption
+	if loss < 0 {
+		return 0
+	}
+	return loss
+}

@@ -1,0 +1,163 @@
+package link
+
+import (
+	"math"
+	"testing"
+
+	"ecocapsule/internal/material"
+	"ecocapsule/internal/units"
+)
+
+func TestSNRAtBitrateShape(t *testing.T) {
+	eco := EcoCapsuleProfile()
+	// Monotone non-increasing across the sweep.
+	prev := math.Inf(1)
+	for r := 1000.0; r <= 15000; r += 500 {
+		snr := eco.SNRAtBitrate(r)
+		if snr > prev+1e-9 {
+			t.Fatalf("SNR must not grow with bitrate: %.2f dB at %.0f bps", snr, r)
+		}
+		prev = snr
+	}
+	// Fig. 16: the EcoCapsule SNR drops rapidly beyond 13 kbps.
+	at13 := eco.SNRAtBitrate(13000)
+	at15 := eco.SNRAtBitrate(15000)
+	if at13-at15 < 3 {
+		t.Errorf("collapse beyond 13 kbps too soft: %.1f → %.1f dB", at13, at15)
+	}
+	if eco.SNRAtBitrate(0) != eco.ReferenceSNRdB {
+		t.Error("zero bitrate returns the reference SNR")
+	}
+}
+
+func TestMaxBitratesMatchFig16(t *testing.T) {
+	eco := EcoCapsuleProfile().MaxBitrate()
+	pab := PABProfile().MaxBitrate()
+	u2b := U2BProfile().MaxBitrate()
+	if eco < 11000 || eco > 15000 {
+		t.Errorf("EcoCapsule max bitrate %.0f, want ≈13 kbps", eco)
+	}
+	if pab < 2000 || pab > 4500 {
+		t.Errorf("PAB max bitrate %.0f, want ≈3 kbps", pab)
+	}
+	if u2b <= eco {
+		t.Errorf("U²B (%.0f) must out-scale EcoCapsule (%.0f) in bitrate", u2b, eco)
+	}
+}
+
+func TestU2BOvertakesBeyond9kbps(t *testing.T) {
+	eco, u2b := EcoCapsuleProfile(), U2BProfile()
+	// Below 9 kbps EcoCapsule wins; by 14 kbps U²B must win (Fig. 16).
+	if eco.SNRAtBitrate(4000) <= u2b.SNRAtBitrate(4000) {
+		t.Error("EcoCapsule should lead at 4 kbps")
+	}
+	if u2b.SNRAtBitrate(14000) <= eco.SNRAtBitrate(14000) {
+		t.Error("U²B should lead at 14 kbps")
+	}
+}
+
+func TestBERWaterfall(t *testing.T) {
+	eco := EcoCapsuleProfile()
+	curve := BERCurve(eco, []float64{0, 2, 4, 6, 8, 10}, 40000, 1)
+	// Monotone non-increasing BER with SNR.
+	for i := 1; i < len(curve); i++ {
+		if curve[i].BER() > curve[i-1].BER()+0.02 {
+			t.Errorf("BER must fall with SNR: %.4g at %g dB after %.4g",
+				curve[i].BER(), curve[i].SNRdB, curve[i-1].BER())
+		}
+	}
+	// Near-coin-flip at very low SNR, tiny at 10 dB.
+	if b := curve[0].BER(); b < 0.05 {
+		t.Errorf("BER at 0 dB = %.3g, expected substantial", b)
+	}
+	if b := curve[len(curve)-1].BER(); b > 1e-3 {
+		t.Errorf("BER at 10 dB = %.3g, expected ≤1e-3", b)
+	}
+}
+
+func TestPABNeedsMoreSNRThanEco(t *testing.T) {
+	// Fig. 15: the PAB waterfall sits ≈3 dB to the right.
+	snr := 7.0
+	eco := MeasureBER(EcoCapsuleProfile(), snr, 60000, 2).BER()
+	pab := MeasureBER(PABProfile(), snr, 60000, 2).BER()
+	if pab <= eco {
+		t.Errorf("at %g dB PAB BER (%.4g) must exceed EcoCapsule's (%.4g)", snr, pab, eco)
+	}
+}
+
+func TestBERResultEmpty(t *testing.T) {
+	if (BERResult{}).BER() != 0.5 {
+		t.Error("empty BER result must report 0.5")
+	}
+}
+
+func TestThroughputByConcreteMatchesFig17(t *testing.T) {
+	// Fig. 17: all ≥ ≈13 kbps; UHPC/UHPFRC ≈2 kbps above NC.
+	_, ncT := BestThroughput(ProfileForConcrete(material.NC()), 3)
+	_, uhpcT := BestThroughput(ProfileForConcrete(material.UHPC()), 3)
+	_, frcT := BestThroughput(ProfileForConcrete(material.UHPFRC()), 3)
+	if ncT < 11000 {
+		t.Errorf("NC throughput %.0f, want ≥≈11–13 kbps", ncT)
+	}
+	if uhpcT < ncT+800 {
+		t.Errorf("UHPC (%.0f) should beat NC (%.0f) by ≈2 kbps", uhpcT, ncT)
+	}
+	if frcT < ncT+800 {
+		t.Errorf("UHPFRC (%.0f) should beat NC (%.0f) by ≈2 kbps", frcT, ncT)
+	}
+	if frcT < uhpcT-1500 {
+		t.Errorf("UHPFRC (%.0f) should not trail UHPC (%.0f) badly", frcT, uhpcT)
+	}
+}
+
+func TestProfileForConcreteBandClamp(t *testing.T) {
+	weak := &material.Material{Name: "weak", Kind: material.Solid, PeakResponse: 0.1}
+	p := ProfileForConcrete(weak)
+	if p.UsableBandwidthHz < 10*units.KHz {
+		t.Errorf("usable band must clamp at 10 kHz, got %g", p.UsableBandwidthHz)
+	}
+}
+
+func TestRangeModelsMatchFig12Anchors(t *testing.T) {
+	p1 := PABPool1Model()
+	// 19 cm at 50 V, ≈200 cm at 200 V.
+	if d := p1.RangeAt(50); math.Abs(d-0.19) > 0.08 {
+		t.Errorf("pool1 at 50 V = %.2f m, want ≈0.19", d)
+	}
+	if d := p1.RangeAt(200); math.Abs(d-2.0) > 0.6 {
+		t.Errorf("pool1 at 200 V = %.2f m, want ≈2.0", d)
+	}
+	p2 := PABPool2Model()
+	// 23 cm at 84 V; 6.5 m at only 125 V.
+	if d := p2.RangeAt(84); math.Abs(d-0.23) > 0.15 {
+		t.Errorf("pool2 at 84 V = %.2f m, want ≈0.23", d)
+	}
+	if d := p2.RangeAt(125); math.Abs(d-6.5) > 2.0 {
+		t.Errorf("pool2 at 125 V = %.2f m, want ≈6.5", d)
+	}
+	if p2.RangeAt(0) != 0 {
+		t.Error("zero voltage → zero range")
+	}
+	if p2.RangeAt(1000) > p2.MaxRange {
+		t.Error("range must cap at the pool length")
+	}
+}
+
+func TestRangeModelMonotone(t *testing.T) {
+	for _, m := range []RangeModel{PABPool1Model(), PABPool2Model()} {
+		prev := -1.0
+		for v := 10.0; v <= 250; v += 10 {
+			d := m.RangeAt(v)
+			if d < prev {
+				t.Fatalf("%s: range must grow with voltage", m.Name)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestThroughputPositive(t *testing.T) {
+	if tp := Throughput(EcoCapsuleProfile(), 1000, 5); tp < 900 {
+		t.Errorf("1 kbps goodput %.0f implausible", tp)
+	}
+}

@@ -1,0 +1,270 @@
+// Package locate estimates where a capsule ended up inside the concrete.
+// §3.2 notes that "the locations of EcoCapsules inside concrete are
+// unknown" after the pour — the prism solves charging without knowing
+// them, but maintenance still wants a map. This package recovers positions
+// from round-trip time-of-flight measurements taken with the reader at
+// several surface positions: each measurement constrains the capsule to a
+// sphere around the reader footprint; a nonlinear least-squares solver
+// (Gauss–Newton with numeric damping) intersects them.
+package locate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ecocapsule/internal/geometry"
+)
+
+// Measurement is one ranging observation: the reader at Anchor measured a
+// one-way propagation delay of Delay seconds to the capsule, with waves of
+// speed Speed m/s (the S-wave speed of the concrete).
+type Measurement struct {
+	Anchor geometry.Vec3
+	Delay  float64
+	Speed  float64
+}
+
+// Range returns the implied distance in metres.
+func (m Measurement) Range() float64 { return m.Delay * m.Speed }
+
+// Result is an estimated position with residual diagnostics.
+type Result struct {
+	Position geometry.Vec3
+	// RMSResidual is the root-mean-square range error at the solution (m).
+	RMSResidual float64
+	// Iterations the solver used.
+	Iterations int
+}
+
+// Errors.
+var (
+	ErrTooFewAnchors = errors.New("locate: need at least three non-collinear anchors")
+	ErrNoConvergence = errors.New("locate: solver did not converge")
+)
+
+// Solve runs damped Gauss–Newton trilateration from an initial guess (the
+// centroid of the anchors shifted into the structure when a structure is
+// supplied).
+func Solve(ms []Measurement, s *geometry.Structure) (Result, error) {
+	if len(ms) < 3 {
+		return Result{}, ErrTooFewAnchors
+	}
+	for _, m := range ms {
+		if m.Speed <= 0 || m.Delay < 0 {
+			return Result{}, fmt.Errorf("locate: invalid measurement %+v", m)
+		}
+	}
+	// Initial guess: anchor centroid nudged inward.
+	var p geometry.Vec3
+	for _, m := range ms {
+		p = p.Add(m.Anchor)
+	}
+	p = p.Scale(1 / float64(len(ms)))
+	if s != nil {
+		p.Z = s.Thickness / 2
+	} else {
+		p.Z += 0.05
+	}
+
+	lambda := 1e-3
+	prevCost := cost(ms, p)
+	var it int
+	for it = 0; it < 200; it++ {
+		// Build the normal equations J^T J Δ = J^T r for r_i = d_i − |p−a_i|.
+		var jtj [3][3]float64
+		var jtr [3]float64
+		for _, m := range ms {
+			diff := p.Sub(m.Anchor)
+			dist := diff.Norm()
+			if dist < 1e-9 {
+				dist = 1e-9
+			}
+			r := m.Range() - dist
+			// ∂r/∂p = −diff/dist.
+			g := [3]float64{-diff.X / dist, -diff.Y / dist, -diff.Z / dist}
+			for a := 0; a < 3; a++ {
+				jtr[a] += g[a] * r
+				for b := 0; b < 3; b++ {
+					jtj[a][b] += g[a] * g[b]
+				}
+			}
+		}
+		// Levenberg damping.
+		for a := 0; a < 3; a++ {
+			jtj[a][a] += lambda
+		}
+		delta, ok := solve3(jtj, jtr)
+		if !ok {
+			lambda *= 10
+			if lambda > 1e6 {
+				return Result{}, ErrNoConvergence
+			}
+			continue
+		}
+		cand := geometry.Vec3{X: p.X - delta[0], Y: p.Y - delta[1], Z: p.Z - delta[2]}
+		c := cost(ms, cand)
+		if c < prevCost {
+			p = cand
+			prevCost = c
+			lambda = math.Max(lambda/3, 1e-9)
+			if math.Sqrt(delta[0]*delta[0]+delta[1]*delta[1]+delta[2]*delta[2]) < 1e-7 {
+				break
+			}
+		} else {
+			lambda *= 10
+			if lambda > 1e8 {
+				break
+			}
+		}
+	}
+	rms := math.Sqrt(prevCost / float64(len(ms)))
+	if rms > 0.5 {
+		return Result{Position: p, RMSResidual: rms, Iterations: it},
+			fmt.Errorf("%w: residual %.3f m", ErrNoConvergence, rms)
+	}
+	// Clamp into the structure when one is supplied (the capsule cannot
+	// be outside the pour).
+	if s != nil {
+		p = clampInto(p, s)
+	}
+	return Result{Position: p, RMSResidual: rms, Iterations: it}, nil
+}
+
+func cost(ms []Measurement, p geometry.Vec3) float64 {
+	var c float64
+	for _, m := range ms {
+		r := m.Range() - p.Dist(m.Anchor)
+		c += r * r
+	}
+	return c
+}
+
+// solve3 solves a 3×3 linear system by Gaussian elimination with partial
+// pivoting; ok=false for singular systems.
+func solve3(a [3][3]float64, b [3]float64) ([3]float64, bool) {
+	m := [3][4]float64{}
+	for i := 0; i < 3; i++ {
+		copy(m[i][:3], a[i][:])
+		m[i][3] = b[i]
+	}
+	for col := 0; col < 3; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-15 {
+			return [3]float64{}, false
+		}
+		m[col], m[piv] = m[piv], m[col]
+		// Eliminate.
+		for r := 0; r < 3; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for c := col; c < 4; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	var x [3]float64
+	for i := 0; i < 3; i++ {
+		x[i] = m[i][3] / m[i][i]
+	}
+	return x, true
+}
+
+func clampInto(p geometry.Vec3, s *geometry.Structure) geometry.Vec3 {
+	if s.Shape == geometry.Cylinder {
+		r := s.Diameter / 2
+		if rad := math.Hypot(p.X, p.Z); rad > r && rad > 0 {
+			p.X *= r / rad
+			p.Z *= r / rad
+		}
+		p.Y = math.Min(math.Max(p.Y, 0), s.Height)
+		return p
+	}
+	p.X = math.Min(math.Max(p.X, 0), s.Length)
+	p.Y = math.Min(math.Max(p.Y, 0), s.Height)
+	p.Z = math.Min(math.Max(p.Z, 0), s.Thickness)
+	return p
+}
+
+// MeasureFromChannel builds a Measurement from a channel's first-arrival
+// delay: the direct S path dominates ranging accuracy because echoes only
+// arrive later.
+func MeasureFromChannel(anchor geometry.Vec3, firstArrivalDelay, sSpeed float64) Measurement {
+	return Measurement{Anchor: anchor, Delay: firstArrivalDelay, Speed: sSpeed}
+}
+
+// DilutionOfPrecision scores an anchor geometry: the RMS condition of the
+// unit-vector matrix from the estimated position to the anchors. Values
+// near 1 mean well-spread anchors; large values mean a degenerate
+// (collinear) layout that will amplify ranging noise.
+func DilutionOfPrecision(p geometry.Vec3, anchors []geometry.Vec3) float64 {
+	if len(anchors) < 3 {
+		return math.Inf(1)
+	}
+	var jtj [3][3]float64
+	for _, a := range anchors {
+		d := p.Sub(a)
+		n := d.Norm()
+		if n < 1e-9 {
+			continue
+		}
+		g := [3]float64{d.X / n, d.Y / n, d.Z / n}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				jtj[i][j] += g[i] * g[j]
+			}
+		}
+	}
+	// Trace of the inverse ≈ sum of 1/eigenvalues; approximate via the
+	// diagonal of the inverse from Cramer's rule.
+	det := det3(jtj)
+	if math.Abs(det) < 1e-12 {
+		return math.Inf(1)
+	}
+	var trInv float64
+	for i := 0; i < 3; i++ {
+		trInv += cofactor(jtj, i, i) / det
+	}
+	if trInv < 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(trInv)
+}
+
+func det3(m [3][3]float64) float64 {
+	return m[0][0]*(m[1][1]*m[2][2]-m[1][2]*m[2][1]) -
+		m[0][1]*(m[1][0]*m[2][2]-m[1][2]*m[2][0]) +
+		m[0][2]*(m[1][0]*m[2][1]-m[1][1]*m[2][0])
+}
+
+func cofactor(m [3][3]float64, r, c int) float64 {
+	var sub [2][2]float64
+	ri := 0
+	for i := 0; i < 3; i++ {
+		if i == r {
+			continue
+		}
+		ci := 0
+		for j := 0; j < 3; j++ {
+			if j == c {
+				continue
+			}
+			sub[ri][ci] = m[i][j]
+			ci++
+		}
+		ri++
+	}
+	sign := 1.0
+	if (r+c)%2 == 1 {
+		sign = -1
+	}
+	return sign * (sub[0][0]*sub[1][1] - sub[0][1]*sub[1][0])
+}

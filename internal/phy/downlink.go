@@ -1,0 +1,204 @@
+// Package phy implements the physical-layer modems of the EcoCapsule link:
+// the reader's downlink transmitter (PIE over dual-frequency FSK, §3.3),
+// the node's envelope-detector receiver, the node's backscatter uplink
+// modulator at a shifted BLF (§3.4), and the reader's uplink receive chain
+// (carrier estimation → digital down-conversion → matched filtering →
+// maximum-likelihood FM0 decoding, §5.1).
+package phy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ecocapsule/internal/coding"
+	"ecocapsule/internal/dsp"
+	"ecocapsule/internal/material"
+	"ecocapsule/internal/units"
+	"ecocapsule/internal/waveform"
+)
+
+// DownlinkModulation selects the low-edge strategy of the PIE transmitter.
+type DownlinkModulation int
+
+const (
+	// ModulationFSK is the paper's anti-ring scheme: low edges at an
+	// off-resonant frequency that the concrete suppresses naturally.
+	ModulationFSK DownlinkModulation = iota
+	// ModulationOOK is the traditional scheme: the drive is switched off
+	// for low edges, leaving the inertial ring tail in the symbol.
+	ModulationOOK
+)
+
+func (m DownlinkModulation) String() string {
+	switch m {
+	case ModulationFSK:
+		return "FSK"
+	case ModulationOOK:
+		return "OOK"
+	default:
+		return fmt.Sprintf("DownlinkModulation(%d)", int(m))
+	}
+}
+
+// DownlinkTX renders downlink frames into pass-band waveforms.
+type DownlinkTX struct {
+	Synth *waveform.Synth
+	PIE   coding.PIEConfig
+	// ResonantFreq (high edges) and OffResonantFreq (FSK low edges), Hz.
+	ResonantFreq, OffResonantFreq float64
+	// Amplitude is the drive amplitude in volts at the PZT.
+	Amplitude float64
+	// Modulation selects FSK (default) or OOK.
+	Modulation DownlinkModulation
+	// Ring models the PZT inertia for OOK rendering.
+	Ring waveform.RingEffect
+	// Material determines the off-resonance suppression the concrete
+	// applies to the FSK low tone.
+	Material *material.Material
+}
+
+// NewDownlinkTX returns the evaluation's default transmitter: 230 kHz
+// resonant carrier, 180 kHz off-resonant low tone, 1 kbps PIE.
+func NewDownlinkTX(fs float64, m *material.Material) *DownlinkTX {
+	return &DownlinkTX{
+		Synth:           waveform.NewSynth(fs),
+		PIE:             coding.DefaultPIE(),
+		ResonantFreq:    230 * units.KHz,
+		OffResonantFreq: 180 * units.KHz,
+		Amplitude:       1.0,
+		Modulation:      ModulationFSK,
+		Ring:            waveform.DefaultRing(),
+		Material:        m,
+	}
+}
+
+// offResonantGain is the relative amplitude the concrete passes at the FSK
+// low tone versus the resonant carrier.
+func (tx *DownlinkTX) offResonantGain() float64 {
+	m := tx.Material
+	if m == nil || m.ResonantFrequency == 0 {
+		return 0.3
+	}
+	on := m.FrequencyResponse(tx.ResonantFreq)
+	off := m.FrequencyResponse(tx.OffResonantFreq)
+	if on <= 0 {
+		return 0.3
+	}
+	return off / on
+}
+
+// Modulate renders a bit sequence into the pass-band drive waveform.
+func (tx *DownlinkTX) Modulate(bits []byte) ([]float64, error) {
+	switch tx.Modulation {
+	case ModulationFSK:
+		return tx.Synth.PIEWaveformFSK(tx.PIE, bits, tx.ResonantFreq,
+			tx.OffResonantFreq, tx.Amplitude, tx.offResonantGain())
+	case ModulationOOK:
+		return tx.Synth.PIEWaveformOOK(tx.PIE, bits, tx.ResonantFreq,
+			tx.Amplitude, tx.Ring)
+	default:
+		return nil, fmt.Errorf("phy: unknown modulation %v", tx.Modulation)
+	}
+}
+
+// NodeRX is the EcoCapsule's downlink demodulator: the voltage multiplier
+// reused as an envelope detector, a level shifter binarising the output,
+// and the MCU timer measuring intervals between edges (§4.2).
+type NodeRX struct {
+	SampleRate float64
+	// EnvelopeTau is the detector's RC time constant.
+	EnvelopeTau float64
+	// Hysteresis around the adaptive threshold, as a fraction of the
+	// envelope swing.
+	Hysteresis float64
+	PIE        coding.PIEConfig
+}
+
+// NewNodeRX returns the default node demodulator.
+func NewNodeRX(fs float64) *NodeRX {
+	return &NodeRX{
+		SampleRate:  fs,
+		EnvelopeTau: 25e-6,
+		Hysteresis:  0.1,
+		PIE:         coding.DefaultPIE(),
+	}
+}
+
+// ErrNoEdges is returned when the demodulator finds no usable transitions.
+var ErrNoEdges = errors.New("phy: no demodulator edges detected")
+
+// Demodulate recovers downlink bits from the received pass-band waveform.
+func (rx *NodeRX) Demodulate(signal []float64) ([]byte, error) {
+	if len(signal) == 0 {
+		return nil, ErrNoEdges
+	}
+	env := dsp.Envelope(signal, rx.SampleRate, rx.EnvelopeTau)
+	// Robust swing estimate: percentiles instead of min/max, so a single
+	// multipath transient spike (or a startup dropout) cannot distort the
+	// hysteresis width.
+	lo, hi := percentileRange(env, 0.05, 0.95)
+	if hi-lo < 1e-12 {
+		return nil, ErrNoEdges
+	}
+	mid := (hi + lo) / 2
+	hys := rx.Hysteresis * (hi - lo) / 2
+	// Binarise with hysteresis (the level shifter).
+	level := env[0] > mid
+	var highs []float64
+	runStart := 0
+	for i, v := range env {
+		newLevel := level
+		if level && v < mid-hys {
+			newLevel = false
+		} else if !level && v > mid+hys {
+			newLevel = true
+		}
+		if newLevel != level {
+			dur := float64(i-runStart) / rx.SampleRate
+			if level {
+				highs = append(highs, dur)
+			}
+			runStart = i
+			level = newLevel
+		}
+	}
+	if level {
+		highs = append(highs, float64(len(env)-runStart)/rx.SampleRate)
+	}
+	if len(highs) == 0 {
+		return nil, ErrNoEdges
+	}
+	// Discard leading/trailing fragments shorter than half a PW.
+	minDur := rx.PIE.PW / 2
+	var filtered []float64
+	for _, d := range highs {
+		if d >= minDur {
+			filtered = append(filtered, d)
+		}
+	}
+	if len(filtered) == 0 {
+		return nil, ErrNoEdges
+	}
+	return rx.PIE.Decode(filtered), nil
+}
+
+// percentileRange returns the pLo and pHi percentiles of x.
+func percentileRange(x []float64, pLo, pHi float64) (lo, hi float64) {
+	if len(x) == 0 {
+		return 0, 0
+	}
+	sorted := append([]float64(nil), x...)
+	sort.Float64s(sorted)
+	idx := func(p float64) int {
+		i := int(p * float64(len(sorted)-1))
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return i
+	}
+	return sorted[idx(pLo)], sorted[idx(pHi)]
+}

@@ -1,0 +1,120 @@
+package phy
+
+import (
+	"bytes"
+	"testing"
+
+	"ecocapsule/internal/dsp"
+	"ecocapsule/internal/waveform"
+)
+
+func TestSubcarrierSingleNodeRoundTrip(t *testing.T) {
+	syn := waveform.NewSynth(fs)
+	bits := []byte{1, 0, 1, 1, 0, 0, 1, 0}
+	btx := NewSubcarrierTX(fs, 500, 4e3)
+	dur := float64(len(bits))/btx.Bitrate + 2e-3
+	incident := syn.CBW(230e3, 1.0, dur)
+	bs, err := btx.Modulate(bits, incident)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capture = backscatter + leakage + noise.
+	capture := make([]float64, len(bs))
+	for i := range capture {
+		capture[i] = bs[i] + 0.4*incident[i]
+	}
+	dsp.NewNoiseSource(1).AddAWGN(capture, 0.01)
+	rx := NewSubcarrierRX(fs, 230e3, 500, 4e3)
+	got, err := rx.Demodulate(capture, 0, len(bits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, bits) {
+		t.Errorf("round trip: got %v want %v", got, bits)
+	}
+}
+
+func TestSubcarrierFDMTwoSimultaneousNodes(t *testing.T) {
+	// Appendix C at full stretch: two capsules answer at once on BLFs
+	// 4 kHz apart; the reader separates and decodes both streams from the
+	// SAME capture.
+	syn := waveform.NewSynth(fs)
+	bitsA := []byte{1, 0, 1, 1, 0, 0, 1, 0}
+	bitsB := []byte{0, 1, 1, 0, 1, 0, 0, 1}
+	const bitrate = 500.0
+	txA := NewSubcarrierTX(fs, bitrate, 4e3)
+	txB := NewSubcarrierTX(fs, bitrate, 8e3)
+	dur := float64(len(bitsA))/bitrate + 2e-3
+	incident := syn.CBW(230e3, 1.0, dur)
+	bsA, err := txA.Modulate(bitsA, incident)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsB, err := txB.Modulate(bitsB, incident)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capture := make([]float64, len(incident))
+	for i := range capture {
+		capture[i] = 0.4 * incident[i]
+		if i < len(bsA) {
+			capture[i] += bsA[i]
+		}
+		if i < len(bsB) {
+			capture[i] += 0.8 * bsB[i] // node B slightly farther
+		}
+	}
+	dsp.NewNoiseSource(2).AddAWGN(capture, 0.01)
+
+	gotA, err := NewSubcarrierRX(fs, 230e3, bitrate, 4e3).Demodulate(capture, 0, len(bitsA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, err := NewSubcarrierRX(fs, 230e3, bitrate, 8e3).Demodulate(capture, 0, len(bitsB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotA, bitsA) {
+		t.Errorf("node A: got %v want %v", gotA, bitsA)
+	}
+	if !bytes.Equal(gotB, bitsB) {
+		t.Errorf("node B: got %v want %v", gotB, bitsB)
+	}
+}
+
+func TestSubcarrierValidation(t *testing.T) {
+	syn := waveform.NewSynth(fs)
+	incident := syn.CBW(230e3, 1, 4e-3)
+	if _, err := NewSubcarrierTX(fs, 0, 4e3).Modulate([]byte{1}, incident); err == nil {
+		t.Error("zero bitrate must error")
+	}
+	if _, err := NewSubcarrierTX(fs, 500, 0).Modulate([]byte{1}, incident); err == nil {
+		t.Error("zero BLF must error")
+	}
+	if _, err := NewSubcarrierTX(fs, 500, 4e3).Modulate([]byte{1, 0, 1}, incident[:10]); err == nil {
+		t.Error("short carrier must error")
+	}
+	if _, err := NewSubcarrierTX(fs, 500, 4e3).Modulate([]byte{7}, incident); err == nil {
+		t.Error("bad bits must error")
+	}
+	rx := NewSubcarrierRX(fs, 230e3, 500, 4e3)
+	if _, err := rx.Demodulate(incident, 0, 0); err == nil {
+		t.Error("zero bits must error")
+	}
+	if _, err := rx.Demodulate(incident[:100], 0, 50); err == nil {
+		t.Error("short capture must error")
+	}
+	fast := NewSubcarrierRX(fs, 230e3, 1e8, 4e3)
+	if _, err := fast.Demodulate(incident, 0, 2); err == nil {
+		t.Error("absurd bitrate must error")
+	}
+}
+
+func TestSubcarrierNoModulationDetected(t *testing.T) {
+	// A flat zero capture has no modulation and must be rejected.
+	flat := make([]float64, 100000)
+	rx := NewSubcarrierRX(fs, 230e3, 500, 4e3)
+	if _, err := rx.Demodulate(flat, 0, 8); err == nil {
+		t.Error("flat capture must fail")
+	}
+}

@@ -1,0 +1,215 @@
+package phy
+
+import (
+	"errors"
+	"math"
+
+	"ecocapsule/internal/coding"
+	"ecocapsule/internal/dsp"
+	"ecocapsule/internal/units"
+	"ecocapsule/internal/waveform"
+)
+
+// UplinkCoding selects the line code of the backscatter uplink.
+type UplinkCoding int
+
+const (
+	// CodingFM0 is the paper's default (§3.4).
+	CodingFM0 UplinkCoding = iota
+	// CodingMiller4 trades 4× rate for noise robustness (Gen2 Miller).
+	CodingMiller4
+)
+
+// BackscatterTX is the node's uplink modulator: FM0- (or Miller-) coded
+// impedance switching against the incident CBW, at a backscatter link
+// frequency (BLF) offset from the carrier so the reader can filter the
+// self-interference in the spectrum (§3.4, Appendix C).
+type BackscatterTX struct {
+	Synth *waveform.Synth
+	// Bitrate of the uplink in bits/s (default 1 kbps per §5.1).
+	Bitrate float64
+	// ReflectGain and AbsorbGain are the node's two radar cross-sections.
+	ReflectGain, AbsorbGain float64
+	// Coding selects FM0 (default) or Miller-4.
+	Coding UplinkCoding
+}
+
+// NewBackscatterTX returns the default uplink modulator.
+func NewBackscatterTX(fs float64) *BackscatterTX {
+	return &BackscatterTX{
+		Synth:       waveform.NewSynth(fs),
+		Bitrate:     1000,
+		ReflectGain: 0.45,
+		AbsorbGain:  0.03,
+	}
+}
+
+// HalfSymbolDuration returns the duration of one half-symbol of the
+// configured code: FM0 spends two halves per bit; Miller-4 spends eight at
+// the same switching rate (so its effective bitrate is 4× lower).
+func (tx *BackscatterTX) HalfSymbolDuration() float64 { return 1 / (2 * tx.Bitrate) }
+
+// encode renders the configured line code to half-symbol levels.
+func (tx *BackscatterTX) encode(bits []byte) ([]float64, error) {
+	if tx.Coding == CodingMiller4 {
+		return coding.MillerEncode(bits, coding.Miller4)
+	}
+	return coding.FM0Encode(bits)
+}
+
+// Modulate produces the backscattered waveform for the given bits against
+// the incident carrier samples. The incident slice must cover the full
+// frame duration; the result has the same length.
+func (tx *BackscatterTX) Modulate(bits []byte, incident []float64) ([]float64, error) {
+	halves, err := tx.encode(bits)
+	if err != nil {
+		return nil, err
+	}
+	states := waveform.FM0States(halves)
+	need := tx.Synth.Samples(float64(len(states)) * tx.HalfSymbolDuration())
+	if len(incident) < need {
+		return nil, errors.New("phy: incident carrier shorter than the frame")
+	}
+	out := tx.Synth.BackscatterModulate(incident[:need], states,
+		tx.HalfSymbolDuration(), tx.ReflectGain, tx.AbsorbGain)
+	return out, nil
+}
+
+// ReaderRX is the reader's uplink receive chain (§5.1): estimate the
+// carrier, digitally down-convert, filter the backscatter band (rejecting
+// the CBW self-interference through the guard band), matched-filter the
+// half-symbols and run the maximum-likelihood FM0 decoder.
+type ReaderRX struct {
+	SampleRate float64
+	// CarrierHint brackets the carrier estimator (Hz).
+	CarrierHint float64
+	// CarrierSearch half-width around the hint (Hz).
+	CarrierSearch float64
+	// Bitrate of the uplink (must match the node).
+	Bitrate float64
+	// GuardBand is the spectral gap between the carrier and the
+	// backscatter band edge (Hz).
+	GuardBand float64
+	// Coding must match the node's uplink code (FM0 default).
+	Coding UplinkCoding
+}
+
+// NewReaderRX returns the default reader chain for the 230 kHz carrier.
+func NewReaderRX(fs float64) *ReaderRX {
+	return &ReaderRX{
+		SampleRate:    fs,
+		CarrierHint:   230 * units.KHz,
+		CarrierSearch: 20 * units.KHz,
+		Bitrate:       1000,
+		GuardBand:     500,
+	}
+}
+
+// ErrNoCarrier is returned when the carrier estimator finds nothing.
+var ErrNoCarrier = errors.New("phy: no carrier found in the search band")
+
+// EstimateCarrier runs the §5.1 carrier-frequency estimation on the raw
+// capture.
+func (rx *ReaderRX) EstimateCarrier(signal []float64) (float64, error) {
+	f := dsp.PeakFrequency(signal, rx.SampleRate,
+		rx.CarrierHint-rx.CarrierSearch, rx.CarrierHint+rx.CarrierSearch)
+	if f == 0 {
+		return 0, ErrNoCarrier
+	}
+	return f, nil
+}
+
+// Demodulate recovers the FM0 bit stream from a raw reader capture that
+// contains nBits bits starting at sample offset start.
+func (rx *ReaderRX) Demodulate(signal []float64, start, nBits int) ([]byte, error) {
+	if nBits <= 0 {
+		return nil, errors.New("phy: nBits must be positive")
+	}
+	fc, err := rx.EstimateCarrier(signal)
+	if err != nil {
+		return nil, err
+	}
+	// Down-convert with a bandwidth wide enough for the FM0 sidebands but
+	// narrow enough to reject adjacent interference.
+	bw := rx.Bitrate*2 + rx.GuardBand
+	bb := dsp.DownConvert(signal, rx.SampleRate, fc, bw)
+	mag := dsp.Magnitude(bb)
+	// Remove the DC term contributed by the CBW leakage: the backscatter
+	// information rides as amplitude steps around that pedestal.
+	mean := dsp.Mean(mag)
+	ac := make([]float64, len(mag))
+	for i, v := range mag {
+		ac[i] = v - mean
+	}
+	// Integrate-and-dump per half-symbol (the matched filter for
+	// rectangular halves).
+	halfSamples := rx.SampleRate / (2 * rx.Bitrate)
+	if halfSamples < 1 {
+		return nil, errors.New("phy: bitrate too high for the sample rate")
+	}
+	halvesPerBit := 2
+	if rx.Coding == CodingMiller4 {
+		halvesPerBit = 8
+	}
+	nHalves := nBits * halvesPerBit
+	halves := make([]float64, nHalves)
+	for h := 0; h < nHalves; h++ {
+		a := start + int(float64(h)*halfSamples)
+		b := start + int(float64(h+1)*halfSamples)
+		if b > len(ac) {
+			return nil, errors.New("phy: capture shorter than the frame")
+		}
+		halves[h] = dsp.Mean(ac[a:b])
+	}
+	// Normalise and run the configured decoder.
+	scale := dsp.MaxAbs(halves)
+	if scale > 0 {
+		for i := range halves {
+			halves[i] /= scale
+		}
+	}
+	if rx.Coding == CodingMiller4 {
+		return coding.MillerDecode(halves, coding.Miller4)
+	}
+	return coding.FM0DecodeML(halves), nil
+}
+
+// BLFPlan assigns backscatter link frequencies to nodes: node i gets
+// Base + i·Spacing, each at least GuardBand away from the carrier.
+type BLFPlan struct {
+	Base    float64 // first BLF offset from the carrier, Hz
+	Spacing float64 // spacing between adjacent nodes, Hz
+	Guard   float64 // minimum offset from the carrier, Hz
+}
+
+// DefaultBLFPlan reserves a few kHz as the §3.4 guard band.
+func DefaultBLFPlan() BLFPlan {
+	return BLFPlan{Base: 2 * units.KHz, Spacing: 1 * units.KHz, Guard: 1 * units.KHz}
+}
+
+// Offset returns the BLF offset for node index i (i ≥ 0).
+func (p BLFPlan) Offset(i int) float64 {
+	off := p.Base + float64(i)*p.Spacing
+	if off < p.Guard {
+		off = p.Guard
+	}
+	return off
+}
+
+// SNREstimate measures the uplink SNR (dB) of a capture: the power in the
+// two backscatter sidebands (carrier ± blf) against the noise floor
+// measured away from carrier and sidebands.
+func SNREstimate(signal []float64, fs, carrier, blf float64) float64 {
+	pSig := dsp.Goertzel(signal, fs, carrier+blf) + dsp.Goertzel(signal, fs, carrier-blf)
+	// Noise probes offset from all deterministic lines.
+	probes := []float64{carrier + 3.7*blf, carrier - 3.3*blf, carrier + 5.1*blf}
+	var pNoise float64
+	for _, f := range probes {
+		pNoise += dsp.Goertzel(signal, fs, f)
+	}
+	pNoise /= float64(len(probes))
+	if pNoise <= 0 {
+		return math.Inf(1)
+	}
+	return units.DB(pSig / pNoise)
+}

@@ -1,0 +1,86 @@
+package physics
+
+import (
+	"fmt"
+
+	"ecocapsule/internal/material"
+	"ecocapsule/internal/units"
+)
+
+// Shell models the spherical stress-equalising EcoCapsule shell of §4.1.
+// Default values correspond to the published prototype: 45 mm outer
+// diameter (ping-pong-ball size), 2.0 mm SLA-resin wall, ≤5 % deformation
+// tolerated, finite-element ΔPmax ≈ 4.3 MPa.
+type Shell struct {
+	Material *material.Material
+	// OuterDiameter of the sphere in metres.
+	OuterDiameter float64
+	// WallThickness of the shell in metres.
+	WallThickness float64
+	// MaxPressureDelta is the maximum internal/external pressure
+	// difference the shell tolerates before exceeding the deformation
+	// budget, in Pa. This is the finite-element result the paper quotes
+	// (4.3 MPa for resin, 115.2 MPa for alloy steel).
+	MaxPressureDelta float64
+}
+
+// ResinShell returns the published prototype shell (ΔPmax ≈ 4.3 MPa).
+func ResinShell() Shell {
+	return Shell{
+		Material:         material.Resin(),
+		OuterDiameter:    45 * units.MM,
+		WallThickness:    2.0 * units.MM,
+		MaxPressureDelta: 4.3 * units.MPa,
+	}
+}
+
+// SteelShell returns the alloy-steel option for very tall buildings
+// (ΔPmax ≈ 115.2 MPa → hmax ≈ 4985 m).
+func SteelShell() Shell {
+	return Shell{
+		Material:         material.AlloySteel(),
+		OuterDiameter:    45 * units.MM,
+		WallThickness:    2.0 * units.MM,
+		MaxPressureDelta: 115.2 * units.MPa,
+	}
+}
+
+// PressureDelta implements eq. 4: the difference between the external
+// concrete pressure at depth h below the top of the pour and the internal
+// (atmospheric) pressure: ΔP = ρ·g·h − P_air. Negative values (very shallow
+// embedment) are clamped to zero — the shell is never helped by suction.
+func PressureDelta(concreteDensity, height float64) float64 {
+	dp := concreteDensity*units.Gravity*height - units.AtmosphericPressure
+	if dp < 0 {
+		return 0
+	}
+	return dp
+}
+
+// MaxBuildingHeight inverts eq. 4: the tallest building (m of concrete
+// head) this shell survives in concrete of the given density:
+// h_max = (ΔPmax + P_air) / (ρ·g).
+func (s Shell) MaxBuildingHeight(concreteDensity float64) float64 {
+	if concreteDensity <= 0 {
+		return 0
+	}
+	return (s.MaxPressureDelta + units.AtmosphericPressure) /
+		(concreteDensity * units.Gravity)
+}
+
+// Survives reports whether the shell tolerates embedment at depth h in
+// concrete of density rho.
+func (s Shell) Survives(rho, h float64) bool {
+	return PressureDelta(rho, h) <= s.MaxPressureDelta
+}
+
+// StressCheck returns a descriptive error when the shell would crack at the
+// given embedment, nil otherwise.
+func (s Shell) StressCheck(rho, h float64) error {
+	dp := PressureDelta(rho, h)
+	if dp > s.MaxPressureDelta {
+		return fmt.Errorf("physics: shell overpressure %.2f MPa exceeds limit %.2f MPa (h=%.1f m, ρ=%.0f kg/m³; max height %.0f m)",
+			dp/units.MPa, s.MaxPressureDelta/units.MPa, h, rho, s.MaxBuildingHeight(rho))
+	}
+	return nil
+}

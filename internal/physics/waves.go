@@ -1,0 +1,196 @@
+// Package physics implements the elastic-wave physics of §3 and §4 of the
+// paper: body-wave propagation, boundary reflection/refraction with mode
+// conversion (Snell's law and the two critical angles), transducer beam
+// spread, Helmholtz resonance (eq. 5), and the pressure-tolerance analysis
+// of the EcoCapsule shell (eq. 4).
+package physics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ecocapsule/internal/material"
+)
+
+// WaveMode identifies a body-wave mode.
+type WaveMode int
+
+const (
+	// PWave is the primary (compressional, push–pull) mode. It exists in
+	// solids and fluids and is the faster of the two.
+	PWave WaveMode = iota
+	// SWave is the secondary (shear, transverse) mode. It exists only in
+	// solids, travels ≈40 % slower than the P-wave, and attenuates less —
+	// the preferred carrier for in-concrete charging and communication.
+	SWave
+)
+
+func (m WaveMode) String() string {
+	switch m {
+	case PWave:
+		return "P"
+	case SWave:
+		return "S"
+	default:
+		return fmt.Sprintf("WaveMode(%d)", int(m))
+	}
+}
+
+// Velocity returns the propagation speed of mode m in medium mat, or 0 when
+// the mode cannot propagate there (S in fluids).
+func Velocity(mat *material.Material, m WaveMode) float64 {
+	switch m {
+	case PWave:
+		return mat.VP()
+	case SWave:
+		return mat.VS()
+	default:
+		return 0
+	}
+}
+
+// ReflectionCoefficient implements eq. 1: the amplitude reflection
+// coefficient at a boundary from medium 1 into medium 2,
+// R = (Z2 − Z1) / (Z2 + Z1). The sign carries the phase flip.
+func ReflectionCoefficient(from, to *material.Material) float64 {
+	z1, z2 := from.Impedance(), to.Impedance()
+	if z1+z2 == 0 {
+		return 0
+	}
+	return (z2 - z1) / (z2 + z1)
+}
+
+// TransmissionEnergyFraction is the fraction of incident energy transmitted
+// across the boundary (1 − R²) at normal incidence.
+func TransmissionEnergyFraction(from, to *material.Material) float64 {
+	r := ReflectionCoefficient(from, to)
+	return 1 - r*r
+}
+
+// ErrTotalReflection is returned by Refract when the incident angle exceeds
+// the critical angle for the requested refracted mode.
+var ErrTotalReflection = errors.New("physics: incident angle beyond critical angle; mode is totally reflected")
+
+// Refract applies Snell's law (eq. 2) across a boundary: a wave travelling
+// at velocity vIn hits the interface at incidentRad and converts into a mode
+// with velocity vOut. It returns the refracted angle in radians, or
+// ErrTotalReflection if sin θ_out would exceed 1.
+func Refract(vIn, vOut, incidentRad float64) (float64, error) {
+	if vIn <= 0 || vOut <= 0 {
+		return 0, fmt.Errorf("physics: non-positive velocities vIn=%g vOut=%g", vIn, vOut)
+	}
+	s := math.Sin(incidentRad) * vOut / vIn
+	if s > 1 {
+		return 0, ErrTotalReflection
+	}
+	return math.Asin(s), nil
+}
+
+// CriticalAngle returns the incident angle (radians) in the first medium at
+// which the refracted mode with velocity vOut grazes the interface
+// (refraction angle = 90°). When vOut <= vIn there is no critical angle and
+// the function returns π/2.
+func CriticalAngle(vIn, vOut float64) float64 {
+	if vOut <= vIn {
+		return math.Pi / 2
+	}
+	return math.Asin(vIn / vOut)
+}
+
+// Boundary describes a prism→structure interface for mode-conversion
+// calculations.
+type Boundary struct {
+	From *material.Material // e.g. the PLA prism
+	To   *material.Material // e.g. concrete
+}
+
+// FirstCriticalAngle is the incident angle beyond which the refracted P-wave
+// vanishes in the second medium (only the S-wave remains), in radians.
+func (b Boundary) FirstCriticalAngle() float64 {
+	return CriticalAngle(b.From.VP(), b.To.VP())
+}
+
+// SecondCriticalAngle is the incident angle beyond which the refracted
+// S-wave also vanishes (no body waves remain), in radians. For fluid second
+// media it returns the first critical angle (no S-wave ever exists).
+func (b Boundary) SecondCriticalAngle() float64 {
+	if !b.To.SupportsShear() {
+		return b.FirstCriticalAngle()
+	}
+	return CriticalAngle(b.From.VP(), b.To.VS())
+}
+
+// SWaveWindow returns the [low, high] incident-angle window (radians) within
+// which only the S-wave resides in the second medium — the operating window
+// the paper derives as ≈[34°, 73°] for the PLA→concrete boundary.
+func (b Boundary) SWaveWindow() (lo, hi float64) {
+	return b.FirstCriticalAngle(), b.SecondCriticalAngle()
+}
+
+// ModeAmplitudes returns the relative amplitudes (0..1) of the refracted
+// P-wave and S-wave in the second medium for a P-wave incident from the
+// first medium at incidentRad — the two curves of Fig. 4.
+//
+// The model captures the published behaviour: below the first critical angle
+// both modes coexist (P dominant near 0°, transferring to S as the angle
+// grows); between the two critical angles only the S-wave remains, peaking
+// mid-window; beyond the second critical angle both body modes vanish
+// (energy goes into surface waves, which this function does not report).
+func (b Boundary) ModeAmplitudes(incidentRad float64) (p, s float64) {
+	ca1 := b.FirstCriticalAngle()
+	ca2 := b.SecondCriticalAngle()
+	theta := incidentRad
+	if theta < 0 || theta >= math.Pi/2 {
+		return 0, 0
+	}
+	// P-wave: full strength at normal incidence, falls to zero at CA1 with
+	// a cosine taper (projection of motion onto the refracted direction).
+	if theta < ca1 {
+		x := theta / ca1
+		p = math.Cos(x * math.Pi / 2)
+	}
+	// S-wave (mode conversion): zero at normal incidence (no shear is
+	// generated by a normal P hit), grows toward CA1, peaks inside the
+	// S-only window, falls to zero at CA2.
+	if b.To.SupportsShear() && theta < ca2 {
+		const atCA1 = 0.8 // S amplitude where the P-wave vanishes
+		if theta < ca1 {
+			// Rising conversion branch up to atCA1 at the first critical angle.
+			x := theta / ca1
+			s = atCA1 * math.Sin(x*math.Pi/2)
+		} else {
+			// Window branch: one smooth sine lobe over [CA1, CA2] that is
+			// continuous with the rising branch (sin φ0 = atCA1), peaks at 1
+			// roughly a third of the way in, and reaches 0 at CA2.
+			x := (theta - ca1) / (ca2 - ca1)
+			phi0 := math.Asin(atCA1)
+			s = math.Sin(phi0 + (math.Pi-phi0)*x)
+		}
+	}
+	return p, s
+}
+
+// TransducerHalfBeamAngle computes the half-beam angle of a circular PZT
+// disc of diameter d driving at frequency f into a medium with P-velocity
+// vp: α = arcsin(0.514·vp / (f·d)) (§3.2). If the argument exceeds 1 the
+// source is omnidirectional and π/2 is returned.
+func TransducerHalfBeamAngle(vp, f, d float64) float64 {
+	if f <= 0 || d <= 0 {
+		return math.Pi / 2
+	}
+	arg := 0.514 * vp / (f * d)
+	if arg >= 1 {
+		return math.Pi / 2
+	}
+	return math.Asin(arg)
+}
+
+// BeamConeVolume returns the volume (m³) of the insonified cone for a beam
+// of half-angle alpha penetrating depth h: V = π·(h·tan α)²·h / 3. With the
+// paper's parameters (D = 40 mm, f = 230 kHz, 15 cm wall) this is the
+// ≈132 cm³ "small cone" that motivates the prism (§3.2).
+func BeamConeVolume(alpha, depth float64) float64 {
+	r := depth * math.Tan(alpha)
+	return math.Pi * r * r * depth / 3
+}

@@ -1,0 +1,165 @@
+// Package protocol defines the over-concrete air interface the reader and
+// EcoCapsules share: a downlink command set patterned on the EPC UHF Gen2
+// protocol the paper adopts (§5.1), CRC-protected framing, and the
+// TDMA/slotted-ALOHA inventory mechanism of §3.4 that scales one reader to
+// multiple capsules.
+package protocol
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"ecocapsule/internal/coding"
+)
+
+// Command opcodes of the downlink.
+type Command byte
+
+const (
+	// CmdQuery opens an inventory round with 2^Q slots.
+	CmdQuery Command = 0x01
+	// CmdQueryRep advances to the next slot of the round.
+	CmdQueryRep Command = 0x02
+	// CmdAck acknowledges a node's RN16, soliciting its ID.
+	CmdAck Command = 0x03
+	// CmdSetBLF assigns a node its backscatter link frequency offset.
+	CmdSetBLF Command = 0x04
+	// CmdReadSensor requests a sensor reading from an addressed node.
+	CmdReadSensor Command = 0x05
+	// CmdSleep puts an addressed node back into harvest-only standby.
+	CmdSleep Command = 0x06
+)
+
+func (c Command) String() string {
+	switch c {
+	case CmdQuery:
+		return "Query"
+	case CmdQueryRep:
+		return "QueryRep"
+	case CmdAck:
+		return "Ack"
+	case CmdSetBLF:
+		return "SetBLF"
+	case CmdReadSensor:
+		return "ReadSensor"
+	case CmdSleep:
+		return "Sleep"
+	default:
+		return fmt.Sprintf("Command(%#02x)", byte(c))
+	}
+}
+
+// Packet is one downlink frame.
+type Packet struct {
+	Cmd Command
+	// Target addresses a specific node (its 16-bit handle); 0xFFFF is
+	// broadcast.
+	Target uint16
+	// Payload is command-specific: Q for Query, the BLF index for SetBLF,
+	// the sensor type for ReadSensor.
+	Payload []byte
+}
+
+// Broadcast is the all-nodes target.
+const Broadcast uint16 = 0xFFFF
+
+// Preamble marks the start of every downlink frame; its alternating
+// structure lets a cold node lock symbol timing.
+var Preamble = []byte{0xAA, 0x3C}
+
+// Marshal frames the packet: preamble ‖ cmd ‖ target ‖ len ‖ payload ‖ CRC16.
+func (p Packet) Marshal() []byte {
+	if len(p.Payload) > 255 {
+		p.Payload = p.Payload[:255]
+	}
+	body := make([]byte, 0, 2+1+2+1+len(p.Payload)+2)
+	body = append(body, Preamble...)
+	body = append(body, byte(p.Cmd))
+	var tgt [2]byte
+	binary.BigEndian.PutUint16(tgt[:], p.Target)
+	body = append(body, tgt[:]...)
+	body = append(body, byte(len(p.Payload)))
+	body = append(body, p.Payload...)
+	return coding.AppendCRC16(body)
+}
+
+// Unmarshal errors.
+var (
+	ErrShortFrame  = errors.New("protocol: frame too short")
+	ErrBadPreamble = errors.New("protocol: bad preamble")
+	ErrBadCRC      = errors.New("protocol: CRC mismatch")
+	ErrBadLength   = errors.New("protocol: length field disagrees with frame size")
+)
+
+// Unmarshal parses a downlink frame, validating preamble and CRC.
+func Unmarshal(frame []byte) (Packet, error) {
+	const minLen = 2 + 1 + 2 + 1 + 2
+	if len(frame) < minLen {
+		return Packet{}, ErrShortFrame
+	}
+	if frame[0] != Preamble[0] || frame[1] != Preamble[1] {
+		return Packet{}, ErrBadPreamble
+	}
+	if !coding.CRC16Check(frame) {
+		return Packet{}, ErrBadCRC
+	}
+	plen := int(frame[5])
+	if len(frame) != minLen+plen {
+		return Packet{}, ErrBadLength
+	}
+	p := Packet{
+		Cmd:    Command(frame[2]),
+		Target: binary.BigEndian.Uint16(frame[3:5]),
+	}
+	if plen > 0 {
+		p.Payload = append([]byte(nil), frame[6:6+plen]...)
+	}
+	return p, nil
+}
+
+// Bits returns the frame as a 0/1 bit slice ready for PIE encoding.
+func (p Packet) Bits() []byte {
+	return coding.BytesToBits(p.Marshal())
+}
+
+// UplinkFrame is a node's response: handle ‖ sensor type ‖ payload ‖ CRC16.
+type UplinkFrame struct {
+	Handle uint16
+	Kind   byte
+	Data   []byte
+}
+
+// Marshal frames the uplink response.
+func (u UplinkFrame) Marshal() []byte {
+	body := make([]byte, 0, 3+len(u.Data)+2)
+	var h [2]byte
+	binary.BigEndian.PutUint16(h[:], u.Handle)
+	body = append(body, h[:]...)
+	body = append(body, u.Kind)
+	body = append(body, u.Data...)
+	return coding.AppendCRC16(body)
+}
+
+// UnmarshalUplink parses an uplink frame.
+func UnmarshalUplink(frame []byte) (UplinkFrame, error) {
+	if len(frame) < 5 {
+		return UplinkFrame{}, ErrShortFrame
+	}
+	if !coding.CRC16Check(frame) {
+		return UplinkFrame{}, ErrBadCRC
+	}
+	u := UplinkFrame{
+		Handle: binary.BigEndian.Uint16(frame[0:2]),
+		Kind:   frame[2],
+	}
+	if n := len(frame) - 5; n > 0 {
+		u.Data = append([]byte(nil), frame[3:3+n]...)
+	}
+	return u, nil
+}
+
+// Bits returns the uplink frame as bits ready for FM0 encoding.
+func (u UplinkFrame) Bits() []byte {
+	return coding.BytesToBits(u.Marshal())
+}

@@ -1,0 +1,386 @@
+// Package reader implements the surface-mounted reader of the EcoCapsule
+// system (§5.1): a transmitting PZT behind a PLA wave prism driven by a
+// high-voltage amplifier, a receiving PZT glued directly to the surface,
+// and the Gen2-style inventory engine that powers up, arbitrates, and
+// queries the capsules embedded in a structure.
+package reader
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"ecocapsule/internal/channel"
+	"ecocapsule/internal/energy"
+	"ecocapsule/internal/geometry"
+	"ecocapsule/internal/node"
+	"ecocapsule/internal/physics"
+	"ecocapsule/internal/protocol"
+	"ecocapsule/internal/sensors"
+	"ecocapsule/internal/units"
+)
+
+// Config parameterises a reader deployment.
+type Config struct {
+	// Structure the reader is attached to.
+	Structure *geometry.Structure
+	// TXPosition and RXPosition on the surface (≈20 cm apart in §5.1).
+	TXPosition, RXPosition geometry.Vec3
+	// DriveVoltage at the transmitting PZT (V); the amplifier caps at 250 V.
+	DriveVoltage float64
+	// PrismAngleDeg is the prism's incidence angle (default 60°).
+	PrismAngleDeg float64
+	// CarrierHz (default 230 kHz).
+	CarrierHz float64
+	// Seed for deterministic behaviour.
+	Seed int64
+}
+
+// MaxDriveVoltage is the amplifier ceiling (§5.2).
+const MaxDriveVoltage = 250.0
+
+// DefaultPZTCoupling converts channel path gain × drive voltage into PZT
+// amplitude at a node; calibrated against the Fig. 12 range anchors.
+const DefaultPZTCoupling = 0.091
+
+// Reader drives one structure.
+type Reader struct {
+	mu  sync.Mutex
+	cfg Config
+
+	nodes []*node.Node
+	chans map[uint16]*channel.Channel
+
+	// env provides the physical ground truth for sensor sampling.
+	env func(pos geometry.Vec3) sensors.Environment
+
+	// PZTCouplingVoltsPerUnit converts channel path gain × drive voltage
+	// into the PZT amplitude at a node (the electro-mechanical coupling
+	// of the whole chain), calibrated against the Fig. 12 anchor points.
+	PZTCouplingVoltsPerUnit float64
+}
+
+// New validates the configuration and returns a Reader.
+func New(cfg Config) (*Reader, error) {
+	if cfg.Structure == nil {
+		return nil, errors.New("reader: nil structure")
+	}
+	if cfg.DriveVoltage <= 0 {
+		return nil, errors.New("reader: drive voltage must be positive")
+	}
+	if cfg.DriveVoltage > MaxDriveVoltage {
+		return nil, fmt.Errorf("reader: drive voltage %.0f V exceeds the %.0f V amplifier ceiling",
+			cfg.DriveVoltage, MaxDriveVoltage)
+	}
+	if cfg.PrismAngleDeg == 0 {
+		cfg.PrismAngleDeg = 60
+	}
+	if cfg.CarrierHz == 0 {
+		cfg.CarrierHz = 230 * units.KHz
+	}
+	return &Reader{
+		cfg:                     cfg,
+		chans:                   make(map[uint16]*channel.Channel),
+		env:                     func(geometry.Vec3) sensors.Environment { return sensors.Environment{} },
+		PZTCouplingVoltsPerUnit: DefaultPZTCoupling,
+	}, nil
+}
+
+// SetEnvironment installs the ground-truth sampler used when capsules read
+// their sensors.
+func (r *Reader) SetEnvironment(f func(pos geometry.Vec3) sensors.Environment) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f != nil {
+		r.env = f
+	}
+}
+
+// Deploy embeds a node into the structure, building its acoustic channel.
+func (r *Reader) Deploy(n *node.Node) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.cfg.Structure.Inside(n.Position()) {
+		return fmt.Errorf("reader: node %#04x position %+v outside %s",
+			n.Handle(), n.Position(), r.cfg.Structure.Name)
+	}
+	ch, err := channel.New(channel.Config{
+		Structure:        r.cfg.Structure,
+		Source:           r.cfg.TXPosition,
+		Destination:      n.Position(),
+		CarrierFrequency: r.cfg.CarrierHz,
+		PrismAngle:       units.Deg2Rad(r.cfg.PrismAngleDeg),
+		Seed:             r.cfg.Seed + int64(n.Handle()),
+	})
+	if err != nil {
+		return fmt.Errorf("reader: channel to node %#04x: %w", n.Handle(), err)
+	}
+	r.nodes = append(r.nodes, n)
+	r.chans[n.Handle()] = ch
+	return nil
+}
+
+// Nodes returns the deployed nodes.
+func (r *Reader) Nodes() []*node.Node {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*node.Node, len(r.nodes))
+	copy(out, r.nodes)
+	return out
+}
+
+// NodeAmplitude returns the PZT amplitude (volts) delivered to the given
+// node at the current drive voltage.
+func (r *Reader) NodeAmplitude(handle uint16) (float64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nodeAmplitudeLocked(handle)
+}
+
+func (r *Reader) nodeAmplitudeLocked(handle uint16) (float64, error) {
+	ch, ok := r.chans[handle]
+	if !ok {
+		return 0, fmt.Errorf("reader: unknown node %#04x", handle)
+	}
+	return r.cfg.DriveVoltage * ch.PathGain() * r.PZTCouplingVoltsPerUnit, nil
+}
+
+// Charge runs the continuous body wave for the given duration, advancing
+// every node's power state machine in millisecond steps. It returns the
+// number of nodes powered up at the end.
+func (r *Reader) Charge(duration float64) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cs := r.cfg.Structure.Material.VS()
+	if cs == 0 {
+		cs = r.cfg.Structure.Material.VP()
+	}
+	const dt = 1e-3
+	steps := int(duration / dt)
+	if steps < 1 {
+		steps = 1
+	}
+	for s := 0; s < steps; s++ {
+		for _, n := range r.nodes {
+			vin, err := r.nodeAmplitudeLocked(n.Handle())
+			if err != nil {
+				continue
+			}
+			n.Excite(vin, r.cfg.CarrierHz, cs, dt)
+		}
+	}
+	up := 0
+	for _, n := range r.nodes {
+		if n.PoweredUp() {
+			up++
+		}
+	}
+	return up
+}
+
+// broadcastLocked delivers a packet to every powered node and collects
+// replies. Caller holds the lock.
+func (r *Reader) broadcastLocked(p protocol.Packet) []*protocol.UplinkFrame {
+	var replies []*protocol.UplinkFrame
+	for _, n := range r.nodes {
+		env := r.env(n.Position())
+		up, err := n.HandleDownlink(p, env)
+		if err != nil || up == nil {
+			continue
+		}
+		replies = append(replies, up)
+	}
+	return replies
+}
+
+// InventoryResult summarises one full inventory.
+type InventoryResult struct {
+	Discovered []uint16
+	Rounds     int
+	Collisions int
+	Empties    int
+}
+
+// Inventory runs adaptive-Q slotted-ALOHA rounds until every powered node
+// has been singulated or maxRounds is exhausted (§3.4's TDMA).
+func (r *Reader) Inventory(maxRounds int) InventoryResult {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	found := make(map[uint16]bool)
+	var res InventoryResult
+	q := 2
+	for round := 0; round < maxRounds; round++ {
+		res.Rounds++
+		var outcome protocol.RoundOutcome
+		// Query opens the round; each subsequent slot is a QueryRep.
+		slots := 1 << uint(q)
+		for slot := 0; slot < slots; slot++ {
+			var p protocol.Packet
+			if slot == 0 {
+				p = protocol.Packet{Cmd: protocol.CmdQuery, Target: protocol.Broadcast, Payload: []byte{byte(q)}}
+			} else {
+				p = protocol.Packet{Cmd: protocol.CmdQueryRep, Target: protocol.Broadcast}
+			}
+			replies := r.broadcastLocked(p)
+			switch len(replies) {
+			case 0:
+				outcome.Empties++
+			case 1:
+				outcome.Singles++
+				h := replies[0].Handle
+				if !found[h] {
+					found[h] = true
+					res.Discovered = append(res.Discovered, h)
+				}
+				// Ack singulates; the node leaves the round.
+				r.broadcastLocked(protocol.Packet{Cmd: protocol.CmdAck, Target: h})
+			default:
+				outcome.Collisions++
+				res.Collisions++
+				// Collided nodes stay replying; sleep them back to
+				// standby so the next round redraws their slots.
+				for _, reply := range replies {
+					r.broadcastLocked(protocol.Packet{Cmd: protocol.CmdSleep, Target: reply.Handle})
+				}
+			}
+		}
+		res.Empties += outcome.Empties
+		powered := 0
+		for _, n := range r.nodes {
+			if n.PoweredUp() {
+				powered++
+			}
+		}
+		if len(found) >= powered {
+			break
+		}
+		q = protocol.AdaptQ(q, outcome)
+	}
+	sort.Slice(res.Discovered, func(i, j int) bool { return res.Discovered[i] < res.Discovered[j] })
+	return res
+}
+
+// ReadSensor requests one sensor reading from an addressed node and decodes
+// the reply.
+func (r *Reader) ReadSensor(handle uint16, st sensors.SensorType) ([]float64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var target *node.Node
+	for _, n := range r.nodes {
+		if n.Handle() == handle {
+			target = n
+			break
+		}
+	}
+	if target == nil {
+		return nil, fmt.Errorf("reader: unknown node %#04x", handle)
+	}
+	env := r.env(target.Position())
+	up, err := target.HandleDownlink(protocol.Packet{
+		Cmd: protocol.CmdReadSensor, Target: handle, Payload: []byte{byte(st)},
+	}, env)
+	if err != nil {
+		return nil, err
+	}
+	if up == nil {
+		return nil, errors.New("reader: node stayed silent")
+	}
+	// Round-trip through the wire framing, as the acoustic link would.
+	frame := up.Marshal()
+	parsed, err := protocol.UnmarshalUplink(frame)
+	if err != nil {
+		return nil, fmt.Errorf("reader: uplink corrupted: %w", err)
+	}
+	return sensors.Decode(sensors.SensorType(parsed.Kind), parsed.Data)
+}
+
+// SetDriveVoltage changes the amplifier setting (clamped to the ceiling).
+func (r *Reader) SetDriveVoltage(v float64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v <= 0 {
+		return errors.New("reader: drive voltage must be positive")
+	}
+	if v > MaxDriveVoltage {
+		return fmt.Errorf("reader: %g V exceeds the %g V ceiling", v, MaxDriveVoltage)
+	}
+	r.cfg.DriveVoltage = v
+	return nil
+}
+
+// DriveVoltage returns the current amplifier setting.
+func (r *Reader) DriveVoltage() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cfg.DriveVoltage
+}
+
+// MaxPowerUpRange sweeps a probe node along the structure's long axis and
+// returns the farthest distance (m) at which it can still be powered up at
+// the given drive voltage — the Fig. 12 measurement procedure.
+func MaxPowerUpRange(cfg Config, voltage float64) (float64, error) {
+	if voltage <= 0 || voltage > MaxDriveVoltage {
+		return 0, fmt.Errorf("reader: voltage %g V outside (0, %g]", voltage, MaxDriveVoltage)
+	}
+	cfg.DriveVoltage = voltage
+	r, err := New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	s := cfg.Structure
+	harv := energy.DefaultHarvester()
+	axisMax := s.MaxRangeAxis()
+	cs := s.Material.VS()
+	if cs == 0 {
+		cs = s.Material.VP()
+	}
+	hraGain := physics.PaperHRA().Gain(cs, r.cfg.CarrierHz)
+	// Binary search the farthest position that still activates.
+	probe := func(d float64) bool {
+		pos := probePosition(s, d)
+		ch, err := channel.New(channel.Config{
+			Structure:        s,
+			Source:           cfg.TXPosition,
+			CarrierFrequency: r.cfg.CarrierHz,
+			Destination:      pos,
+			PrismAngle:       units.Deg2Rad(r.cfg.PrismAngleDeg),
+		})
+		if err != nil {
+			return false
+		}
+		// The HRA boost applies before the threshold comparison, exactly
+		// as in the node's Excite path.
+		vin := voltage * ch.PathGain() * r.PZTCouplingVoltsPerUnit * hraGain
+		return harv.CanActivate(vin)
+	}
+	if !probe(0.1) {
+		return 0, nil
+	}
+	lo, hi := 0.1, axisMax
+	if probe(hi) {
+		return hi, nil
+	}
+	for i := 0; i < 40; i++ {
+		mid := (lo + hi) / 2
+		if probe(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// probePosition places the probe node d metres along the structure's long
+// axis, centred in the transverse dimensions.
+func probePosition(s *geometry.Structure, d float64) geometry.Vec3 {
+	switch s.Shape {
+	case geometry.Cylinder:
+		return geometry.Vec3{X: 0, Y: d, Z: 0}
+	default:
+		y := s.Height / 2
+		z := s.Thickness / 2
+		return geometry.Vec3{X: d, Y: y, Z: z}
+	}
+}

@@ -1,0 +1,137 @@
+package shm
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ecocapsule/internal/dsp"
+)
+
+// burst synthesises a modal vibration capture at the given fundamental.
+func burst(f1, fsHz, dur, noiseSigma float64, seed int64) []float64 {
+	n := int(fsHz * dur)
+	out := make([]float64, n)
+	noise := dsp.NewNoiseSource(seed)
+	for i := range out {
+		t := float64(i) / fsHz
+		out[i] = 0.01*math.Sin(2*math.Pi*f1*t) + noise.Gaussian(noiseSigma)
+	}
+	return out
+}
+
+func TestEstimateNaturalFrequency(t *testing.T) {
+	fs := 50.0
+	x := burst(2.1, fs, 60, 0.001, 1)
+	est, err := EstimateNaturalFrequency(x, fs, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.FrequencyHz-2.1) > 0.05 {
+		t.Errorf("estimated %.3f Hz, want 2.1", est.FrequencyHz)
+	}
+	if est.Peakiness < 3 {
+		t.Errorf("peakiness %.1f too low for a clean mode", est.Peakiness)
+	}
+}
+
+func TestEstimateNaturalFrequencyNoisy(t *testing.T) {
+	fs := 50.0
+	x := burst(1.8, fs, 120, 0.004, 2)
+	est, err := EstimateNaturalFrequency(x, fs, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.FrequencyHz-1.8) > 0.08 {
+		t.Errorf("estimated %.3f Hz under noise, want 1.8", est.FrequencyHz)
+	}
+}
+
+func TestEstimateNaturalFrequencyNoMode(t *testing.T) {
+	// Pure white noise has no standout peak.
+	noise := dsp.NewNoiseSource(3)
+	x := make([]float64, 4096)
+	for i := range x {
+		x[i] = noise.Gaussian(0.01)
+	}
+	if _, err := EstimateNaturalFrequency(x, 50, 0.5, 5); !errors.Is(err, ErrNoMode) {
+		t.Errorf("white noise should yield ErrNoMode, got %v", err)
+	}
+	if _, err := EstimateNaturalFrequency(nil, 50, 0.5, 5); !errors.Is(err, ErrNoMode) {
+		t.Error("empty burst must error")
+	}
+	if _, err := EstimateNaturalFrequency(x, 0, 0.5, 5); !errors.Is(err, ErrNoMode) {
+		t.Error("zero sample rate must error")
+	}
+	if _, err := EstimateNaturalFrequency(x, 50, 5, 0.5); !errors.Is(err, ErrNoMode) {
+		t.Error("inverted band must error")
+	}
+}
+
+func TestModalDamageIndex(t *testing.T) {
+	// No shift → no damage.
+	if idx := ModalDamageIndex(2.1, 2.1); idx != 0 {
+		t.Errorf("no shift index %g", idx)
+	}
+	// 10 % frequency drop → 1 − 0.81 = 19 % stiffness loss.
+	if idx := ModalDamageIndex(2.1, 2.1*0.9); math.Abs(idx-0.19) > 1e-12 {
+		t.Errorf("10%% drop index %g, want 0.19", idx)
+	}
+	// Upward shifts clamp at zero (no negative damage).
+	if idx := ModalDamageIndex(2.1, 2.3); idx != 0 {
+		t.Errorf("upward shift index %g", idx)
+	}
+	if ModalDamageIndex(0, 2.0) != 0 {
+		t.Error("zero baseline must be 0")
+	}
+}
+
+func TestClassifyModalDamage(t *testing.T) {
+	cases := map[float64]DamageSeverity{
+		0.0:  DamageNone,
+		0.02: DamageNone,
+		0.05: DamageMinor,
+		0.15: DamageModerate,
+		0.4:  DamageSevere,
+	}
+	for idx, want := range cases {
+		if got := ClassifyModalDamage(idx); got != want {
+			t.Errorf("index %.2f → %v, want %v", idx, got, want)
+		}
+	}
+	for _, d := range []DamageSeverity{DamageNone, DamageMinor, DamageModerate, DamageSevere, DamageSeverity(9)} {
+		if d.String() == "" {
+			t.Error("severity must format")
+		}
+	}
+}
+
+func TestEstimateNaturalFrequencyWelch(t *testing.T) {
+	fs := 50.0
+	// A weak mode buried in noise that the single-FFT estimator misses at
+	// this SNR often survives Welch averaging.
+	x := burst(2.0, fs, 240, 0.02, 4)
+	est, err := EstimateNaturalFrequencyWelch(x, fs, 0.5, 5, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.FrequencyHz-2.0) > 0.1 {
+		t.Errorf("Welch estimate %.3f Hz, want 2.0", est.FrequencyHz)
+	}
+	// Degenerate inputs.
+	if _, err := EstimateNaturalFrequencyWelch(nil, fs, 0.5, 5, 512); !errors.Is(err, ErrNoMode) {
+		t.Error("empty record must error")
+	}
+	if _, err := EstimateNaturalFrequencyWelch(x, fs, 5, 0.5, 512); !errors.Is(err, ErrNoMode) {
+		t.Error("inverted band must error")
+	}
+	// White noise stays rejected even with Welch.
+	noise := dsp.NewNoiseSource(5)
+	wn := make([]float64, 8192)
+	for i := range wn {
+		wn[i] = noise.Gaussian(0.01)
+	}
+	if _, err := EstimateNaturalFrequencyWelch(wn, fs, 0.5, 5, 512); !errors.Is(err, ErrNoMode) {
+		t.Error("white noise must stay rejected")
+	}
+}

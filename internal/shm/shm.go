@@ -1,0 +1,266 @@
+// Package shm implements the structural-health-monitoring analytics of §6:
+// grading bridge health from pedestrian area occupancy (Table 2, four
+// regional standards), the structural safety thresholds of the pilot
+// footbridge, storm/anomaly detection over sensor time series, and the
+// fusion of acceleration/stress/occupancy measurements into per-section
+// health levels.
+package shm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// HealthLevel grades structural health A (best) to F (imminent failure).
+type HealthLevel int
+
+// Health levels per the level-of-service standard (Table 2).
+const (
+	LevelA HealthLevel = iota
+	LevelB
+	LevelC
+	LevelD
+	LevelE
+	LevelF
+)
+
+func (h HealthLevel) String() string {
+	if h < LevelA || h > LevelF {
+		return fmt.Sprintf("HealthLevel(%d)", int(h))
+	}
+	return string(rune('A' + int(h)))
+}
+
+// Region selects the level-of-service standard (Table 2 columns).
+type Region int
+
+// Regions of Table 2.
+const (
+	UnitedStates Region = iota
+	HongKong
+	Bangkok
+	Manila
+)
+
+func (r Region) String() string {
+	switch r {
+	case UnitedStates:
+		return "United States"
+	case HongKong:
+		return "Hong Kong"
+	case Bangkok:
+		return "Bangkok"
+	case Manila:
+		return "Manila"
+	default:
+		return fmt.Sprintf("Region(%d)", int(r))
+	}
+}
+
+// paoBounds holds, per region, the lower bound of pedestrian area occupancy
+// (m²/ped) for levels A..E; anything below the E bound is F. From Table 2.
+var paoBounds = map[Region][5]float64{
+	UnitedStates: {3.85, 2.30, 1.39, 0.93, 0.46},
+	HongKong:     {3.25, 2.16, 1.40, 0.80, 0.52},
+	Bangkok:      {2.38, 1.60, 0.98, 0.65, 0.37},
+	Manila:       {3.25, 2.05, 1.65, 1.25, 0.56},
+}
+
+// ErrUnknownRegion is returned for regions outside Table 2.
+var ErrUnknownRegion = errors.New("shm: unknown region")
+
+// GradePAO grades health from the pedestrian area occupancy H in m²/ped
+// under the given regional standard. Larger H (more space per pedestrian)
+// is healthier; H > the A bound is level A, below the E bound is F.
+func GradePAO(region Region, h float64) (HealthLevel, error) {
+	b, ok := paoBounds[region]
+	if !ok {
+		return LevelF, ErrUnknownRegion
+	}
+	switch {
+	case h > b[0]:
+		return LevelA, nil
+	case h > b[1]:
+		return LevelB, nil
+	case h > b[2]:
+		return LevelC, nil
+	case h > b[3]:
+		return LevelD, nil
+	case h > b[4]:
+		return LevelE, nil
+	default:
+		return LevelF, nil
+	}
+}
+
+// PAO computes pedestrian area occupancy: usable deck area (m²) divided by
+// pedestrian count. Zero pedestrians means unbounded space (returns +Inf).
+func PAO(deckArea float64, pedestrians int) float64 {
+	if pedestrians <= 0 {
+		return math.Inf(1)
+	}
+	return deckArea / float64(pedestrians)
+}
+
+// Thresholds are the §6 structural safety limits of the pilot footbridge.
+type Thresholds struct {
+	// MaxVerticalAccel in m/s² (0.7 for the footbridge).
+	MaxVerticalAccel float64
+	// MaxLateralAccel in m/s² (0.15).
+	MaxLateralAccel float64
+	// MaxSteelStress in MPa (355).
+	MaxSteelStress float64
+	// MaxMidSpanDeflection in m (0.1083).
+	MaxMidSpanDeflection float64
+	// MinPAO in m²/ped (1: below this the bridge is overloaded and will
+	// collapse).
+	MinPAO float64
+}
+
+// FootbridgeThresholds returns the published limits.
+func FootbridgeThresholds() Thresholds {
+	return Thresholds{
+		MaxVerticalAccel:     0.7,
+		MaxLateralAccel:      0.15,
+		MaxSteelStress:       355,
+		MaxMidSpanDeflection: 0.1083,
+		MinPAO:               1.0,
+	}
+}
+
+// Violation describes one exceeded threshold.
+type Violation struct {
+	Quantity string
+	Value    float64
+	Limit    float64
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s %.4g exceeds limit %.4g", v.Quantity, v.Value, v.Limit)
+}
+
+// Measurement is one fused observation of the structure's state.
+type Measurement struct {
+	VerticalAccel float64 // m/s², absolute
+	LateralAccel  float64 // m/s², absolute
+	SteelStress   float64 // MPa, absolute
+	Deflection    float64 // m, absolute mid-span
+	PAO           float64 // m²/ped
+}
+
+// Check returns every violated threshold (empty when safe).
+func (t Thresholds) Check(m Measurement) []Violation {
+	var out []Violation
+	if m.VerticalAccel > t.MaxVerticalAccel {
+		out = append(out, Violation{"vertical acceleration", m.VerticalAccel, t.MaxVerticalAccel})
+	}
+	if m.LateralAccel > t.MaxLateralAccel {
+		out = append(out, Violation{"lateral acceleration", m.LateralAccel, t.MaxLateralAccel})
+	}
+	if m.SteelStress > t.MaxSteelStress {
+		out = append(out, Violation{"steel stress", m.SteelStress, t.MaxSteelStress})
+	}
+	if m.Deflection > t.MaxMidSpanDeflection {
+		out = append(out, Violation{"mid-span deflection", m.Deflection, t.MaxMidSpanDeflection})
+	}
+	if m.PAO < t.MinPAO {
+		out = append(out, Violation{"pedestrian area occupancy", m.PAO, t.MinPAO})
+	}
+	return out
+}
+
+// AnomalyDetector flags windows whose signal energy departs from a rolling
+// baseline — how the pilot study surfaces the 15–23 July tropical-cyclone
+// window in the acceleration and stress series (Fig. 21).
+type AnomalyDetector struct {
+	// Window is the number of samples per analysis window.
+	Window int
+	// Factor is how many times the baseline RMS a window must reach to be
+	// flagged.
+	Factor float64
+}
+
+// NewAnomalyDetector returns a detector with the pilot-study defaults.
+func NewAnomalyDetector() *AnomalyDetector {
+	return &AnomalyDetector{Window: 24, Factor: 2.0}
+}
+
+// Anomaly is a flagged index range [Start, End) of the input series.
+type Anomaly struct {
+	Start, End int
+	RMS        float64
+	Baseline   float64
+}
+
+// Detect returns the anomalous windows of series. The baseline is the
+// median window RMS, which is robust to the anomaly itself.
+func (d *AnomalyDetector) Detect(series []float64) []Anomaly {
+	w := d.Window
+	if w < 2 || len(series) < 2*w {
+		return nil
+	}
+	nWin := len(series) / w
+	rms := make([]float64, nWin)
+	for i := 0; i < nWin; i++ {
+		var acc float64
+		for _, v := range series[i*w : (i+1)*w] {
+			acc += v * v
+		}
+		rms[i] = math.Sqrt(acc / float64(w))
+	}
+	sorted := append([]float64(nil), rms...)
+	sort.Float64s(sorted)
+	baseline := sorted[len(sorted)/2]
+	if baseline == 0 {
+		baseline = 1e-12
+	}
+	var out []Anomaly
+	inRun := false
+	var run Anomaly
+	for i, r := range rms {
+		if r >= d.Factor*baseline {
+			if !inRun {
+				inRun = true
+				run = Anomaly{Start: i * w, RMS: r, Baseline: baseline}
+			}
+			run.End = (i + 1) * w
+			if r > run.RMS {
+				run.RMS = r
+			}
+			continue
+		}
+		if inRun {
+			out = append(out, run)
+			inRun = false
+		}
+	}
+	if inRun {
+		out = append(out, run)
+	}
+	return out
+}
+
+// SectionHealth is the per-section live status of Fig. 21(c).
+type SectionHealth struct {
+	Section     string
+	Pedestrians int
+	Level       HealthLevel
+	SpeedMS     float64 // mean pedestrian speed, m/s
+}
+
+// GradeSection fuses a section's deck area and pedestrian count into a
+// health row using the given regional standard.
+func GradeSection(region Region, section string, deckArea float64, pedestrians int, speed float64) (SectionHealth, error) {
+	level, err := GradePAO(region, PAO(deckArea, pedestrians))
+	if err != nil {
+		return SectionHealth{}, err
+	}
+	return SectionHealth{
+		Section:     section,
+		Pedestrians: pedestrians,
+		Level:       level,
+		SpeedMS:     speed,
+	}, nil
+}

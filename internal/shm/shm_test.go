@@ -1,0 +1,241 @@
+package shm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ecocapsule/internal/dsp"
+)
+
+func TestGradePAOTable2Anchors(t *testing.T) {
+	// Spot-check the Table 2 boundaries per region.
+	cases := []struct {
+		region Region
+		pao    float64
+		want   HealthLevel
+	}{
+		{UnitedStates, 4.0, LevelA},
+		{UnitedStates, 3.0, LevelB},
+		{UnitedStates, 2.0, LevelC},
+		{UnitedStates, 1.0, LevelD},
+		{UnitedStates, 0.5, LevelE},
+		{UnitedStates, 0.3, LevelF},
+		{HongKong, 3.3, LevelA},
+		{HongKong, 2.5, LevelB},
+		{HongKong, 1.5, LevelC},
+		{HongKong, 1.0, LevelD},
+		{HongKong, 0.6, LevelE},
+		{HongKong, 0.4, LevelF},
+		{Bangkok, 2.5, LevelA},
+		{Bangkok, 0.3, LevelF},
+		{Manila, 3.5, LevelA},
+		{Manila, 1.9, LevelC},
+	}
+	for _, c := range cases {
+		got, err := GradePAO(c.region, c.pao)
+		if err != nil {
+			t.Fatalf("%v %.2f: %v", c.region, c.pao, err)
+		}
+		if got != c.want {
+			t.Errorf("GradePAO(%v, %.2f) = %v, want %v", c.region, c.pao, got, c.want)
+		}
+	}
+}
+
+func TestGradePAOMonotoneProperty(t *testing.T) {
+	// More space per pedestrian can never worsen the grade.
+	f := func(raw float64) bool {
+		h := math.Mod(math.Abs(raw), 5)
+		for _, region := range []Region{UnitedStates, HongKong, Bangkok, Manila} {
+			a, err1 := GradePAO(region, h)
+			b, err2 := GradePAO(region, h+0.5)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			if b > a { // higher enum = worse level
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGradePAOUnknownRegion(t *testing.T) {
+	if _, err := GradePAO(Region(42), 2.0); err != ErrUnknownRegion {
+		t.Errorf("unknown region must error, got %v", err)
+	}
+}
+
+func TestPaperHealthRule(t *testing.T) {
+	// §6: H > 2 good health; H ≤ 1 overloaded/collapse. Under every
+	// regional standard H=2.5 must be C or better and H=0.3 must be E/F.
+	for _, region := range []Region{UnitedStates, HongKong, Bangkok, Manila} {
+		good, _ := GradePAO(region, 2.5)
+		if good > LevelC {
+			t.Errorf("%v: H=2.5 graded %v, expected ≤C", region, good)
+		}
+		bad, _ := GradePAO(region, 0.3)
+		if bad < LevelE {
+			t.Errorf("%v: H=0.3 graded %v, expected ≥E", region, bad)
+		}
+	}
+}
+
+func TestPAOComputation(t *testing.T) {
+	if got := PAO(100, 50); got != 2 {
+		t.Errorf("PAO = %g, want 2", got)
+	}
+	if !math.IsInf(PAO(100, 0), 1) {
+		t.Error("zero pedestrians → +Inf PAO")
+	}
+}
+
+func TestHealthLevelString(t *testing.T) {
+	names := []string{"A", "B", "C", "D", "E", "F"}
+	for i, want := range names {
+		if HealthLevel(i).String() != want {
+			t.Errorf("level %d = %q", i, HealthLevel(i).String())
+		}
+	}
+	if HealthLevel(9).String() == "" {
+		t.Error("out-of-range level must format")
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	for _, r := range []Region{UnitedStates, HongKong, Bangkok, Manila} {
+		if r.String() == "" {
+			t.Error("region must format")
+		}
+	}
+	if Region(9).String() == "" {
+		t.Error("unknown region must format")
+	}
+}
+
+func TestThresholdsCheck(t *testing.T) {
+	th := FootbridgeThresholds()
+	safe := Measurement{VerticalAccel: 0.03, LateralAccel: 0.01, SteelStress: 80, Deflection: 0.01, PAO: 3}
+	if v := th.Check(safe); len(v) != 0 {
+		t.Errorf("safe measurement flagged: %v", v)
+	}
+	danger := Measurement{VerticalAccel: 0.9, LateralAccel: 0.2, SteelStress: 400, Deflection: 0.2, PAO: 0.5}
+	v := th.Check(danger)
+	if len(v) != 5 {
+		t.Errorf("all five thresholds must trip, got %d: %v", len(v), v)
+	}
+	for _, viol := range v {
+		if viol.String() == "" {
+			t.Error("violation must format")
+		}
+	}
+}
+
+func TestThresholdValues(t *testing.T) {
+	th := FootbridgeThresholds()
+	// §6 published limits.
+	if th.MaxVerticalAccel != 0.7 || th.MaxLateralAccel != 0.15 {
+		t.Error("acceleration limits wrong")
+	}
+	if th.MaxSteelStress != 355 || th.MaxMidSpanDeflection != 0.1083 || th.MinPAO != 1.0 {
+		t.Error("stress/deflection/PAO limits wrong")
+	}
+}
+
+func TestAnomalyDetectorFindsStorm(t *testing.T) {
+	// Quiet series with an energetic burst in the middle (the cyclone).
+	noise := dsp.NewNoiseSource(1)
+	series := make([]float64, 31*24) // a month of hourly samples
+	for i := range series {
+		series[i] = noise.Gaussian(0.005)
+	}
+	stormStart, stormEnd := 14*24, 23*24
+	for i := stormStart; i < stormEnd; i++ {
+		series[i] = noise.Gaussian(0.03)
+	}
+	d := NewAnomalyDetector()
+	anomalies := d.Detect(series)
+	if len(anomalies) == 0 {
+		t.Fatal("storm window must be detected")
+	}
+	// The flagged span must overlap the storm heavily.
+	a := anomalies[0]
+	overlapStart := math.Max(float64(a.Start), float64(stormStart))
+	overlapEnd := math.Min(float64(a.End), float64(stormEnd))
+	if overlapEnd-overlapStart < float64(stormEnd-stormStart)*0.7 {
+		t.Errorf("detected [%d,%d) misses the storm [%d,%d)", a.Start, a.End, stormStart, stormEnd)
+	}
+	if a.RMS <= a.Baseline {
+		t.Error("anomaly RMS must exceed baseline")
+	}
+}
+
+func TestAnomalyDetectorQuietSeries(t *testing.T) {
+	noise := dsp.NewNoiseSource(2)
+	series := make([]float64, 1000)
+	for i := range series {
+		series[i] = noise.Gaussian(0.01)
+	}
+	if a := NewAnomalyDetector().Detect(series); len(a) != 0 {
+		t.Errorf("quiet series must yield no anomalies, got %v", a)
+	}
+}
+
+func TestAnomalyDetectorDegenerate(t *testing.T) {
+	d := NewAnomalyDetector()
+	if d.Detect(nil) != nil {
+		t.Error("nil series → nil")
+	}
+	if d.Detect(make([]float64, 10)) != nil {
+		t.Error("short series → nil")
+	}
+	zero := make([]float64, 200)
+	if a := d.Detect(zero); len(a) != 0 {
+		t.Errorf("all-zero series must not flag, got %v", a)
+	}
+}
+
+func TestAnomalyDetectorTrailingRun(t *testing.T) {
+	// Anomaly extending to the end of the series must still be reported.
+	noise := dsp.NewNoiseSource(3)
+	series := make([]float64, 480)
+	for i := range series {
+		series[i] = noise.Gaussian(0.005)
+	}
+	for i := 360; i < 480; i++ {
+		series[i] = noise.Gaussian(0.05)
+	}
+	a := NewAnomalyDetector().Detect(series)
+	if len(a) == 0 || a[len(a)-1].End != 480 {
+		t.Errorf("trailing anomaly must be closed out: %v", a)
+	}
+}
+
+func TestGradeSection(t *testing.T) {
+	// Fig. 21(c): sections with a handful of pedestrians on a large deck
+	// grade A.
+	sh, err := GradeSection(HongKong, "B", 84.24*3/5, 3, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Level != LevelA {
+		t.Errorf("3 pedestrians on ~50 m² must grade A, got %v", sh.Level)
+	}
+	if sh.Section != "B" || sh.Pedestrians != 3 || sh.SpeedMS != 1.5 {
+		t.Errorf("section metadata wrong: %+v", sh)
+	}
+	crowded, err := GradeSection(HongKong, "C", 50, 120, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crowded.Level < LevelE {
+		t.Errorf("120 pedestrians on 50 m² must grade E/F, got %v", crowded.Level)
+	}
+	if _, err := GradeSection(Region(77), "X", 10, 1, 1); err == nil {
+		t.Error("unknown region must propagate")
+	}
+}

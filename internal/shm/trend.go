@@ -1,0 +1,116 @@
+package shm
+
+import (
+	"errors"
+	"math"
+)
+
+// Long-term degradation analytics: the paper's motivation (§1) is that
+// slow structural decay — water penetration, rebar corrosion — went
+// unnoticed for years before the Surfside collapse. Given a capsule's
+// time series, Trend fits the drift and predicts when a monitored
+// quantity crosses its alarm threshold, turning raw in-concrete readings
+// into a maintenance horizon.
+
+// Trend is a least-squares linear fit y = Intercept + Slope·t.
+type Trend struct {
+	Slope     float64 // units of y per unit of t
+	Intercept float64
+	// R2 is the coefficient of determination (goodness of fit, 0..1).
+	R2 float64
+	// N is the number of points fitted.
+	N int
+}
+
+// ErrTooFewPoints is returned when fewer than two samples are supplied.
+var ErrTooFewPoints = errors.New("shm: trend needs at least two points")
+
+// FitTrend fits a straight line to (t, y) by ordinary least squares.
+func FitTrend(t, y []float64) (Trend, error) {
+	n := len(t)
+	if n < 2 || len(y) != n {
+		return Trend{}, ErrTooFewPoints
+	}
+	var st, sy, stt, sty float64
+	for i := 0; i < n; i++ {
+		st += t[i]
+		sy += y[i]
+		stt += t[i] * t[i]
+		sty += t[i] * y[i]
+	}
+	fn := float64(n)
+	den := fn*stt - st*st
+	if den == 0 {
+		return Trend{}, errors.New("shm: degenerate time axis")
+	}
+	slope := (fn*sty - st*sy) / den
+	intercept := (sy - slope*st) / fn
+	// R².
+	meanY := sy / fn
+	var ssRes, ssTot float64
+	for i := 0; i < n; i++ {
+		fit := intercept + slope*t[i]
+		ssRes += (y[i] - fit) * (y[i] - fit)
+		ssTot += (y[i] - meanY) * (y[i] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	if r2 < 0 {
+		r2 = 0
+	}
+	return Trend{Slope: slope, Intercept: intercept, R2: r2, N: n}, nil
+}
+
+// At evaluates the fitted line at time t.
+func (tr Trend) At(t float64) float64 { return tr.Intercept + tr.Slope*t }
+
+// TimeToThreshold returns when the fitted line crosses the threshold
+// (absolute time on the same axis as the fit input). It returns +Inf when
+// the trend moves away from — or parallel to — the threshold.
+func (tr Trend) TimeToThreshold(threshold float64) float64 {
+	if tr.Slope == 0 {
+		return math.Inf(1)
+	}
+	t := (threshold - tr.Intercept) / tr.Slope
+	// Moving away: a positive slope below the threshold reaches it, a
+	// negative slope below it never does (and vice versa).
+	if tr.Slope > 0 && tr.Intercept > threshold {
+		return math.Inf(1)
+	}
+	if tr.Slope < 0 && tr.Intercept < threshold {
+		return math.Inf(1)
+	}
+	return t
+}
+
+// DegradationReport summarises one monitored quantity.
+type DegradationReport struct {
+	Quantity  string
+	Trend     Trend
+	Threshold float64
+	// CrossingTime is when the trend reaches the threshold (same axis as
+	// the fit; +Inf when it never does).
+	CrossingTime float64
+	// Alarming is true when the fit is trustworthy (R² ≥ 0.5) and the
+	// crossing lies within the horizon passed to Assess.
+	Alarming bool
+}
+
+// Assess fits the series and flags quantities whose threshold crossing
+// falls within the horizon (absolute time on the t axis).
+func Assess(quantity string, t, y []float64, threshold, horizon float64) (DegradationReport, error) {
+	tr, err := FitTrend(t, y)
+	if err != nil {
+		return DegradationReport{}, err
+	}
+	cross := tr.TimeToThreshold(threshold)
+	return DegradationReport{
+		Quantity:     quantity,
+		Trend:        tr,
+		Threshold:    threshold,
+		CrossingTime: cross,
+		Alarming:     tr.R2 >= 0.5 && !math.IsInf(cross, 1) && cross <= horizon,
+	}, nil
+}

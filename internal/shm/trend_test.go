@@ -1,0 +1,159 @@
+package shm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ecocapsule/internal/dsp"
+)
+
+func TestFitTrendExactLine(t *testing.T) {
+	ts := []float64{0, 1, 2, 3, 4}
+	ys := []float64{5, 7, 9, 11, 13} // y = 5 + 2t
+	tr, err := FitTrend(ts, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr.Slope-2) > 1e-12 || math.Abs(tr.Intercept-5) > 1e-12 {
+		t.Errorf("fit %+v, want slope 2 intercept 5", tr)
+	}
+	if tr.R2 < 0.999 {
+		t.Errorf("exact line must have R²≈1, got %g", tr.R2)
+	}
+	if tr.N != 5 {
+		t.Errorf("N = %d", tr.N)
+	}
+	if got := tr.At(10); math.Abs(got-25) > 1e-12 {
+		t.Errorf("At(10) = %g, want 25", got)
+	}
+}
+
+func TestFitTrendNoisy(t *testing.T) {
+	noise := dsp.NewNoiseSource(1)
+	ts := make([]float64, 200)
+	ys := make([]float64, 200)
+	for i := range ts {
+		ts[i] = float64(i)
+		ys[i] = 3 + 0.5*ts[i] + noise.Gaussian(2)
+	}
+	tr, err := FitTrend(ts, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr.Slope-0.5) > 0.05 {
+		t.Errorf("slope %g, want ≈0.5", tr.Slope)
+	}
+	if tr.R2 < 0.8 {
+		t.Errorf("R² %g too low for a strong trend", tr.R2)
+	}
+}
+
+func TestFitTrendValidation(t *testing.T) {
+	if _, err := FitTrend([]float64{1}, []float64{1}); err != ErrTooFewPoints {
+		t.Errorf("one point: %v", err)
+	}
+	if _, err := FitTrend([]float64{1, 2}, []float64{1}); err != ErrTooFewPoints {
+		t.Errorf("length mismatch: %v", err)
+	}
+	if _, err := FitTrend([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("degenerate time axis must error")
+	}
+}
+
+func TestFitTrendRecoversLineProperty(t *testing.T) {
+	f := func(rawSlope, rawIcpt float64) bool {
+		slope := math.Mod(rawSlope, 100)
+		icpt := math.Mod(rawIcpt, 1000)
+		if math.IsNaN(slope) || math.IsNaN(icpt) {
+			return true
+		}
+		ts := []float64{0, 1, 2, 5, 9}
+		ys := make([]float64, len(ts))
+		for i, x := range ts {
+			ys[i] = icpt + slope*x
+		}
+		tr, err := FitTrend(ts, ys)
+		if err != nil {
+			return false
+		}
+		return math.Abs(tr.Slope-slope) < 1e-6 && math.Abs(tr.Intercept-icpt) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeToThreshold(t *testing.T) {
+	up := Trend{Slope: 2, Intercept: 10}
+	if got := up.TimeToThreshold(20); math.Abs(got-5) > 1e-12 {
+		t.Errorf("rising crossing at %g, want 5", got)
+	}
+	// Already above a threshold it is rising away from: never crosses.
+	if got := up.TimeToThreshold(5); !math.IsInf(got, 1) {
+		t.Errorf("rising away must be +Inf, got %g", got)
+	}
+	down := Trend{Slope: -1, Intercept: 10}
+	if got := down.TimeToThreshold(4); math.Abs(got-6) > 1e-12 {
+		t.Errorf("falling crossing at %g, want 6", got)
+	}
+	if got := down.TimeToThreshold(15); !math.IsInf(got, 1) {
+		t.Errorf("falling away must be +Inf, got %g", got)
+	}
+	flat := Trend{Slope: 0, Intercept: 10}
+	if !math.IsInf(flat.TimeToThreshold(20), 1) {
+		t.Error("flat trend never crosses")
+	}
+}
+
+func TestAssessDegradation(t *testing.T) {
+	// Humidity creeping 1 %/month from 60 %: hits the 85 % alarm at
+	// month 25 — inside a 36-month horizon.
+	var ts, ys []float64
+	noise := dsp.NewNoiseSource(2)
+	for m := 0; m <= 12; m++ {
+		ts = append(ts, float64(m))
+		ys = append(ys, 60+1.0*float64(m)+noise.Gaussian(0.3))
+	}
+	rep, err := Assess("humidity", ts, ys, 85, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Alarming {
+		t.Errorf("report must alarm: %+v", rep)
+	}
+	if rep.CrossingTime < 20 || rep.CrossingTime > 30 {
+		t.Errorf("crossing at month %.1f, want ≈25", rep.CrossingTime)
+	}
+	// The same series against a 12-month horizon does not alarm.
+	rep2, err := Assess("humidity", ts, ys, 85, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Alarming {
+		t.Error("crossing beyond the horizon must not alarm")
+	}
+}
+
+func TestAssessIgnoresNoiseWithoutTrend(t *testing.T) {
+	noise := dsp.NewNoiseSource(3)
+	var ts, ys []float64
+	for m := 0; m < 24; m++ {
+		ts = append(ts, float64(m))
+		ys = append(ys, 60+noise.Gaussian(2))
+	}
+	rep, err := Assess("humidity", ts, ys, 85, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Alarming {
+		t.Errorf("trendless noise must not alarm (R²=%g, cross=%g)",
+			rep.Trend.R2, rep.CrossingTime)
+	}
+}
+
+func TestAssessPropagatesFitErrors(t *testing.T) {
+	if _, err := Assess("x", []float64{1}, []float64{1}, 10, 10); err == nil {
+		t.Error("short series must propagate the fit error")
+	}
+}

@@ -1,0 +1,267 @@
+package shmwire
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+)
+
+// Server streams SHM telemetry to every connected subscriber. A Source
+// callback supplies the frames; the server fans them out, dropping slow
+// subscribers rather than blocking the feed (monitoring data is perishable).
+type Server struct {
+	mu        sync.Mutex
+	ln        net.Listener
+	subs      map[int]*subscriber
+	nextSubID int
+	closed    bool
+	wg        sync.WaitGroup
+	logf      func(format string, args ...any)
+}
+
+type subscriber struct {
+	id   int
+	name string
+	ch   chan outFrame
+	conn net.Conn
+}
+
+type outFrame struct {
+	t    MsgType
+	body []byte
+}
+
+// NewServer listens on addr (e.g. "127.0.0.1:0").
+func NewServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("shmwire: listen: %w", err)
+	}
+	s := &Server{
+		ln:   ln,
+		subs: make(map[int]*subscriber),
+		logf: log.Printf,
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// SetLogf overrides the server's logger (tests silence it).
+func (s *Server) SetLogf(f func(string, ...any)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f != nil {
+		s.logf = f
+	}
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	c := NewConn(conn)
+	// The session must open with a Hello.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	f, err := c.Recv()
+	if err != nil || f.Type != MsgHello {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	sub := &subscriber{
+		name: string(f.Body),
+		ch:   make(chan outFrame, 256),
+		conn: conn,
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.nextSubID++
+	sub.id = s.nextSubID
+	s.subs[sub.id] = sub
+	logf := s.logf
+	s.mu.Unlock()
+	logf("shmwire: subscriber %q connected from %s", sub.name, conn.RemoteAddr())
+
+	// Writer drains the fan-out channel onto the socket.
+	for of := range sub.ch {
+		if err := c.Send(of.t, of.body); err != nil {
+			break
+		}
+	}
+	s.removeSub(sub.id)
+	conn.Close()
+}
+
+func (s *Server) removeSub(id int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sub, ok := s.subs[id]; ok {
+		delete(s.subs, id)
+		close(sub.ch)
+	}
+}
+
+// Subscribers returns the current subscriber count.
+func (s *Server) Subscribers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
+}
+
+// Broadcast fans one frame out to every subscriber. Slow subscribers whose
+// buffers are full are disconnected (the frame is dropped for them).
+func (s *Server) Broadcast(t MsgType, body []byte) {
+	s.mu.Lock()
+	var evict []int
+	for id, sub := range s.subs {
+		select {
+		case sub.ch <- outFrame{t: t, body: body}:
+		default:
+			evict = append(evict, id)
+		}
+	}
+	logf := s.logf
+	s.mu.Unlock()
+	for _, id := range evict {
+		logf("shmwire: evicting slow subscriber %d", id)
+		s.removeSub(id)
+	}
+}
+
+// BroadcastTelemetry is a convenience wrapper.
+func (s *Server) BroadcastTelemetry(t Telemetry) {
+	s.Broadcast(MsgTelemetry, EncodeTelemetry(t))
+}
+
+// BroadcastHealth is a convenience wrapper.
+func (s *Server) BroadcastHealth(h Health) {
+	s.Broadcast(MsgHealth, EncodeHealth(h))
+}
+
+// BroadcastAlert is a convenience wrapper.
+func (s *Server) BroadcastAlert(a Alert) {
+	s.Broadcast(MsgAlert, EncodeAlert(a))
+}
+
+// Close shuts the listener and every subscriber down and waits for the
+// handler goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	ids := make([]int, 0, len(s.subs))
+	for id := range s.subs {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	for _, id := range ids {
+		s.mu.Lock()
+		sub, ok := s.subs[id]
+		s.mu.Unlock()
+		if ok {
+			sub.conn.Close()
+		}
+		s.removeSub(id)
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Client subscribes to a server and decodes its stream.
+type Client struct {
+	conn net.Conn
+	c    *Conn
+}
+
+// Dial connects and sends the Hello.
+func Dial(addr, name string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("shmwire: dial: %w", err)
+	}
+	cl := &Client{conn: conn, c: NewConn(conn)}
+	if err := cl.c.Hello(name); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return cl, nil
+}
+
+// Event is one decoded server message.
+type Event struct {
+	Type      MsgType
+	Telemetry *Telemetry
+	Health    *Health
+	Alert     *Alert
+}
+
+// Next blocks for the next event. io.EOF-wrapped errors mean the stream
+// ended.
+func (cl *Client) Next() (Event, error) {
+	f, err := cl.c.Recv()
+	if err != nil {
+		return Event{}, err
+	}
+	switch f.Type {
+	case MsgTelemetry:
+		t, err := DecodeTelemetry(f.Body)
+		if err != nil {
+			return Event{}, err
+		}
+		return Event{Type: f.Type, Telemetry: &t}, nil
+	case MsgHealth:
+		h, err := DecodeHealth(f.Body)
+		if err != nil {
+			return Event{}, err
+		}
+		return Event{Type: f.Type, Health: &h}, nil
+	case MsgAlert:
+		a, err := DecodeAlert(f.Body)
+		if err != nil {
+			return Event{}, err
+		}
+		return Event{Type: f.Type, Alert: &a}, nil
+	case MsgBye:
+		return Event{Type: f.Type}, nil
+	default:
+		return Event{}, fmt.Errorf("shmwire: unexpected frame %v", f.Type)
+	}
+}
+
+// SetDeadline bounds the next Recv.
+func (cl *Client) SetDeadline(t time.Time) error { return cl.conn.SetReadDeadline(t) }
+
+// Close terminates the subscription.
+func (cl *Client) Close() error {
+	err := cl.conn.Close()
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return nil
+}

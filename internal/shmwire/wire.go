@@ -1,0 +1,260 @@
+// Package shmwire defines the binary TCP wire protocol the shmserver tool
+// streams SHM telemetry over, plus the client and server implementations.
+// The framing is deliberately simple and allocation-light: a fixed header
+// (magic, version, message type, length) followed by a fixed-layout body,
+// all big-endian — the kind of protocol a monitoring daemon would expose
+// to a building-management system.
+package shmwire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// Protocol constants.
+const (
+	// Magic marks every frame.
+	Magic uint16 = 0xEC05
+	// Version of the protocol.
+	Version byte = 1
+	// MaxFrameSize bounds a frame body (sanity limit).
+	MaxFrameSize = 4096
+)
+
+// MsgType discriminates frame bodies.
+type MsgType byte
+
+// Frame types.
+const (
+	// MsgHello opens a session (client → server): carries the subscriber
+	// name.
+	MsgHello MsgType = 1
+	// MsgTelemetry carries one telemetry sample (server → client).
+	MsgTelemetry MsgType = 2
+	// MsgHealth carries a per-section health report (server → client).
+	MsgHealth MsgType = 3
+	// MsgAlert flags a threshold violation or detected anomaly.
+	MsgAlert MsgType = 4
+	// MsgBye closes the session gracefully.
+	MsgBye MsgType = 5
+)
+
+func (m MsgType) String() string {
+	switch m {
+	case MsgHello:
+		return "hello"
+	case MsgTelemetry:
+		return "telemetry"
+	case MsgHealth:
+		return "health"
+	case MsgAlert:
+		return "alert"
+	case MsgBye:
+		return "bye"
+	default:
+		return fmt.Sprintf("MsgType(%d)", byte(m))
+	}
+}
+
+// Telemetry is one fused sample from the bridge.
+type Telemetry struct {
+	Timestamp    time.Time
+	CapsuleID    uint16
+	Acceleration float64 // m/s²
+	StressMPa    float64
+	TemperatureC float64
+	Humidity     float64 // percent
+}
+
+// Health is one per-section health row.
+type Health struct {
+	Timestamp   time.Time
+	Section     byte // 'A'..'E'
+	Level       byte // 'A'..'F'
+	Pedestrians uint16
+	SpeedMS     float64
+}
+
+// Alert flags a violation.
+type Alert struct {
+	Timestamp time.Time
+	Code      uint16
+	Message   string
+}
+
+// Alert codes.
+const (
+	AlertThreshold uint16 = 1
+	AlertAnomaly   uint16 = 2
+)
+
+// Frame is a decoded wire frame.
+type Frame struct {
+	Type MsgType
+	Body []byte
+}
+
+// Errors.
+var (
+	ErrBadMagic   = errors.New("shmwire: bad magic")
+	ErrBadVersion = errors.New("shmwire: unsupported version")
+	ErrTooLarge   = errors.New("shmwire: frame exceeds MaxFrameSize")
+	ErrShortBody  = errors.New("shmwire: body too short")
+)
+
+// WriteFrame writes one frame: magic(2) version(1) type(1) length(2) body.
+func WriteFrame(w io.Writer, t MsgType, body []byte) error {
+	if len(body) > MaxFrameSize {
+		return ErrTooLarge
+	}
+	hdr := make([]byte, 6)
+	binary.BigEndian.PutUint16(hdr[0:2], Magic)
+	hdr[2] = Version
+	hdr[3] = byte(t)
+	binary.BigEndian.PutUint16(hdr[4:6], uint16(len(body)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one frame from r.
+func ReadFrame(r io.Reader) (Frame, error) {
+	hdr := make([]byte, 6)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return Frame{}, err
+	}
+	if binary.BigEndian.Uint16(hdr[0:2]) != Magic {
+		return Frame{}, ErrBadMagic
+	}
+	if hdr[2] != Version {
+		return Frame{}, ErrBadVersion
+	}
+	n := int(binary.BigEndian.Uint16(hdr[4:6]))
+	if n > MaxFrameSize {
+		return Frame{}, ErrTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Frame{}, err
+	}
+	return Frame{Type: MsgType(hdr[3]), Body: body}, nil
+}
+
+func putF64(b []byte, v float64) { binary.BigEndian.PutUint64(b, math.Float64bits(v)) }
+func getF64(b []byte) float64    { return math.Float64frombits(binary.BigEndian.Uint64(b)) }
+
+// EncodeTelemetry serialises a telemetry sample.
+func EncodeTelemetry(t Telemetry) []byte {
+	b := make([]byte, 8+2+8*4)
+	binary.BigEndian.PutUint64(b[0:8], uint64(t.Timestamp.UnixNano()))
+	binary.BigEndian.PutUint16(b[8:10], t.CapsuleID)
+	putF64(b[10:18], t.Acceleration)
+	putF64(b[18:26], t.StressMPa)
+	putF64(b[26:34], t.TemperatureC)
+	putF64(b[34:42], t.Humidity)
+	return b
+}
+
+// DecodeTelemetry reverses EncodeTelemetry.
+func DecodeTelemetry(b []byte) (Telemetry, error) {
+	if len(b) < 42 {
+		return Telemetry{}, ErrShortBody
+	}
+	return Telemetry{
+		Timestamp:    time.Unix(0, int64(binary.BigEndian.Uint64(b[0:8]))).UTC(),
+		CapsuleID:    binary.BigEndian.Uint16(b[8:10]),
+		Acceleration: getF64(b[10:18]),
+		StressMPa:    getF64(b[18:26]),
+		TemperatureC: getF64(b[26:34]),
+		Humidity:     getF64(b[34:42]),
+	}, nil
+}
+
+// EncodeHealth serialises a health row.
+func EncodeHealth(h Health) []byte {
+	b := make([]byte, 8+1+1+2+8)
+	binary.BigEndian.PutUint64(b[0:8], uint64(h.Timestamp.UnixNano()))
+	b[8] = h.Section
+	b[9] = h.Level
+	binary.BigEndian.PutUint16(b[10:12], h.Pedestrians)
+	putF64(b[12:20], h.SpeedMS)
+	return b
+}
+
+// DecodeHealth reverses EncodeHealth.
+func DecodeHealth(b []byte) (Health, error) {
+	if len(b) < 20 {
+		return Health{}, ErrShortBody
+	}
+	return Health{
+		Timestamp:   time.Unix(0, int64(binary.BigEndian.Uint64(b[0:8]))).UTC(),
+		Section:     b[8],
+		Level:       b[9],
+		Pedestrians: binary.BigEndian.Uint16(b[10:12]),
+		SpeedMS:     getF64(b[12:20]),
+	}, nil
+}
+
+// EncodeAlert serialises an alert.
+func EncodeAlert(a Alert) []byte {
+	msg := []byte(a.Message)
+	if len(msg) > 512 {
+		msg = msg[:512]
+	}
+	b := make([]byte, 8+2+2+len(msg))
+	binary.BigEndian.PutUint64(b[0:8], uint64(a.Timestamp.UnixNano()))
+	binary.BigEndian.PutUint16(b[8:10], a.Code)
+	binary.BigEndian.PutUint16(b[10:12], uint16(len(msg)))
+	copy(b[12:], msg)
+	return b
+}
+
+// DecodeAlert reverses EncodeAlert.
+func DecodeAlert(b []byte) (Alert, error) {
+	if len(b) < 12 {
+		return Alert{}, ErrShortBody
+	}
+	n := int(binary.BigEndian.Uint16(b[10:12]))
+	if len(b) < 12+n {
+		return Alert{}, ErrShortBody
+	}
+	return Alert{
+		Timestamp: time.Unix(0, int64(binary.BigEndian.Uint64(b[0:8]))).UTC(),
+		Code:      binary.BigEndian.Uint16(b[8:10]),
+		Message:   string(b[12 : 12+n]),
+	}, nil
+}
+
+// Conn wraps a net.Conn (or any ReadWriter) with buffered framing.
+type Conn struct {
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+// NewConn wraps rw.
+func NewConn(rw io.ReadWriter) *Conn {
+	return &Conn{r: bufio.NewReader(rw), w: bufio.NewWriter(rw)}
+}
+
+// Send writes one frame and flushes.
+func (c *Conn) Send(t MsgType, body []byte) error {
+	if err := WriteFrame(c.w, t, body); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// Recv reads one frame.
+func (c *Conn) Recv() (Frame, error) { return ReadFrame(c.r) }
+
+// Hello sends the session-open frame with the subscriber name.
+func (c *Conn) Hello(name string) error {
+	return c.Send(MsgHello, []byte(name))
+}

@@ -1,0 +1,185 @@
+package shmwire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	body := []byte{1, 2, 3, 4, 5}
+	if err := WriteFrame(&buf, MsgTelemetry, body); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != MsgTelemetry || !bytes.Equal(f.Body, body) {
+		t.Errorf("frame mismatch: %+v", f)
+	}
+}
+
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(tp byte, body []byte) bool {
+		if len(body) > MaxFrameSize {
+			body = body[:MaxFrameSize]
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, MsgType(tp), body); err != nil {
+			return false
+		}
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			return false
+		}
+		return got.Type == MsgType(tp) && bytes.Equal(got.Body, body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameValidation(t *testing.T) {
+	// Oversized body rejected at write time.
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgTelemetry, make([]byte, MaxFrameSize+1)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized write: %v", err)
+	}
+	// Bad magic.
+	bad := []byte{0x00, 0x00, Version, byte(MsgHello), 0, 0}
+	if _, err := ReadFrame(bytes.NewReader(bad)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: %v", err)
+	}
+	// Bad version.
+	bad2 := []byte{0xEC, 0x05, 99, byte(MsgHello), 0, 0}
+	if _, err := ReadFrame(bytes.NewReader(bad2)); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version: %v", err)
+	}
+	// Truncated stream.
+	if _, err := ReadFrame(bytes.NewReader([]byte{0xEC})); err == nil {
+		t.Error("truncated header must error")
+	}
+	// Declared length longer than the stream.
+	short := []byte{0xEC, 0x05, Version, byte(MsgHello), 0, 10, 1, 2}
+	if _, err := ReadFrame(bytes.NewReader(short)); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("short body: %v", err)
+	}
+}
+
+func TestTelemetryRoundTrip(t *testing.T) {
+	in := Telemetry{
+		Timestamp:    time.Date(2021, 7, 18, 14, 0, 0, 123, time.UTC),
+		CapsuleID:    0x42,
+		Acceleration: -0.0314,
+		StressMPa:    -72.5,
+		TemperatureC: 29.125,
+		Humidity:     91.5,
+	}
+	out, err := DecodeTelemetry(EncodeTelemetry(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Timestamp.Equal(in.Timestamp) || out.CapsuleID != in.CapsuleID {
+		t.Errorf("header mismatch: %+v", out)
+	}
+	for _, pair := range [][2]float64{
+		{out.Acceleration, in.Acceleration},
+		{out.StressMPa, in.StressMPa},
+		{out.TemperatureC, in.TemperatureC},
+		{out.Humidity, in.Humidity},
+	} {
+		if pair[0] != pair[1] {
+			t.Errorf("field %g != %g", pair[0], pair[1])
+		}
+	}
+	if _, err := DecodeTelemetry([]byte{1, 2}); !errors.Is(err, ErrShortBody) {
+		t.Error("short telemetry must error")
+	}
+}
+
+func TestTelemetryRoundTripProperty(t *testing.T) {
+	f := func(id uint16, a, s, tc, h float64) bool {
+		if math.IsNaN(a) || math.IsNaN(s) || math.IsNaN(tc) || math.IsNaN(h) {
+			return true // NaN compares unequal; skip
+		}
+		in := Telemetry{
+			Timestamp: time.Unix(0, 1626600000000000000).UTC(), CapsuleID: id,
+			Acceleration: a, StressMPa: s, TemperatureC: tc, Humidity: h,
+		}
+		out, err := DecodeTelemetry(EncodeTelemetry(in))
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHealthRoundTrip(t *testing.T) {
+	in := Health{
+		Timestamp:   time.Date(2021, 7, 1, 8, 0, 0, 0, time.UTC),
+		Section:     'C',
+		Level:       'B',
+		Pedestrians: 17,
+		SpeedMS:     1.25,
+	}
+	out, err := DecodeHealth(EncodeHealth(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip mismatch: %+v vs %+v", out, in)
+	}
+	if _, err := DecodeHealth(nil); !errors.Is(err, ErrShortBody) {
+		t.Error("short health must error")
+	}
+}
+
+func TestAlertRoundTrip(t *testing.T) {
+	in := Alert{
+		Timestamp: time.Date(2021, 7, 18, 3, 0, 0, 0, time.UTC),
+		Code:      AlertAnomaly,
+		Message:   "acceleration anomaly: tropical cyclone window",
+	}
+	out, err := DecodeAlert(EncodeAlert(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip mismatch: %+v", out)
+	}
+	// Long messages truncate at 512 bytes.
+	long := Alert{Timestamp: in.Timestamp, Code: 1, Message: string(make([]byte, 600))}
+	dec, err := DecodeAlert(EncodeAlert(long))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Message) != 512 {
+		t.Errorf("message length %d, want 512", len(dec.Message))
+	}
+	if _, err := DecodeAlert([]byte{1}); !errors.Is(err, ErrShortBody) {
+		t.Error("short alert must error")
+	}
+	// Declared message length beyond the body.
+	bad := EncodeAlert(in)
+	bad[10], bad[11] = 0xFF, 0xFF
+	if _, err := DecodeAlert(bad); !errors.Is(err, ErrShortBody) {
+		t.Error("lying length must error")
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	for _, m := range []MsgType{MsgHello, MsgTelemetry, MsgHealth, MsgAlert, MsgBye} {
+		if m.String() == "" {
+			t.Error("type must format")
+		}
+	}
+	if MsgType(77).String() == "" {
+		t.Error("unknown type must format")
+	}
+}

@@ -1,0 +1,107 @@
+// Package units provides physical constants and unit-conversion helpers
+// shared by the EcoCapsule simulation stack. All quantities are SI unless a
+// suffix says otherwise (e.g. KHz, MPa, Mm for millimetres is never used —
+// lengths are metres).
+package units
+
+import "math"
+
+// Physical constants.
+const (
+	// Gravity is standard gravitational acceleration in m/s².
+	Gravity = 9.80665
+	// AtmosphericPressure is one standard atmosphere in Pa (101.325 kPa),
+	// the internal pressure of a sealed EcoCapsule shell.
+	AtmosphericPressure = 101325.0
+	// SpeedOfSoundAir is the nominal speed of sound in air, m/s.
+	SpeedOfSoundAir = 343.0
+)
+
+// Convenience multipliers.
+const (
+	KHz = 1e3  // kilohertz in Hz
+	MHz = 1e6  // megahertz in Hz
+	KPa = 1e3  // kilopascal in Pa
+	MPa = 1e6  // megapascal in Pa
+	GPa = 1e9  // gigapascal in Pa
+	MM  = 1e-3 // millimetre in m
+	CM  = 1e-2 // centimetre in m
+	UW  = 1e-6 // microwatt in W
+	MW  = 1e-3 // milliwatt in W
+	MS  = 1e-3 // millisecond in s
+	US  = 1e-6 // microsecond in s
+)
+
+// DB converts a linear power ratio to decibels. Ratios <= 0 return -Inf.
+func DB(ratio float64) float64 {
+	if ratio <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(ratio)
+}
+
+// FromDB converts decibels to a linear power ratio.
+func FromDB(db float64) float64 {
+	return math.Pow(10, db/10)
+}
+
+// AmplitudeDB converts a linear amplitude ratio to decibels (20·log10).
+func AmplitudeDB(ratio float64) float64 {
+	if ratio <= 0 {
+		return math.Inf(-1)
+	}
+	return 20 * math.Log10(ratio)
+}
+
+// FromAmplitudeDB converts decibels to a linear amplitude ratio.
+func FromAmplitudeDB(db float64) float64 {
+	return math.Pow(10, db/20)
+}
+
+// Deg2Rad converts degrees to radians.
+func Deg2Rad(deg float64) float64 { return deg * math.Pi / 180 }
+
+// Rad2Deg converts radians to degrees.
+func Rad2Deg(rad float64) float64 { return rad * 180 / math.Pi }
+
+// Clamp limits v to the closed interval [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Lerp linearly interpolates between a and b by t in [0,1].
+func Lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+// InterpTable performs piecewise-linear interpolation of y(x) over sorted
+// sample points xs/ys. x outside the range clamps to the end values.
+// xs must be strictly increasing and the slices equal length; the function
+// panics otherwise because a malformed table is a programming error.
+func InterpTable(xs, ys []float64, x float64) float64 {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		panic("units: InterpTable requires equal-length non-empty tables")
+	}
+	if x <= xs[0] {
+		return ys[0]
+	}
+	if x >= xs[len(xs)-1] {
+		return ys[len(ys)-1]
+	}
+	// Binary search for the bracketing interval.
+	lo, hi := 0, len(xs)-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if xs[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	t := (x - xs[lo]) / (xs[hi] - xs[lo])
+	return Lerp(ys[lo], ys[hi], t)
+}

@@ -1,0 +1,114 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s: got %g, want %g (±%g)", msg, got, want, tol)
+	}
+}
+
+func TestDBRoundTrip(t *testing.T) {
+	for _, db := range []float64{-30, -3, 0, 3, 10, 20} {
+		got := DB(FromDB(db))
+		approx(t, got, db, 1e-9, "DB(FromDB(x))")
+	}
+}
+
+func TestDBKnownValues(t *testing.T) {
+	approx(t, DB(10), 10, 1e-12, "DB(10)")
+	approx(t, DB(100), 20, 1e-12, "DB(100)")
+	approx(t, DB(1), 0, 1e-12, "DB(1)")
+	if !math.IsInf(DB(0), -1) {
+		t.Error("DB(0) should be -Inf")
+	}
+	if !math.IsInf(DB(-1), -1) {
+		t.Error("DB(-1) should be -Inf")
+	}
+}
+
+func TestAmplitudeDB(t *testing.T) {
+	approx(t, AmplitudeDB(10), 20, 1e-12, "AmplitudeDB(10)")
+	approx(t, FromAmplitudeDB(20), 10, 1e-12, "FromAmplitudeDB(20)")
+	if !math.IsInf(AmplitudeDB(0), -1) {
+		t.Error("AmplitudeDB(0) should be -Inf")
+	}
+}
+
+func TestAmplitudeDBRoundTripProperty(t *testing.T) {
+	f := func(x float64) bool {
+		db := math.Mod(math.Abs(x), 120) - 60 // bound to [-60, 60) dB
+		return math.Abs(AmplitudeDB(FromAmplitudeDB(db))-db) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDegRadRoundTrip(t *testing.T) {
+	for _, deg := range []float64{0, 11, 34, 45, 73, 90, 180} {
+		approx(t, Rad2Deg(Deg2Rad(deg)), deg, 1e-9, "Rad2Deg(Deg2Rad)")
+	}
+	approx(t, Deg2Rad(180), math.Pi, 1e-12, "Deg2Rad(180)")
+}
+
+func TestClamp(t *testing.T) {
+	approx(t, Clamp(5, 0, 10), 5, 0, "inside")
+	approx(t, Clamp(-5, 0, 10), 0, 0, "below")
+	approx(t, Clamp(15, 0, 10), 10, 0, "above")
+}
+
+func TestClampProperty(t *testing.T) {
+	f := func(v, a, b float64) bool {
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		c := Clamp(v, lo, hi)
+		return c >= lo && c <= hi
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	approx(t, Lerp(0, 10, 0.5), 5, 1e-12, "midpoint")
+	approx(t, Lerp(2, 4, 0), 2, 1e-12, "t=0")
+	approx(t, Lerp(2, 4, 1), 4, 1e-12, "t=1")
+}
+
+func TestInterpTable(t *testing.T) {
+	xs := []float64{0, 1, 2, 4}
+	ys := []float64{0, 10, 20, 40}
+	approx(t, InterpTable(xs, ys, 0.5), 5, 1e-12, "interp 0.5")
+	approx(t, InterpTable(xs, ys, 3), 30, 1e-12, "interp 3")
+	approx(t, InterpTable(xs, ys, -1), 0, 1e-12, "clamp low")
+	approx(t, InterpTable(xs, ys, 9), 40, 1e-12, "clamp high")
+	approx(t, InterpTable(xs, ys, 2), 20, 1e-12, "exact knot")
+}
+
+func TestInterpTableMonotoneProperty(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5}
+	ys := []float64{0, 1, 4, 9, 16, 25}
+	f := func(raw float64) bool {
+		x := math.Mod(math.Abs(raw), 5)
+		y := InterpTable(xs, ys, x)
+		return y >= 0 && y <= 25
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterpTablePanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on mismatched tables")
+		}
+	}()
+	InterpTable([]float64{1, 2}, []float64{1}, 1.5)
+}
