@@ -1,0 +1,81 @@
+// Command ecolint runs the EcoCapsule domain-aware static-analysis suite
+// (internal/analysis) over the given package patterns and exits non-zero if
+// any analyzer reports a finding.
+//
+// Usage:
+//
+//	go run ./cmd/ecolint ./...
+//	go run ./cmd/ecolint -list
+//	go run ./cmd/ecolint -only unitsafety,floatcmp ./internal/physics
+//
+// Findings print as `file:line: analyzer: message`. A finding is suppressed
+// by an inline directive on the same line or the line above:
+//
+//	//ecolint:ignore <analyzer> <reason>
+//
+// The reason is mandatory; directives without one are reported themselves.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ecocapsule/internal/analysis"
+)
+
+func main() {
+	listFlag := flag.Bool("list", false, "list the analyzers and exit")
+	onlyFlag := flag.String("only", "", "comma-separated subset of analyzers to run")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ecolint [-list] [-only a,b] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *listFlag {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *onlyFlag != "" {
+		keep := make(map[string]bool)
+		for _, name := range strings.Split(*onlyFlag, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var selected []*analysis.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				selected = append(selected, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			fmt.Fprintf(os.Stderr, "ecolint: unknown analyzer %q (try -list)\n", name)
+			os.Exit(2)
+		}
+		analyzers = selected
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader := analysis.NewLoader()
+	pkgs, err := loader.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ecolint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := analysis.RunAnalyzers(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ecolint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check. Run inspects the pass's package and calls
+// pass.Reportf for every finding.
+type Analyzer struct {
+	// Name is the short identifier used in diagnostics and in
+	// //ecolint:ignore directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer catches and
+	// why it matters for SHM data integrity.
+	Doc string
+	// Run performs the check.
+	Run func(*Pass)
+}
+
+// A Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// report receives raw (pre-suppression) diagnostics.
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// A Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// IgnoreDirective is the comment form that suppresses a finding:
+//
+//	//ecolint:ignore <analyzer> <reason>
+//
+// placed on the offending line or on the line immediately above it. The
+// reason is mandatory — undocumented suppressions are themselves findings.
+const IgnoreDirective = "//ecolint:ignore"
+
+type ignoreKey struct {
+	file string
+	line int
+}
+
+type ignoreEntry struct {
+	analyzer  string
+	hasReason bool
+	pos       token.Position
+}
+
+// collectIgnores scans a package's comments for ignore directives, keyed by
+// the line they apply to.
+func collectIgnores(fset *token.FileSet, files []*ast.File) map[ignoreKey][]ignoreEntry {
+	ignores := make(map[ignoreKey][]ignoreEntry)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, IgnoreDirective) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, IgnoreDirective))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				entry := ignoreEntry{analyzer: fields[0], hasReason: len(fields) > 1, pos: pos}
+				// The directive covers its own line and the line below, so
+				// it works both inline and as a standalone comment above
+				// the finding.
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					k := ignoreKey{file: pos.Filename, line: line}
+					ignores[k] = append(ignores[k], entry)
+				}
+			}
+		}
+	}
+	return ignores
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// surviving diagnostics sorted by position. Findings matched by a
+// well-formed ignore directive are dropped; ignore directives without a
+// reason are reported as findings themselves so suppressions stay auditable.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	seenBadDirective := make(map[token.Position]bool)
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(pkg.Fset, pkg.Files)
+		for k, entries := range ignores {
+			for _, e := range entries {
+				if !e.hasReason && !seenBadDirective[e.pos] && k.line == e.pos.Line {
+					seenBadDirective[e.pos] = true
+					diags = append(diags, Diagnostic{
+						Pos:      e.pos,
+						Analyzer: "ecolint",
+						Message:  fmt.Sprintf("ignore directive for %q is missing a reason (//ecolint:ignore <analyzer> <reason>)", e.analyzer),
+					})
+				}
+			}
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+			}
+			pass.report = func(d Diagnostic) {
+				for _, e := range ignores[ignoreKey{file: d.Pos.Filename, line: d.Pos.Line}] {
+					if e.hasReason && (e.analyzer == d.Analyzer || e.analyzer == "all") {
+						return
+					}
+				}
+				diags = append(diags, d)
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos.Filename != diags[j].Pos.Filename {
+			return diags[i].Pos.Filename < diags[j].Pos.Filename
+		}
+		if diags[i].Pos.Line != diags[j].Pos.Line {
+			return diags[i].Pos.Line < diags[j].Pos.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}
+
+// All returns the full EcoCapsule analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		UnitSafety,
+		LockSafety,
+		LeakCheck,
+		ErrCheckLite,
+		FloatCmp,
+	}
+}

@@ -1,0 +1,247 @@
+// Package analysis is a small, stdlib-only static-analysis framework for
+// the EcoCapsule repository, plus a set of domain-aware analyzers tuned to
+// the bug classes that silently corrupt structural-health-monitoring data:
+// unit mix-ups in physics math, lock misuse in long-lived servers, leaked
+// goroutines, discarded wire-format errors, and exact float comparison.
+//
+// The framework deliberately avoids golang.org/x/tools: packages are
+// enumerated with `go list -deps -json`, parsed with go/parser, and
+// type-checked with go/types using an importer backed by the same listing.
+// Everything works offline with only the Go toolchain installed.
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// listedPackage is the subset of `go list -json` output the driver needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	Path     string
+	Dir      string
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Types    *types.Package
+	Info     *types.Info
+	Standard bool
+}
+
+// Loader parses and type-checks packages from source. It implements
+// types.Importer so that packages under analysis can resolve their imports
+// from the same source tree; unknown import paths are resolved lazily with
+// an extra `go list` call (used by the golden-test harness for fixture
+// packages that import stdlib).
+type Loader struct {
+	Fset    *token.FileSet
+	meta    map[string]*listedPackage // everything `go list` has told us about
+	checked map[string]*Package       // fully type-checked packages
+	sizes   types.Sizes
+	// checking guards against import cycles while recursing.
+	checking map[string]bool
+}
+
+// NewLoader returns an empty loader with a fresh FileSet.
+func NewLoader() *Loader {
+	return &Loader{
+		Fset:     token.NewFileSet(),
+		meta:     make(map[string]*listedPackage),
+		checked:  make(map[string]*Package),
+		checking: make(map[string]bool),
+		sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+}
+
+// goList runs `go list -deps -json` for the patterns and records the
+// metadata of every listed package. CGO is disabled so that every listed
+// package (including net, os/user, ...) is buildable as pure Go and can be
+// type-checked from source.
+func (l *Loader) goList(dir string, patterns ...string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-e", "-deps", "-json=Dir,ImportPath,Name,GoFiles,Imports,Standard,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("analysis: starting go list: %w", err)
+	}
+	dec := json.NewDecoder(out)
+	var listed []*listedPackage
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			cmd.Wait()
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		if p.ImportPath == "" {
+			continue
+		}
+		if _, ok := l.meta[p.ImportPath]; !ok {
+			cp := p
+			l.meta[p.ImportPath] = &cp
+		}
+		listed = append(listed, l.meta[p.ImportPath])
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	return listed, nil
+}
+
+// Load lists the patterns (relative to dir; "" means the current directory)
+// and returns the type-checked non-dependency target packages in listing
+// order.
+func (l *Loader) Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := l.goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var targets []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkg, err := l.check(p.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, pkg)
+	}
+	return targets, nil
+}
+
+// Import implements types.Importer. It serves already-checked packages from
+// the cache and type-checks listed-but-unchecked ones on demand; paths the
+// loader has never heard of trigger a lazy `go list` (stdlib packages pulled
+// in by test fixtures land here).
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.checked[path]; ok {
+		return pkg.Types, nil
+	}
+	if _, ok := l.meta[path]; !ok {
+		if _, err := l.goList("", path); err != nil {
+			return nil, err
+		}
+	}
+	pkg, err := l.check(path)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+// check parses and type-checks the listed package at path (and, through the
+// importer, everything it depends on).
+func (l *Loader) check(path string) (*Package, error) {
+	if pkg, ok := l.checked[path]; ok {
+		return pkg, nil
+	}
+	meta, ok := l.meta[path]
+	if !ok {
+		return nil, fmt.Errorf("analysis: package %q was never listed", path)
+	}
+	if l.checking[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	}
+	l.checking[path] = true
+	defer delete(l.checking, path)
+
+	var files []*ast.File
+	for _, name := range meta.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(meta.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: l,
+		Sizes:    l.sizes,
+		Error:    func(error) {}, // keep going; the first error is returned below
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil && !meta.Standard {
+		// Standard-library packages may use compiler intrinsics that do not
+		// type-check perfectly from source; their declarations (which is all
+		// importers need) still do. Errors in the packages under analysis
+		// are fatal.
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{
+		Path:     path,
+		Dir:      meta.Dir,
+		Fset:     l.Fset,
+		Files:    files,
+		Types:    tpkg,
+		Info:     info,
+		Standard: meta.Standard,
+	}
+	l.checked[path] = pkg
+	return pkg, nil
+}
+
+// CheckFixture parses every .go file in dir as a single package, registers
+// it under importPath and type-checks it with the loader as importer. It is
+// the entry point used by the golden-file test harness; fixture packages may
+// import each other (register dependencies first) and the standard library.
+func (l *Loader) CheckFixture(importPath, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	sort.Strings(goFiles)
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("analysis: no .go files in %s", dir)
+	}
+	l.meta[importPath] = &listedPackage{Dir: dir, ImportPath: importPath, GoFiles: goFiles}
+	return l.check(importPath)
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errCheckVerbs are the function-name prefixes whose error results must not
+// be dropped when the function comes from a wire-format package.
+var errCheckVerbs = []string{
+	"Encode", "Decode", "Write", "Read", "Send", "Recv", "Marshal", "Unmarshal",
+}
+
+// errCheckPkgSuffixes identify the wire-format packages. Suffix matching
+// keeps the analyzer working in the golden-test fixtures, which mirror the
+// real import paths under a testdata root.
+var errCheckPkgSuffixes = []string{
+	"internal/coding",
+	"internal/shmwire",
+}
+
+// ErrCheckLite flags statements that call an encode/decode/read/write
+// function from internal/coding or internal/shmwire and throw the returned
+// error away (plain call statements, `defer`, and `go`). A dropped decode
+// error turns a truncated or corrupted frame into silently wrong telemetry —
+// the worst failure mode an SHM pipeline can have. Assigning the error to
+// `_` is treated as an explicit, visible decision and is not flagged.
+var ErrCheckLite = &Analyzer{
+	Name: "errchecklite",
+	Doc: "flags discarded error returns from internal/coding and internal/shmwire " +
+		"encode/decode/read/write functions",
+	Run: runErrCheckLite,
+}
+
+func runErrCheckLite(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				call = n.Call
+			}
+			if call == nil {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || !isWireFormatFunc(fn) || !returnsError(fn) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "error returned by %s.%s is discarded", fn.Pkg().Name(), fn.Name())
+			return true
+		})
+	}
+}
+
+// calleeFunc resolves the called function or method, or nil.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.Info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+func isWireFormatFunc(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	pkgOK := false
+	for _, suffix := range errCheckPkgSuffixes {
+		if strings.HasSuffix(fn.Pkg().Path(), suffix) {
+			pkgOK = true
+			break
+		}
+	}
+	if !pkgOK {
+		return false
+	}
+	for _, verb := range errCheckVerbs {
+		if strings.HasPrefix(fn.Name(), verb) {
+			return true
+		}
+	}
+	return false
+}
+
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if named, ok := sig.Results().At(i).Type().(*types.Named); ok {
+			if named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+				return true
+			}
+		}
+	}
+	return false
+}

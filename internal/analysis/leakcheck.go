@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+)
+
+// leakCheckPackages are the long-lived server packages where an unbounded
+// goroutine is a real leak: readers and wire servers run for the lifetime
+// of a deployment, so every goroutine they start must be stoppable.
+var leakCheckPackages = map[string]bool{
+	"reader":    true,
+	"shmwire":   true,
+	"node":      true,
+	"dashboard": true,
+}
+
+// LeakCheck flags `go ...` statements in the long-lived server packages
+// whose spawned function neither receives/captures a context.Context nor
+// touches any channel (a stop/done channel, a fan-out queue, a select).
+// Such a goroutine has no termination signal: in a monitoring deployment it
+// accumulates across reconnects until the reader dies. For same-package
+// callees the analyzer inspects the callee body too, so `go s.handle(conn)`
+// is fine when handle ranges over a channel.
+var LeakCheck = &Analyzer{
+	Name: "leakcheck",
+	Doc: "flags goroutine launches in reader/shmwire/node/dashboard that capture " +
+		"neither a context.Context nor a stop/done channel",
+	Run: runLeakCheck,
+}
+
+func runLeakCheck(pass *Pass) {
+	if !leakCheckPackages[path.Base(pass.Pkg.Path())] {
+		return
+	}
+	// Index same-package function bodies so callee bodies can be inspected.
+	bodies := make(map[types.Object]*ast.BlockStmt)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.Info.Defs[fd.Name]; obj != nil {
+					bodies[obj] = fd.Body
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if hasStopSignal(pass, g.Call, bodies) {
+				return true
+			}
+			pass.Reportf(g.Pos(), "goroutine has no stop signal: it captures neither a context.Context nor a channel")
+			return true
+		})
+	}
+}
+
+// hasStopSignal reports whether the spawned call can observe cancellation:
+// an argument, captured variable, or (for same-package callees) body
+// expression whose type is a channel or context.Context.
+func hasStopSignal(pass *Pass, call *ast.CallExpr, bodies map[types.Object]*ast.BlockStmt) bool {
+	for _, arg := range call.Args {
+		if isSignalType(pass.TypeOf(arg)) {
+			return true
+		}
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return referencesSignal(pass, fun)
+	case *ast.Ident:
+		if body, ok := bodies[pass.Info.Uses[fun]]; ok {
+			return referencesSignal(pass, body)
+		}
+	case *ast.SelectorExpr:
+		if body, ok := bodies[pass.Info.Uses[fun.Sel]]; ok {
+			return referencesSignal(pass, body)
+		}
+	}
+	return false
+}
+
+// referencesSignal reports whether any expression within n has channel or
+// context.Context type.
+func referencesSignal(pass *Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok && isSignalType(pass.TypeOf(e)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isSignalType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+	}
+	return false
+}

@@ -1,0 +1,24 @@
+// Fixture for the errchecklite analyzer.
+package errchecklite
+
+import (
+	"io"
+
+	"errchecklite/internal/coding"
+	"errchecklite/internal/shmwire"
+)
+
+func drop(w io.Writer, r io.Reader) {
+	var pie coding.PIE
+	pie.Encode(nil)            // want `error returned by coding\.Encode is discarded`
+	shmwire.WriteFrame(w, nil) // want `error returned by shmwire\.WriteFrame is discarded`
+	defer shmwire.ReadFrame(r) // want `error returned by shmwire\.ReadFrame is discarded`
+
+	_, _ = pie.Encode(nil)     // ok: assigning to _ is an explicit decision
+	pie.Decode(nil)            // ok: Decode here returns no error
+	shmwire.EncodeTelemetry(1) // ok: no error result
+	coding.Checksum(nil)       // ok: Checksum is not an encode/decode/read/write verb
+	if err := shmwire.WriteFrame(w, nil); err != nil {
+		_ = err
+	}
+}

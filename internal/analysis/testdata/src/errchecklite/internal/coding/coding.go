@@ -1,0 +1,11 @@
+// Fixture stand-in for ecocapsule/internal/coding: the analyzer matches
+// callee packages by the "internal/coding" path suffix.
+package coding
+
+type PIE struct{}
+
+func (PIE) Encode(bits []byte) ([]byte, error) { return bits, nil }
+
+func (PIE) Decode(durations []float64) []byte { return nil }
+
+func Checksum(b []byte) error { return nil }

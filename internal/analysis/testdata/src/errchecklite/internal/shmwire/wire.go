@@ -1,0 +1,10 @@
+// Fixture stand-in for ecocapsule/internal/shmwire.
+package shmwire
+
+import "io"
+
+func WriteFrame(w io.Writer, body []byte) error { return nil }
+
+func ReadFrame(r io.Reader) ([]byte, error) { return nil, nil }
+
+func EncodeTelemetry(v float64) []byte { return nil }

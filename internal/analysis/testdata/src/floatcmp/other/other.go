@@ -1,0 +1,7 @@
+// Package other is outside the floatcmp numerical-package set, so nothing
+// here is flagged.
+package other
+
+func same(a, b float64) bool {
+	return a == b // ok: floatcmp only covers physics/channel/geometry
+}

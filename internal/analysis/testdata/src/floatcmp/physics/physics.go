@@ -1,0 +1,24 @@
+// Fixture for the floatcmp analyzer: the package base name "physics" puts
+// it in the analyzer's numerical-package set.
+package physics
+
+func cmp(a, b float64) bool {
+	if a == b { // want `exact floating-point == comparison`
+		return true
+	}
+	if a == 0 { // ok: zero-sentinel comparison is exempt
+		return false
+	}
+	if b != 0.0 { // ok: zero-sentinel comparison is exempt
+		return false
+	}
+	n, m := 3, 4
+	if n == m { // ok: integer comparison
+		return false
+	}
+	var f32a, f32b float32
+	if f32a != f32b { // want `exact floating-point != comparison`
+		return false
+	}
+	return a != b // want `exact floating-point != comparison`
+}

@@ -1,0 +1,12 @@
+// Package other is outside the leakcheck server-package set, so nothing
+// here is flagged.
+package other
+
+func spin() {
+	for {
+	}
+}
+
+func launch() {
+	go spin() // ok: leakcheck only covers reader/shmwire/node/dashboard
+}

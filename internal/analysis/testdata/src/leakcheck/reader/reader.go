@@ -1,0 +1,37 @@
+// Fixture for the leakcheck analyzer: the package base name "reader" puts
+// it in the analyzer's long-lived-server set.
+package reader
+
+import "context"
+
+func spin() {
+	for {
+	}
+}
+
+func watch(ctx context.Context) { <-ctx.Done() }
+
+func launch(ctx context.Context, stop chan struct{}) {
+	go spin() // want `goroutine has no stop signal`
+
+	go func() { // want `goroutine has no stop signal`
+		for {
+		}
+	}()
+
+	go func() { // ok: selects on the stop channel
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	go watch(ctx) // ok: context passed as an argument
+
+	go func() { // ok: captures ctx
+		<-ctx.Done()
+	}()
+}

@@ -1,0 +1,39 @@
+// Fixture for the locksafety analyzer.
+package locksafety
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValue(g guarded) int { return g.n } // want `parameter passes struct containing sync\.Mutex by value`
+
+func byPointer(g *guarded) int { return g.n } // ok
+
+func mutexParam(mu sync.Mutex) {} // want `parameter passes sync\.Mutex by value`
+
+func rwMutexParam(mu sync.RWMutex) {} // want `parameter passes sync\.RWMutex by value`
+
+func (g guarded) valueRecv() int { return g.n } // want `receiver passes struct containing sync\.Mutex by value`
+
+func (g *guarded) ptrRecv() int { return g.n } // ok
+
+func rangeCopy(gs []guarded) {
+	for _, g := range gs { // want `range variable copies struct containing sync\.Mutex`
+		_ = g.n
+	}
+	for i := range gs { // ok: index-only range
+		_ = i
+	}
+}
+
+func assignCopy(p *guarded) {
+	q := *p // want `assignment copies struct containing sync\.Mutex`
+	_ = q
+	r := p // ok: pointer copy
+	_ = r
+	fresh := guarded{} // ok: composite literal is a fresh value
+	_ = fresh
+}

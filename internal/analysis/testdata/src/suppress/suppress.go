@@ -1,0 +1,16 @@
+// Fixture for //ecolint:ignore directive handling, exercised through the
+// unitsafety analyzer.
+package suppress
+
+//ecolint:ignore unitsafety calibration constant matches the scope's raw tick
+const dt = 1e-3 // ok: suppressed by the directive on the line above
+
+const dtInline = 1e-3 //ecolint:ignore unitsafety raw value intentional here
+
+//ecolint:ignore all sweeping suppression with a reason also applies
+const dtAll = 1e-3 // ok: suppressed by the "all" directive
+
+//ecolint:ignore floatcmp directive names a different analyzer, so it does not apply
+const dtWrong = 1e-3 // want `magic literal 1e-3 in time expression .dtWrong.`
+
+const dtPlain = 1e-3 // want `magic literal 1e-3 in time expression .dtPlain.`

@@ -1,0 +1,6 @@
+// Fixture for a malformed ignore directive: no reason is given, so the
+// directive suppresses nothing and is itself reported.
+package suppressbad
+
+//ecolint:ignore unitsafety
+const dt = 1e-3

@@ -1,0 +1,33 @@
+// Fixture for the unitsafety analyzer.
+package unitsafety
+
+const dt = 1e-3 // want `magic literal 1e-3 in time expression .dt.; use units\.MS`
+
+type Cfg struct {
+	SampleRate float64
+	Samples    int
+}
+
+func magics(widthMM float64) {
+	var cfg Cfg
+	cfg.SampleRate = 1e6 // want `magic literal 1e6 in frequency expression .SampleRate.; use units\.MHz`
+	cfg.Samples = 1000   // ok: "samples" carries no dimension
+	c := Cfg{
+		SampleRate: 1e6, // want `magic literal 1e6 in frequency expression .SampleRate.`
+	}
+	_ = c
+
+	scale := widthMM * 1e-3 // want `magic literal 1e-3 in length expression .widthMM.; use units\.MM`
+	_ = scale
+
+	freqKHz := 250.0 // ok: 250 is not a unit multiplier
+	_ = freqKHz
+}
+
+func mixed() float64 {
+	freqHz := 230e3
+	periodS := 1.0 / freqHz
+	sane := freqHz * periodS  // ok: multiplying across dimensions is legitimate
+	bogus := freqHz + periodS // want `freqHz \+ periodS mixes dimensions \(frequency \+ time\)`
+	return sane + bogus
+}

@@ -70,7 +70,7 @@ func New(cfg Config) (*Channel, error) {
 		return nil, errors.New("channel: nil structure")
 	}
 	if cfg.SampleRate == 0 {
-		cfg.SampleRate = 1e6
+		cfg.SampleRate = 1 * units.MHz
 	}
 	if cfg.CarrierFrequency == 0 {
 		cfg.CarrierFrequency = 230 * units.KHz

@@ -184,7 +184,7 @@ func Fig07() *Result {
 		XLabel: "time (ms)", YLabel: "amplitude",
 		Header: []string{"rendering", "low-edge RMS", "high-edge RMS", "tail ratio"},
 	}
-	const fs = 1e6
+	const fs = 1 * units.MHz
 	syn := waveform.NewSynth(fs)
 	pie := coding.DefaultPIE()
 	m := material.UHPC()

@@ -139,7 +139,7 @@ func Fig22() *Result {
 		XLabel: "time (ms)", YLabel: "voltage (mV)",
 		Header: []string{"segment", "mean envelope (mV)"},
 	}
-	const fs = 1e6
+	const fs = 1 * units.MHz
 	syn := waveform.NewSynth(fs)
 	carrier := syn.CBW(230*units.KHz, 1.0, 18e-3)
 	// Backscatter starts at 4 ms: 1 kbps square (0.5 ms per edge).
@@ -190,7 +190,7 @@ func Fig24() *Result {
 		XLabel: "frequency (kHz)", YLabel: "power (log)",
 		Header: []string{"line", "frequency (kHz)", "rel. power (dB)"},
 	}
-	const fs = 1e6
+	const fs = 1 * units.MHz
 	syn := waveform.NewSynth(fs)
 	blf := 4 * units.KHz
 	carrier := syn.CBW(230*units.KHz, 1.0, 40e-3)
@@ -210,9 +210,9 @@ func Fig24() *Result {
 	rel := func(p float64) float64 { return units.DB(berSafe(p) / berSafe(pC)) }
 	r.Rows = append(r.Rows,
 		[]string{"CBW carrier", "230.0", "0.0"},
-		[]string{"upper sideband", fmt.Sprintf("%.1f", 230+blf/1000), fmt.Sprintf("%.1f", rel(pU))},
-		[]string{"lower sideband", fmt.Sprintf("%.1f", 230-blf/1000), fmt.Sprintf("%.1f", rel(pL))},
-		[]string{"guard band", fmt.Sprintf("%.1f", 230+blf/2000), fmt.Sprintf("%.1f", rel(pGuard))},
+		[]string{"upper sideband", fmt.Sprintf("%.1f", 230+blf/units.KHz), fmt.Sprintf("%.1f", rel(pU))},
+		[]string{"lower sideband", fmt.Sprintf("%.1f", 230-blf/units.KHz), fmt.Sprintf("%.1f", rel(pL))},
+		[]string{"guard band", fmt.Sprintf("%.1f", 230+blf/2/units.KHz), fmt.Sprintf("%.1f", rel(pGuard))},
 		[]string{"noise floor", "210.0", fmt.Sprintf("%.1f", rel(pFloor))},
 	)
 	freqs, mags := dsp.Spectrum(rx[:32768], fs)
@@ -221,7 +221,7 @@ func Fig24() *Result {
 		if freqs[i] < 215e3 || freqs[i] > 245e3 {
 			continue
 		}
-		s.X = append(s.X, freqs[i]/1000)
+		s.X = append(s.X, freqs[i]/units.KHz)
 		s.Y = append(s.Y, mags[i])
 	}
 	r.Series = []Series{s}
@@ -232,7 +232,7 @@ func Fig24() *Result {
 	r.addCheck("sidebands decodable above the floor", snr > 10)
 	r.Notes = append(r.Notes,
 		fmt.Sprintf("sidebands at ±%.0f kHz, %.1f dB below the carrier; guard band %.1f dB below the sidebands",
-			blf/1000, -rel(pU), rel(pU)-rel(pGuard)))
+			blf/units.KHz, -rel(pU), rel(pU)-rel(pGuard)))
 	return r
 }
 

@@ -107,7 +107,7 @@ func (f *Fleet) Charge(duration float64) int {
 	if cs == 0 {
 		cs = f.structure.Material.VP()
 	}
-	const dt = 1e-3
+	const dt = 1 * units.MS
 	steps := int(duration / dt)
 	if steps < 1 {
 		steps = 1

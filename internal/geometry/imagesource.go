@@ -119,8 +119,11 @@ func (s *Structure) ImpulseResponse(src, dst Vec3, cfg ImpulseConfig) []Arrival 
 		}
 	}
 	sort.Slice(arrivals, func(a, b int) bool {
-		if arrivals[a].Delay != arrivals[b].Delay {
-			return arrivals[a].Delay < arrivals[b].Delay
+		if arrivals[a].Delay < arrivals[b].Delay {
+			return true
+		}
+		if arrivals[b].Delay < arrivals[a].Delay {
+			return false
 		}
 		// A source on a boundary face has a coincident mirror image with
 		// identical delay; order the lower-bounce (stronger) copy first.

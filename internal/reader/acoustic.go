@@ -9,6 +9,7 @@ import (
 	"ecocapsule/internal/phy"
 	"ecocapsule/internal/protocol"
 	"ecocapsule/internal/sensors"
+	"ecocapsule/internal/units"
 	"ecocapsule/internal/waveform"
 )
 
@@ -47,7 +48,7 @@ type AcousticConfig struct {
 // DefaultAcousticConfig returns the evaluation defaults.
 func DefaultAcousticConfig() AcousticConfig {
 	return AcousticConfig{
-		SampleRate:          1e6,
+		SampleRate:          1 * units.MHz,
 		UplinkBitrate:       1000,
 		LeakageGain:         0.4,
 		NoiseSigma:          0.01,

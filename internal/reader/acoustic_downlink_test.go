@@ -8,6 +8,9 @@ import (
 )
 
 func TestAcousticBroadcastDeliversCommands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full acoustic pipeline integration case; run without -short to exercise it")
+	}
 	// The full acoustic downlink: one FSK waveform, three capsules, each
 	// decoding through its own channel before the MCU acts on the packet.
 	r, err := New(wallConfig())
@@ -37,6 +40,9 @@ func TestAcousticBroadcastDeliversCommands(t *testing.T) {
 }
 
 func TestAcousticBroadcastAddressedReadSensor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full acoustic pipeline integration case; run without -short to exercise it")
+	}
 	r, err := New(wallConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -104,6 +110,9 @@ func TestAcousticBroadcastHighNoiseCorrupts(t *testing.T) {
 }
 
 func TestAcousticBroadcastSlowSymbolsExtendRange(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full acoustic pipeline integration case; run without -short to exercise it")
+	}
 	// A node 1.6 m into the reverberant wall (delay spread ≈0.7 ms) loses
 	// the 1 kbps downlink because the channel tail fills the 0.5 ms low
 	// edges; tripling the symbol duration restores decodability — the

@@ -11,6 +11,9 @@ import (
 )
 
 func TestAcousticReadSensorEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full acoustic pipeline integration case; run without -short to exercise it")
+	}
 	// The headline integration test: a sensor reading travels from the
 	// node's MCU through FM0 backscatter, the multipath concrete channel
 	// with CBW leakage, and the reader's full decode chain.
@@ -41,6 +44,9 @@ func TestAcousticReadSensorEndToEnd(t *testing.T) {
 }
 
 func TestAcousticReadAllSensorTypes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full acoustic pipeline integration case; run without -short to exercise it")
+	}
 	r, err := New(wallConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -90,6 +96,9 @@ func TestAcousticReadUnpoweredNode(t *testing.T) {
 }
 
 func TestAcousticReadHighNoiseFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full acoustic pipeline integration case; run without -short to exercise it")
+	}
 	r, err := New(wallConfig())
 	if err != nil {
 		t.Fatal(err)

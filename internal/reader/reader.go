@@ -156,7 +156,7 @@ func (r *Reader) Charge(duration float64) int {
 	if cs == 0 {
 		cs = r.cfg.Structure.Material.VP()
 	}
-	const dt = 1e-3
+	const dt = 1 * units.MS
 	steps := int(duration / dt)
 	if steps < 1 {
 		steps = 1

@@ -46,6 +46,7 @@ func NewServer(addr string) (*Server, error) {
 		logf: log.Printf,
 	}
 	s.wg.Add(1)
+	//ecolint:ignore leakcheck acceptLoop exits when Close() shuts the listener and is awaited via s.wg
 	go s.acceptLoop()
 	return s, nil
 }

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Tier-1 verification gate for the EcoCapsule repository.
+#
+# Runs the full correctness stack: compile, go vet, the domain-aware
+# ecolint static-analysis suite (internal/analysis), and the tests under
+# the race detector. CI and pre-merge checks should invoke this script;
+# every step must pass.
+#
+# For a fast inner-loop signal use `go test -short ./...` (see README.md,
+# "Verification"): the slowest acoustic integration cases in
+# internal/reader are skipped in short mode.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== ecolint ./..."
+go run ./cmd/ecolint ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "verify.sh: all gates passed"
