@@ -16,6 +16,9 @@
 //	cadence <handle>     sustainable reporting schedule at current excitation
 //	voltage <V>          change the drive voltage
 //	status               list capsule states
+//	faults <loss> <corrupt> [seed]   inject link faults (probabilities in [0,1])
+//	faults off           remove the fault injector
+//	faultstats           show link-fault and retry counters
 //	quit
 package main
 
@@ -29,6 +32,7 @@ import (
 
 	"ecocapsule/internal/core"
 	"ecocapsule/internal/energy"
+	"ecocapsule/internal/faultinject"
 	"ecocapsule/internal/geometry"
 	"ecocapsule/internal/locate"
 	"ecocapsule/internal/reader"
@@ -138,6 +142,7 @@ func main() {
 	})
 	fmt.Printf("reader attached at %.1f V; type 'help' for commands\n", r.DriveVoltage())
 
+	var inj *faultinject.Injector
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("> ")
 	for sc.Scan() {
@@ -148,7 +153,52 @@ func main() {
 		}
 		switch fields[0] {
 		case "help":
-			fmt.Println("commands: charge [s] | inventory | read <handle> <temp|strain|accel> | locate <handle> | cadence <handle> | voltage <V> | status | quit")
+			fmt.Println("commands: charge [s] | inventory | read <handle> <temp|strain|accel> | locate <handle> | cadence <handle> | voltage <V> | status | faults <loss> <corrupt> [seed] | faults off | faultstats | quit")
+		case "faults":
+			if len(fields) >= 2 && fields[1] == "off" {
+				inj = nil
+				r.SetFrameFaults(nil)
+				fmt.Println("fault injection disabled")
+				break
+			}
+			if len(fields) < 3 {
+				fmt.Println("usage: faults <lossProb> <corruptProb> [seed] | faults off")
+				break
+			}
+			loss, err1 := strconv.ParseFloat(fields[1], 64)
+			corrupt, err2 := strconv.ParseFloat(fields[2], 64)
+			if err1 != nil || err2 != nil {
+				fmt.Println("probabilities must be numbers in [0,1]")
+				break
+			}
+			seed := int64(1)
+			if len(fields) > 3 {
+				if v, err := strconv.ParseInt(fields[3], 10, 64); err == nil {
+					seed = v
+				}
+			}
+			in, err := faultinject.New(faultinject.Plan{
+				Seed: seed, FrameLossProb: loss, FrameCorruptProb: corrupt,
+			})
+			if err != nil {
+				fmt.Printf("rejected: %v\n", err)
+				break
+			}
+			inj = in
+			r.SetFrameFaults(inj)
+			fmt.Printf("injecting: %.0f%% frame loss, %.0f%% corruption (seed %d)\n",
+				loss*100, corrupt*100, seed)
+		case "faultstats":
+			fs := r.FaultStats()
+			fmt.Printf("reader: %d corrupted replies, %d retries, %s backoff\n",
+				fs.CorruptedReplies, fs.Retries, fs.Backoff)
+			if inj != nil {
+				st := inj.Stats()
+				fmt.Printf("injector: downlink %d dropped/%d corrupted, uplink %d dropped/%d corrupted, %d brownouts\n",
+					st.DownlinkDropped, st.DownlinkCorrupted, st.UplinkDropped, st.UplinkCorrupted, st.Brownouts)
+			} else {
+				fmt.Println("injector: not installed")
+			}
 		case "locate":
 			if len(fields) < 2 {
 				fmt.Println("usage: locate <handle>")

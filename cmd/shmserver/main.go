@@ -6,8 +6,8 @@
 //
 // Usage:
 //
-//	shmserver -listen 127.0.0.1:7455 [-speedup 3600] [-hours 744]
-//	shmserver -connect 127.0.0.1:7455 [-n 50]
+//	shmserver -listen 127.0.0.1:7455 [-speedup 3600] [-hours 744] [-mute 0x11,0x13]
+//	shmserver -connect 127.0.0.1:7455 [-n 50] [-reconnect]
 package main
 
 import (
@@ -15,6 +15,9 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"ecocapsule/internal/bridge"
@@ -24,22 +27,29 @@ import (
 
 func main() {
 	var (
-		listen  = flag.String("listen", "", "serve on this address")
-		connect = flag.String("connect", "", "subscribe to this address")
-		speedup = flag.Float64("speedup", 3600, "simulated seconds per wall-clock second")
-		hours   = flag.Int("hours", 24*31, "simulated hours to stream")
-		nEvents = flag.Int("n", 50, "client: events to print before exiting")
+		listen    = flag.String("listen", "", "serve on this address")
+		connect   = flag.String("connect", "", "subscribe to this address")
+		speedup   = flag.Float64("speedup", 3600, "simulated seconds per wall-clock second")
+		hours     = flag.Int("hours", 24*31, "simulated hours to stream")
+		nEvents   = flag.Int("n", 50, "client: events to print before exiting")
+		mute      = flag.String("mute", "", "comma-separated capsule handles whose telemetry is suppressed (fault drill)")
+		reconnect = flag.Bool("reconnect", false, "client: ride over server restarts with backoff redials")
 	)
 	flag.Parse()
 
 	switch {
 	case *listen != "":
-		if err := serve(*listen, *speedup, *hours); err != nil {
+		muted, err := parseMuted(*mute)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shmserver: %v\n", err)
+			os.Exit(2)
+		}
+		if err := serve(*listen, *speedup, *hours, muted); err != nil {
 			fmt.Fprintf(os.Stderr, "shmserver: %v\n", err)
 			os.Exit(1)
 		}
 	case *connect != "":
-		if err := subscribe(*connect, *nEvents); err != nil {
+		if err := subscribe(*connect, *nEvents, *reconnect); err != nil {
 			fmt.Fprintf(os.Stderr, "shmserver: %v\n", err)
 			os.Exit(1)
 		}
@@ -49,7 +59,24 @@ func main() {
 	}
 }
 
-func serve(addr string, speedup float64, hours int) error {
+// parseMuted reads the -mute list ("0x11,0x13" or decimal).
+func parseMuted(spec string) (map[uint16]bool, error) {
+	muted := make(map[uint16]bool)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(strings.TrimPrefix(part, "0x"), 16, 16)
+		if err != nil {
+			return nil, fmt.Errorf("bad -mute handle %q: %w", part, err)
+		}
+		muted[uint16(v)] = true
+	}
+	return muted, nil
+}
+
+func serve(addr string, speedup float64, hours int, muted map[uint16]bool) error {
 	srv, err := shmwire.NewServer(addr)
 	if err != nil {
 		return err
@@ -74,19 +101,39 @@ func serve(addr string, speedup float64, hours int) error {
 	if tick < time.Millisecond {
 		tick = time.Millisecond
 	}
+	const deployedCapsules = 5
+	var missing []uint16
+	for i := 0; i < deployedCapsules; i++ {
+		if muted[uint16(0x10+i)] {
+			missing = append(missing, uint16(0x10+i))
+		}
+	}
+	sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
 	for h := 0; h < hours && h < len(month.Acceleration); h++ {
 		ts := sim.Start().Add(time.Duration(h) * time.Hour)
 		env := sim.CapsuleEnvironment(h)
-		// Five embedded capsules report in turn (§6 deployment).
-		capsule := uint16(0x10 + h%5)
-		srv.BroadcastTelemetry(shmwire.Telemetry{
-			Timestamp:    ts,
-			CapsuleID:    capsule,
-			Acceleration: env.AccelerationMS2,
-			StressMPa:    env.StressMPa,
-			TemperatureC: env.TemperatureC,
-			Humidity:     env.RelativeHumidity,
-		})
+		// Five embedded capsules report in turn (§6 deployment); muted ones
+		// stay silent, and the periodic status frame carries the hole.
+		capsule := uint16(0x10 + h%deployedCapsules)
+		if !muted[capsule] {
+			srv.BroadcastTelemetry(shmwire.Telemetry{
+				Timestamp:    ts,
+				CapsuleID:    capsule,
+				Acceleration: env.AccelerationMS2,
+				StressMPa:    env.StressMPa,
+				TemperatureC: env.TemperatureC,
+				Humidity:     env.RelativeHumidity,
+			})
+		}
+		if h%24 == 0 {
+			srv.BroadcastStatus(shmwire.Status{
+				Timestamp:    ts,
+				Expected:     deployedCapsules,
+				Reporting:    uint16(deployedCapsules - len(missing)),
+				Degraded:     len(missing) > 0,
+				MissingNodes: missing,
+			})
+		}
 		if status, err := sim.SectionStatus(h); err == nil {
 			for _, sec := range status {
 				srv.BroadcastHealth(shmwire.Health{
@@ -120,14 +167,31 @@ func serve(addr string, speedup float64, hours int) error {
 	return nil
 }
 
-func subscribe(addr string, n int) error {
-	cl, err := shmwire.Dial(addr, "shmserver-cli")
-	if err != nil {
-		return err
+func subscribe(addr string, n int, reconnect bool) error {
+	var next func() (shmwire.Event, error)
+	if reconnect {
+		rc := shmwire.NewReconnectingClient(shmwire.ReconnectConfig{
+			Addr: addr,
+			Name: "shmserver-cli",
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		if err := rc.Connect(); err != nil {
+			return err
+		}
+		defer rc.Close()
+		next = rc.Next
+	} else {
+		cl, err := shmwire.Dial(addr, "shmserver-cli")
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		next = cl.Next
 	}
-	defer cl.Close()
 	for i := 0; i < n; i++ {
-		ev, err := cl.Next()
+		ev, err := next()
 		if err != nil {
 			return err
 		}
@@ -144,6 +208,18 @@ func subscribe(addr string, n int) error {
 		case shmwire.MsgAlert:
 			a := ev.Alert
 			fmt.Printf("%s ALERT(%d): %s\n", a.Timestamp.Format("01-02 15:04"), a.Code, a.Message)
+		case shmwire.MsgStatus:
+			st := ev.Status
+			state := "FULL"
+			if st.Degraded {
+				state = "DEGRADED"
+			}
+			fmt.Printf("%s coverage %s: %d/%d capsules reporting", st.Timestamp.Format("01-02 15:04"),
+				state, st.Reporting, st.Expected)
+			for _, h := range st.MissingNodes {
+				fmt.Printf(" missing=%#04x", h)
+			}
+			fmt.Println()
 		case shmwire.MsgBye:
 			fmt.Println("stream ended by server")
 			return nil

@@ -10,10 +10,12 @@ import (
 // goroutine is a real leak: readers and wire servers run for the lifetime
 // of a deployment, so every goroutine they start must be stoppable.
 var leakCheckPackages = map[string]bool{
-	"reader":    true,
-	"shmwire":   true,
-	"node":      true,
-	"dashboard": true,
+	"reader":      true,
+	"shmwire":     true,
+	"node":        true,
+	"dashboard":   true,
+	"fleet":       true,
+	"faultinject": true,
 }
 
 // LeakCheck flags `go ...` statements in the long-lived server packages
@@ -25,8 +27,8 @@ var leakCheckPackages = map[string]bool{
 // is fine when handle ranges over a channel.
 var LeakCheck = &Analyzer{
 	Name: "leakcheck",
-	Doc: "flags goroutine launches in reader/shmwire/node/dashboard that capture " +
-		"neither a context.Context nor a stop/done channel",
+	Doc: "flags goroutine launches in reader/shmwire/node/dashboard/fleet/faultinject " +
+		"that capture neither a context.Context nor a stop/done channel",
 	Run: runLeakCheck,
 }
 

@@ -1,0 +1,66 @@
+// Fixture for the leakcheck analyzer: the package base name "faultinject"
+// is in the long-lived-server set because the fault layer spawns flapping
+// and retry goroutines that must die with the scenario.
+package faultinject
+
+import "time"
+
+// flapForever is the classic leak: a sleep-polling goroutine with no way
+// out (note a time.Ticker would pass the check — its C field is a channel).
+func flapForever(interval time.Duration, fn func()) {
+	go func() { // want `goroutine has no stop signal`
+		for {
+			time.Sleep(interval)
+			fn()
+		}
+	}()
+}
+
+// flap is the stoppable version the analyzer accepts.
+func flap(stop <-chan struct{}, interval time.Duration, fn func()) {
+	go func() { // ok: selects on the stop channel
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				fn()
+			}
+		}
+	}()
+}
+
+// retryLoop without a signal argument leaks across reconnect storms.
+func retryLoop(redial func() error) {
+	go retryForever(redial) // want `goroutine has no stop signal`
+}
+
+func retryForever(redial func() error) {
+	for {
+		if redial() == nil {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// retryUntil threads a done channel through the callee, which the analyzer
+// resolves by inspecting the same-package body.
+func retryUntil(done <-chan struct{}, redial func() error) {
+	go retryWithSignal(done, redial) // ok: channel passed as an argument
+}
+
+func retryWithSignal(done <-chan struct{}, redial func() error) {
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		if redial() == nil {
+			return
+		}
+	}
+}

@@ -56,7 +56,20 @@ type Channel struct {
 	arrivals []geometry.Arrival
 	noise    *dsp.NoiseSource
 	resGain  float64 // material resonance gain at the carrier (0..1)
+	imp      Impairment
 }
+
+// Impairment is the injectable acoustic-fade hook. Each Transmit draws one
+// attenuation factor in [0,1] (1 = clean channel, 0 = total blackout)
+// applied across every arrival — modelling a transient blocker like rebar
+// settling, a forklift parked on the slab, or water intrusion in a crack.
+// faultinject.Injector implements it; a nil hook costs nothing.
+type Impairment interface {
+	Attenuate() float64
+}
+
+// SetImpairment installs (or with nil removes) the fade hook.
+func (c *Channel) SetImpairment(imp Impairment) { c.imp = imp }
 
 // ErrNoPath is returned when no propagation path exists (e.g. all modes cut
 // off beyond the second critical angle).
@@ -186,10 +199,14 @@ func (c *Channel) Transmit(x []float64) []float64 {
 	}
 	fs := c.cfg.SampleRate
 	maxDelay := c.arrivals[len(c.arrivals)-1].Delay
+	fade := 1.0
+	if c.imp != nil {
+		fade = c.imp.Attenuate()
+	}
 	out := make([]float64, len(x)+int(maxDelay*fs)+1)
 	for _, a := range c.arrivals {
 		off := int(a.Delay * fs)
-		g := a.Gain * c.resGain
+		g := a.Gain * c.resGain * fade
 		for i, v := range x {
 			out[i+off] += g * v
 		}

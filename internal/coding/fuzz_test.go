@@ -1,0 +1,146 @@
+package coding
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// The fuzzers drive the validating decoder entry points with arbitrary
+// byte buffers reinterpreted as float64 samples — including NaN, ±Inf,
+// denormals, and extreme magnitudes. The contract under test: the decoders
+// either return an error or a well-formed bit slice; they never panic.
+
+// bytesToHalves reinterprets each 8-byte chunk as a big-endian float64.
+func bytesToHalves(data []byte) []float64 {
+	out := make([]float64, 0, len(data)/8)
+	for len(data) >= 8 {
+		out = append(out, math.Float64frombits(binary.BigEndian.Uint64(data[:8])))
+		data = data[8:]
+	}
+	return out
+}
+
+// halvesToBytes is the corpus-seeding inverse of bytesToHalves.
+func halvesToBytes(halves []float64) []byte {
+	out := make([]byte, 8*len(halves))
+	for i, v := range halves {
+		binary.BigEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// goldenBits returns a CRC-protected frame's bit expansion — the realistic
+// payload shape the decoders see in production.
+func goldenBits() []byte {
+	return BytesToBits(AppendCRC16([]byte{0xEC, 0x05, 0x42, 0xA5, 0x00, 0xFF}))
+}
+
+func FuzzDecodeFM0(f *testing.F) {
+	clean, err := FM0Encode(goldenBits())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(halvesToBytes(clean))
+	noisy := append([]float64(nil), clean...)
+	for i := range noisy {
+		noisy[i] += 0.3 * math.Sin(float64(7*i))
+	}
+	f.Add(halvesToBytes(noisy))
+	f.Add([]byte{})
+	f.Add(halvesToBytes([]float64{math.NaN(), 1}))
+	f.Add(halvesToBytes([]float64{math.Inf(1), math.Inf(-1)}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		halves := bytesToHalves(data)
+		bits, err := DecodeFM0(halves)
+		if err != nil {
+			return
+		}
+		if len(bits) != len(halves)/2 {
+			t.Fatalf("decoded %d bits from %d halves", len(bits), len(halves))
+		}
+		for i, b := range bits {
+			if b > 1 {
+				t.Fatalf("bit %d = %d", i, b)
+			}
+		}
+		again, err := DecodeFM0(halves)
+		if err != nil {
+			t.Fatalf("second decode errored: %v", err)
+		}
+		for i := range bits {
+			if bits[i] != again[i] {
+				t.Fatal("decoder is non-deterministic")
+			}
+		}
+	})
+}
+
+func FuzzDecodeMiller(f *testing.F) {
+	for _, m := range []MillerM{Miller2, Miller4, Miller8} {
+		clean, err := MillerEncode(goldenBits()[:16], m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(byte(m), halvesToBytes(clean))
+	}
+	f.Add(byte(0), []byte{})
+	f.Add(byte(3), halvesToBytes([]float64{1, -1, 1, -1}))
+	f.Add(byte(2), halvesToBytes([]float64{math.NaN(), 0, 0, 0}))
+	f.Fuzz(func(t *testing.T, mRaw byte, data []byte) {
+		m := MillerM(mRaw)
+		halves := bytesToHalves(data)
+		bits, err := DecodeMiller(halves, m)
+		if err != nil {
+			return
+		}
+		if !m.Valid() {
+			t.Fatalf("invalid M=%d decoded without error", mRaw)
+		}
+		if len(bits) != len(halves)/(2*int(m)) {
+			t.Fatalf("decoded %d bits from %d halves at M=%d", len(bits), len(halves), int(m))
+		}
+		for i, b := range bits {
+			if b > 1 {
+				t.Fatalf("bit %d = %d", i, b)
+			}
+		}
+	})
+}
+
+func FuzzDecodePIE(f *testing.F) {
+	cfg := DefaultPIE()
+	edges, err := cfg.Encode(goldenBits()[:24])
+	if err != nil {
+		f.Fatal(err)
+	}
+	var highs []float64
+	for _, e := range edges {
+		if e.High {
+			highs = append(highs, e.Duration)
+		}
+	}
+	f.Add(cfg.PW, cfg.HighZero, cfg.HighOne, halvesToBytes(highs))
+	f.Add(0.0, 0.0, 0.0, []byte{})
+	f.Add(1e-3, 1e-3, 3e-3, halvesToBytes([]float64{-1e-3, math.NaN()}))
+	f.Add(0.5e-3, 0.5e-3, 1.5e-3, halvesToBytes([]float64{math.Inf(1)}))
+	f.Fuzz(func(t *testing.T, pw, hz, ho float64, data []byte) {
+		c := PIEConfig{PW: pw, HighZero: hz, HighOne: ho}
+		durations := bytesToHalves(data)
+		bits, err := DecodePIE(c, durations)
+		if err != nil {
+			return
+		}
+		if c.Validate() != nil {
+			t.Fatalf("invalid config %+v decoded without error", c)
+		}
+		if len(bits) != len(durations) {
+			t.Fatalf("decoded %d bits from %d intervals", len(bits), len(durations))
+		}
+		for i, b := range bits {
+			if b > 1 {
+				t.Fatalf("bit %d = %d", i, b)
+			}
+		}
+	})
+}

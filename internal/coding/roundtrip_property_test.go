@@ -1,0 +1,128 @@
+package coding
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// Property under test for every line code: encode a CRC-protected payload,
+// corrupt k samples, decode. The result must either fail the CRC check
+// (corruption detected) or reproduce the original payload exactly
+// (corruption corrected or benign). Silent payload mutation — CRC passes
+// with different bytes — is the one outcome the link must never produce.
+// 1000 seeded cases per scheme keep the run deterministic and fast.
+
+const propertyCases = 1000
+
+// randomPayload draws 1–8 payload bytes.
+func randomPayload(rng *rand.Rand) []byte {
+	p := make([]byte, 1+rng.Intn(8))
+	rng.Read(p)
+	return p
+}
+
+// checkOutcome applies the CRC-fail-or-identical property to decoded bits.
+func checkOutcome(t *testing.T, caseIdx int, scheme string, payload, decodedBits []byte) {
+	t.Helper()
+	frame := BitsToBytes(decodedBits)
+	if !CRC16Check(frame) {
+		return // corruption detected — acceptable
+	}
+	if !bytes.Equal(frame[:len(frame)-2], payload) {
+		t.Fatalf("%s case %d: CRC passed on mutated payload\n got %x\nwant %x",
+			scheme, caseIdx, frame[:len(frame)-2], payload)
+	}
+}
+
+func TestFM0RoundTripCorruptionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xF0))
+	for i := 0; i < propertyCases; i++ {
+		payload := randomPayload(rng)
+		bits := BytesToBits(AppendCRC16(payload))
+		halves, err := FM0Encode(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Corrupt k half-symbols: sign flips and level damage.
+		k := rng.Intn(6)
+		for j := 0; j < k; j++ {
+			idx := rng.Intn(len(halves))
+			switch rng.Intn(3) {
+			case 0:
+				halves[idx] = -halves[idx]
+			case 1:
+				halves[idx] = 0
+			default:
+				halves[idx] = 2*rng.Float64() - 1
+			}
+		}
+		decoded, err := DecodeFM0(halves)
+		if err != nil {
+			t.Fatalf("case %d: finite samples must decode: %v", i, err)
+		}
+		checkOutcome(t, i, "FM0", payload, decoded)
+	}
+}
+
+func TestMillerRoundTripCorruptionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x4D))
+	ms := []MillerM{Miller2, Miller4, Miller8}
+	for i := 0; i < propertyCases; i++ {
+		m := ms[i%len(ms)]
+		payload := randomPayload(rng)
+		bits := BytesToBits(AppendCRC16(payload))
+		halves, err := MillerEncode(bits, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := rng.Intn(6)
+		for j := 0; j < k; j++ {
+			idx := rng.Intn(len(halves))
+			switch rng.Intn(3) {
+			case 0:
+				halves[idx] = -halves[idx]
+			case 1:
+				halves[idx] = 0
+			default:
+				halves[idx] = 2*rng.Float64() - 1
+			}
+		}
+		decoded, err := DecodeMiller(halves, m)
+		if err != nil {
+			t.Fatalf("case %d (M=%d): finite samples must decode: %v", i, int(m), err)
+		}
+		checkOutcome(t, i, "Miller", payload, decoded)
+	}
+}
+
+func TestPIERoundTripCorruptionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x1E))
+	cfg := DefaultPIE()
+	for i := 0; i < propertyCases; i++ {
+		payload := randomPayload(rng)
+		bits := BytesToBits(AppendCRC16(payload))
+		edges, err := cfg.Encode(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var highs []float64
+		for _, e := range edges {
+			if e.High {
+				highs = append(highs, e.Duration)
+			}
+		}
+		// Corrupt k measured intervals: timer jitter large enough to cross
+		// the 0/1 classification threshold in either direction.
+		k := rng.Intn(6)
+		for j := 0; j < k; j++ {
+			idx := rng.Intn(len(highs))
+			highs[idx] = rng.Float64() * 2 * cfg.HighOne
+		}
+		decoded, err := DecodePIE(cfg, highs)
+		if err != nil {
+			t.Fatalf("case %d: finite durations must decode: %v", i, err)
+		}
+		checkOutcome(t, i, "PIE", payload, decoded)
+	}
+}

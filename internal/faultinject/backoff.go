@@ -1,0 +1,62 @@
+package faultinject
+
+import "time"
+
+// Backoff is a bounded exponential backoff policy shared by the resilience
+// paths: the reader's inventory/read retries and the shmwire client's
+// reconnect loop. Attempt 0 waits Base; every further attempt multiplies by
+// Factor and is capped at Max; MaxAttempts bounds the whole retry budget so
+// a dead peer degrades the report instead of hanging it.
+type Backoff struct {
+	// Base is the first retry delay.
+	Base time.Duration
+	// Max caps the per-attempt delay.
+	Max time.Duration
+	// Factor is the per-attempt multiplier (values < 1 are treated as 2).
+	Factor float64
+	// MaxAttempts bounds the number of retries (not counting the first
+	// try). Zero or negative disables retrying.
+	MaxAttempts int
+}
+
+// DefaultBackoff is tuned for the simulated acoustic link: a handful of
+// millisecond-scale retries that stay far below a TDMA round.
+func DefaultBackoff() Backoff {
+	return Backoff{Base: 2 * time.Millisecond, Max: 50 * time.Millisecond, Factor: 2, MaxAttempts: 4}
+}
+
+// ReconnectBackoff is tuned for TCP reconnects to a monitoring daemon.
+func ReconnectBackoff() Backoff {
+	return Backoff{Base: 50 * time.Millisecond, Max: 2 * time.Second, Factor: 2, MaxAttempts: 6}
+}
+
+// Delay returns the bounded delay before retry `attempt` (0-based).
+func (b Backoff) Delay(attempt int) time.Duration {
+	if attempt < 0 {
+		attempt = 0
+	}
+	factor := b.Factor
+	if factor < 1 {
+		factor = 2
+	}
+	d := float64(b.Base)
+	for i := 0; i < attempt; i++ {
+		d *= factor
+		if b.Max > 0 && d > float64(b.Max) {
+			return b.Max
+		}
+	}
+	if b.Max > 0 && d > float64(b.Max) {
+		return b.Max
+	}
+	return time.Duration(d)
+}
+
+// Budget returns the worst-case total delay the policy can spend.
+func (b Backoff) Budget() time.Duration {
+	var total time.Duration
+	for i := 0; i < b.MaxAttempts; i++ {
+		total += b.Delay(i)
+	}
+	return total
+}

@@ -1,0 +1,267 @@
+// Package faultinject is the deterministic fault-injection layer of the
+// EcoCapsule stack. A seeded Plan declares the failure regime — frame loss
+// and bit corruption on the acoustic link, capsule brown-outs and mutes,
+// dead reader stations, stuck sensors, and dropped monitoring connections —
+// and an Injector turns the plan into reproducible per-event decisions.
+//
+// The consumers (reader, fleet, shmwire, channel) each define a small
+// interface at their point of use; the Injector implements all of them, so
+// a single plan drives the whole pipeline without forking any hot path.
+// Because every draw comes from one seeded source consumed in the
+// deterministic order the simulation visits stations and capsules, the same
+// plan and seed reproduce the same failures byte for byte.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Plan is a declarative, seeded fault scenario. The zero value injects
+// nothing; probabilities are in [0, 1].
+type Plan struct {
+	// Seed drives every random decision the injector makes.
+	Seed int64
+
+	// FrameLossProb is the probability that a whole frame (downlink or
+	// uplink) is lost in transit — the BER-waterfall regime of Fig. 15
+	// where sync is never acquired.
+	FrameLossProb float64
+	// FrameCorruptProb is the probability that a surviving frame takes a
+	// short burst of bit flips (1–4 bits), the CRC-detectable case.
+	FrameCorruptProb float64
+	// BitFlipBER applies independent per-bit flips at this rate on top of
+	// the burst model, for sweeping the waterfall edge directly.
+	BitFlipBER float64
+
+	// DeadStations lists fleet station indices that are offline for the
+	// whole scenario (a reader fell off the wall).
+	DeadStations []int
+
+	// MutedCapsules lists capsule handles whose uplink never arrives (a
+	// failed backscatter switch); the capsule still harvests and decodes.
+	MutedCapsules []uint16
+	// BrownoutProb is the per-downlink-delivery probability that a capsule
+	// browns out mid-inventory and drops back to dormant.
+	BrownoutProb float64
+
+	// StuckSensors lists capsule handles whose sensors freeze at their
+	// first sampled value (a debonded gauge reporting forever-stale data).
+	StuckSensors []uint16
+
+	// ConnDropAfterFrames makes a wrapped monitoring connection fail after
+	// this many successful reads (0 = never) — the shmwire reconnect case.
+	ConnDropAfterFrames int
+
+	// FadeProb is the per-transmission probability of an acoustic fade (a
+	// transient blocker in the propagation path); FadeDepth is the fraction
+	// of amplitude removed when a fade hits (1 = total blackout).
+	FadeProb  float64
+	FadeDepth float64
+}
+
+// Validate checks the plan's probabilities and counts.
+func (p Plan) Validate() error {
+	for _, pr := range []struct {
+		name string
+		v    float64
+	}{
+		{"FrameLossProb", p.FrameLossProb},
+		{"FrameCorruptProb", p.FrameCorruptProb},
+		{"BitFlipBER", p.BitFlipBER},
+		{"BrownoutProb", p.BrownoutProb},
+		{"FadeProb", p.FadeProb},
+		{"FadeDepth", p.FadeDepth},
+	} {
+		if pr.v < 0 || pr.v > 1 {
+			return fmt.Errorf("faultinject: %s = %g outside [0, 1]", pr.name, pr.v)
+		}
+	}
+	if p.ConnDropAfterFrames < 0 {
+		return fmt.Errorf("faultinject: ConnDropAfterFrames = %d negative", p.ConnDropAfterFrames)
+	}
+	for _, s := range p.DeadStations {
+		if s < 0 {
+			return fmt.Errorf("faultinject: dead station index %d negative", s)
+		}
+	}
+	return nil
+}
+
+// Stats counts what the injector actually did — tests assert on these and
+// reports annotate degradation with them.
+type Stats struct {
+	DownlinkDropped   int
+	DownlinkCorrupted int
+	UplinkDropped     int
+	UplinkCorrupted   int
+	Brownouts         int
+	Fades             int
+}
+
+// Injector executes a Plan deterministically. All methods are safe for
+// concurrent use; determinism additionally requires the callers to consume
+// draws in a deterministic order, which the simulation's fixed
+// station/capsule iteration order provides.
+type Injector struct {
+	mu    sync.Mutex
+	plan  Plan
+	rng   *rand.Rand
+	dead  map[int]bool
+	muted map[uint16]bool
+	stuck map[uint16]bool
+	stats Stats
+}
+
+// New validates the plan and builds its injector.
+func New(plan Plan) (*Injector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	in := &Injector{
+		plan:  plan,
+		rng:   rand.New(rand.NewSource(plan.Seed)),
+		dead:  make(map[int]bool, len(plan.DeadStations)),
+		muted: make(map[uint16]bool, len(plan.MutedCapsules)),
+		stuck: make(map[uint16]bool, len(plan.StuckSensors)),
+	}
+	for _, s := range plan.DeadStations {
+		in.dead[s] = true
+	}
+	for _, h := range plan.MutedCapsules {
+		in.muted[h] = true
+	}
+	for _, h := range plan.StuckSensors {
+		in.stuck[h] = true
+	}
+	return in, nil
+}
+
+// MustNew is New for literal plans in tests and examples; it panics on an
+// invalid plan.
+func MustNew(plan Plan) *Injector {
+	in, err := New(plan)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// Plan returns a copy of the injector's plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Downlink implements the reader's frame-fault hook for reader→capsule
+// frames: it returns the (possibly corrupted) frame and whether it arrived
+// at all. The returned slice is a copy; the input is never mutated.
+func (in *Injector) Downlink(handle uint16, frame []byte) ([]byte, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out, delivered, touched := in.frameLocked(frame)
+	if !delivered {
+		in.stats.DownlinkDropped++
+	} else if touched {
+		in.stats.DownlinkCorrupted++
+	}
+	return out, delivered
+}
+
+// Uplink implements the reader's frame-fault hook for capsule→reader
+// frames. A muted capsule's uplink is always dropped.
+func (in *Injector) Uplink(handle uint16, frame []byte) ([]byte, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.muted[handle] {
+		in.stats.UplinkDropped++
+		return nil, false
+	}
+	out, delivered, touched := in.frameLocked(frame)
+	if !delivered {
+		in.stats.UplinkDropped++
+	} else if touched {
+		in.stats.UplinkCorrupted++
+	}
+	return out, delivered
+}
+
+// frameLocked applies loss, burst corruption, and BER to one frame.
+func (in *Injector) frameLocked(frame []byte) (out []byte, delivered, touched bool) {
+	if in.plan.FrameLossProb > 0 && in.rng.Float64() < in.plan.FrameLossProb {
+		return nil, false, false
+	}
+	out = frame
+	if in.plan.FrameCorruptProb > 0 && in.rng.Float64() < in.plan.FrameCorruptProb && len(frame) > 0 {
+		out = append([]byte(nil), out...)
+		flips := 1 + in.rng.Intn(4)
+		for i := 0; i < flips; i++ {
+			bit := in.rng.Intn(len(out) * 8)
+			out[bit/8] ^= 1 << uint(7-bit%8)
+		}
+		touched = true
+	}
+	if in.plan.BitFlipBER > 0 && len(frame) > 0 {
+		copied := touched
+		for i := 0; i < len(out)*8; i++ {
+			if in.rng.Float64() < in.plan.BitFlipBER {
+				if !copied {
+					out = append([]byte(nil), out...)
+					copied = true
+				}
+				out[i/8] ^= 1 << uint(7-i%8)
+				touched = true
+			}
+		}
+	}
+	return out, true, touched
+}
+
+// Brownout implements the reader's capsule-fault hook: drawn once per
+// downlink delivery, true means the capsule loses power mid-operation.
+func (in *Injector) Brownout(handle uint16) bool {
+	if in.plan.BrownoutProb <= 0 {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.rng.Float64() < in.plan.BrownoutProb {
+		in.stats.Brownouts++
+		return true
+	}
+	return false
+}
+
+// Attenuate implements the channel's acoustic-fade hook: one draw per
+// transmission, returning the amplitude factor to apply (1 = clean).
+func (in *Injector) Attenuate() float64 {
+	if in.plan.FadeProb <= 0 {
+		return 1
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.rng.Float64() < in.plan.FadeProb {
+		in.stats.Fades++
+		return 1 - in.plan.FadeDepth
+	}
+	return 1
+}
+
+// StationDead implements the fleet's station-fault hook.
+func (in *Injector) StationDead(station int) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.dead[station]
+}
+
+// SensorStuck reports whether a capsule's sensors are planned to freeze.
+func (in *Injector) SensorStuck(handle uint16) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stuck[handle]
+}
+
+// Stats returns a snapshot of the injector's counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}

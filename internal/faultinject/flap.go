@@ -1,0 +1,26 @@
+package faultinject
+
+import "time"
+
+// Flap runs fn on a fixed interval until stop closes — the scenario driver
+// for time-varying faults such as a station that powers off and on while a
+// survey runs. The callback receives the 0-based tick count. Flap returns
+// immediately; the ticking goroutine exits when stop closes, so callers own
+// its lifetime.
+func Flap(stop <-chan struct{}, interval time.Duration, fn func(tick int)) {
+	if interval <= 0 || fn == nil {
+		return
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for tick := 0; ; tick++ {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				fn(tick)
+			}
+		}
+	}()
+}

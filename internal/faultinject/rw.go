@@ -1,0 +1,57 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+// ErrInjectedDrop is the error a FlakyRW surfaces once its fault fires; it
+// is what a monitoring client sees when the daemon's TCP session dies.
+var ErrInjectedDrop = errors.New("faultinject: injected connection drop")
+
+// FlakyRW wraps an io.ReadWriter with connection-level faults: after a
+// budgeted number of reads or writes every further call fails with
+// ErrInjectedDrop. Wrap a net.Conn (or an in-memory pipe in tests) to
+// exercise the shmwire deadline and reconnect paths.
+type FlakyRW struct {
+	mu         sync.Mutex
+	rw         io.ReadWriter
+	readsLeft  int // -1 = unlimited
+	writesLeft int // -1 = unlimited
+}
+
+// NewFlakyRW wraps rw. dropAfterReads / dropAfterWrites give how many
+// successful calls are allowed before the fault fires; pass a negative
+// value to leave that direction healthy.
+func NewFlakyRW(rw io.ReadWriter, dropAfterReads, dropAfterWrites int) *FlakyRW {
+	return &FlakyRW{rw: rw, readsLeft: dropAfterReads, writesLeft: dropAfterWrites}
+}
+
+// Read implements io.Reader.
+func (f *FlakyRW) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	if f.readsLeft == 0 {
+		f.mu.Unlock()
+		return 0, ErrInjectedDrop
+	}
+	if f.readsLeft > 0 {
+		f.readsLeft--
+	}
+	f.mu.Unlock()
+	return f.rw.Read(p)
+}
+
+// Write implements io.Writer.
+func (f *FlakyRW) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	if f.writesLeft == 0 {
+		f.mu.Unlock()
+		return 0, ErrInjectedDrop
+	}
+	if f.writesLeft > 0 {
+		f.writesLeft--
+	}
+	f.mu.Unlock()
+	return f.rw.Write(p)
+}

@@ -5,6 +5,13 @@
 // The fleet charges each capsule from whichever station delivers the most
 // amplitude, merges the per-station inventories, and routes sensor reads
 // through each capsule's best station.
+//
+// Stations fail in the field: a reader falls off the wall, loses mains
+// power, or its cable corrodes. The fleet therefore tracks per-station
+// liveness, re-routes capsules away from dead stations, falls back to the
+// next-best station when a read fails, and reports partial coverage as a
+// degraded survey instead of an error — node dropout is the normal
+// operating regime of an embedded SHM deployment, not an exception.
 package fleet
 
 import (
@@ -13,6 +20,7 @@ import (
 	"sort"
 
 	"ecocapsule/internal/deploy"
+	"ecocapsule/internal/faultinject"
 	"ecocapsule/internal/geometry"
 	"ecocapsule/internal/node"
 	"ecocapsule/internal/reader"
@@ -24,8 +32,13 @@ import (
 type Fleet struct {
 	structure *geometry.Structure
 	readers   []*reader.Reader
-	nodes     []*node.Node
-	// best maps each capsule handle to the index of the station that
+	// alive[i] reports whether station i is operational.
+	alive []bool
+	nodes []*node.Node
+	// reachable[handle][station] records whether the station could build a
+	// channel to the capsule at construction time.
+	reachable map[uint16][]bool
+	// best maps each capsule handle to the index of the alive station that
 	// delivers the highest PZT amplitude.
 	best map[uint16]int
 }
@@ -38,7 +51,10 @@ var (
 
 // New builds a fleet from a deployment plan: one reader per station, every
 // capsule deployed into every station's acoustic field, and the best
-// station per capsule resolved from the channel gains.
+// station per capsule resolved from the channel gains. A station failing to
+// reach one capsule is tolerated (the capsule rides on other stations); a
+// capsule no station can reach at all fails construction, because it could
+// never be monitored.
 func New(s *geometry.Structure, plan deploy.Plan, capsules []*node.Node, seed int64) (*Fleet, error) {
 	if len(plan.Stations) == 0 {
 		return nil, ErrNoStations
@@ -49,7 +65,12 @@ func New(s *geometry.Structure, plan deploy.Plan, capsules []*node.Node, seed in
 	f := &Fleet{
 		structure: s,
 		nodes:     capsules,
+		alive:     make([]bool, len(plan.Stations)),
+		reachable: make(map[uint16][]bool, len(capsules)),
 		best:      make(map[uint16]int),
+	}
+	for _, n := range capsules {
+		f.reachable[n.Handle()] = make([]bool, len(plan.Stations))
 	}
 	for i, st := range plan.Stations {
 		r, err := reader.New(reader.Config{
@@ -63,15 +84,41 @@ func New(s *geometry.Structure, plan deploy.Plan, capsules []*node.Node, seed in
 		}
 		for _, n := range capsules {
 			if err := r.Deploy(n); err != nil {
-				return nil, fmt.Errorf("fleet: station %d deploying %#04x: %w", i, n.Handle(), err)
+				// Partial coverage: this station cannot serve the capsule,
+				// but another might.
+				continue
 			}
+			f.reachable[n.Handle()][i] = true
 		}
 		f.readers = append(f.readers, r)
+		f.alive[i] = true
 	}
-	// Resolve the best station per capsule.
 	for _, n := range capsules {
+		served := false
+		for _, ok := range f.reachable[n.Handle()] {
+			served = served || ok
+		}
+		if !served {
+			return nil, fmt.Errorf("fleet: capsule %#04x unreachable from every station", n.Handle())
+		}
+	}
+	f.reroute()
+	return f, nil
+}
+
+// reroute resolves the best alive station per capsule from the delivered
+// PZT amplitudes. Capsules with no alive server drop out of the best map
+// (they become orphans in the coverage report).
+func (f *Fleet) reroute() {
+	for h := range f.best {
+		delete(f.best, h)
+	}
+	for _, n := range f.nodes {
 		bestIdx, bestAmp := -1, 0.0
 		for i, r := range f.readers {
+			if !f.alive[i] || !f.reachable[n.Handle()][i] {
+				continue
+			}
 			amp, err := r.NodeAmplitude(n.Handle())
 			if err != nil {
 				continue
@@ -84,11 +131,74 @@ func New(s *geometry.Structure, plan deploy.Plan, capsules []*node.Node, seed in
 			f.best[n.Handle()] = bestIdx
 		}
 	}
-	return f, nil
 }
 
 // Stations returns the number of readers in the fleet.
 func (f *Fleet) Stations() int { return len(f.readers) }
+
+// AliveStations returns the number of operational stations.
+func (f *Fleet) AliveStations() int {
+	n := 0
+	for _, a := range f.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// KillStation marks a station dead and re-routes its capsules to their
+// next-best alive server. Unknown indices are ignored.
+func (f *Fleet) KillStation(i int) {
+	if i < 0 || i >= len(f.alive) || !f.alive[i] {
+		return
+	}
+	f.alive[i] = false
+	f.reroute()
+}
+
+// ReviveStation brings a dead station back and re-routes.
+func (f *Fleet) ReviveStation(i int) {
+	if i < 0 || i >= len(f.alive) || f.alive[i] {
+		return
+	}
+	f.alive[i] = true
+	f.reroute()
+}
+
+// StationAlive reports one station's liveness.
+func (f *Fleet) StationAlive(i int) bool {
+	return i >= 0 && i < len(f.alive) && f.alive[i]
+}
+
+// SetFrameFaults installs the frame-fault hook on every station's reader.
+func (f *Fleet) SetFrameFaults(ff reader.FrameFaults) {
+	for _, r := range f.readers {
+		r.SetFrameFaults(ff)
+	}
+}
+
+// ApplyInjector wires one fault injector into every layer the fleet owns:
+// frame faults on every reader, planned-dead stations killed, and stuck
+// sensors frozen at their first reading.
+func (f *Fleet) ApplyInjector(in *faultinject.Injector) {
+	if in == nil {
+		return
+	}
+	f.SetFrameFaults(in)
+	for i := range f.readers {
+		if in.StationDead(i) {
+			f.KillStation(i)
+		}
+	}
+	for _, n := range f.nodes {
+		if in.SensorStuck(n.Handle()) {
+			for _, s := range n.Sensors() {
+				n.AttachSensor(faultinject.Freeze(s))
+			}
+		}
+	}
+}
 
 // BestStation returns the station index serving a capsule (-1 if none).
 func (f *Fleet) BestStation(handle uint16) int {
@@ -134,12 +244,16 @@ func (f *Fleet) Charge(duration float64) int {
 	return up
 }
 
-// Inventory runs each station's inventory and merges the discoveries.
-// Stations take turns (TDMA across stations on top of the per-station
-// slotted ALOHA), so a capsule is singulated by its best station.
+// Inventory runs each alive station's inventory and merges the
+// discoveries. Stations take turns (TDMA across stations on top of the
+// per-station slotted ALOHA), so a capsule is singulated by its best
+// station.
 func (f *Fleet) Inventory(maxRoundsPerStation int) []uint16 {
 	found := make(map[uint16]bool)
-	for _, r := range f.readers {
+	for i, r := range f.readers {
+		if !f.alive[i] {
+			continue
+		}
 		res := r.Inventory(maxRoundsPerStation)
 		for _, h := range res.Discovered {
 			found[h] = true
@@ -153,13 +267,63 @@ func (f *Fleet) Inventory(maxRoundsPerStation int) []uint16 {
 	return out
 }
 
-// ReadSensor routes the request through the capsule's best station.
+// ReadSensor routes the request through the capsule's best station and,
+// when that exchange fails (dead station, frame loss the retry budget could
+// not beat), falls back through the remaining alive stations in descending
+// amplitude order.
 func (f *Fleet) ReadSensor(handle uint16, st sensors.SensorType) ([]float64, error) {
-	idx, ok := f.best[handle]
-	if !ok {
+	stations := f.readOrder(handle)
+	if len(stations) == 0 {
 		return nil, fmt.Errorf("fleet: no station serves capsule %#04x", handle)
 	}
-	return f.readers[idx].ReadSensor(handle, st)
+	var lastErr error
+	for _, idx := range stations {
+		vals, err := f.readers[idx].ReadSensor(handle, st)
+		if err == nil {
+			return vals, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("fleet: capsule %#04x unreadable from %d station(s): %w",
+		handle, len(stations), lastErr)
+}
+
+// readOrder lists the alive stations that can reach the capsule, best
+// amplitude first.
+func (f *Fleet) readOrder(handle uint16) []int {
+	reach, ok := f.reachable[handle]
+	if !ok {
+		return nil
+	}
+	type cand struct {
+		idx int
+		amp float64
+	}
+	var cands []cand
+	for i, r := range f.readers {
+		if !f.alive[i] || !reach[i] {
+			continue
+		}
+		amp, err := r.NodeAmplitude(handle)
+		if err != nil {
+			continue
+		}
+		cands = append(cands, cand{idx: i, amp: amp})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].amp > cands[b].amp {
+			return true
+		}
+		if cands[a].amp < cands[b].amp {
+			return false
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.idx
+	}
+	return out
 }
 
 // SetEnvironment installs the ground-truth sampler on every station.
@@ -176,4 +340,52 @@ func (f *Fleet) Coverage() []int {
 		out[idx]++
 	}
 	return out
+}
+
+// CoverageReport is the per-capsule view of who serves whom — the fleet's
+// answer to "what are we still monitoring" after stations fail.
+type CoverageReport struct {
+	Stations     int
+	DeadStations []int
+	// PerStation counts the capsules each station serves best.
+	PerStation []int
+	// Orphans lists capsules no alive station reaches.
+	Orphans []uint16
+}
+
+// Degraded reports whether coverage is below the designed deployment.
+func (c CoverageReport) Degraded() bool {
+	return len(c.DeadStations) > 0 || len(c.Orphans) > 0
+}
+
+// CoverageReport builds the current coverage view.
+func (f *Fleet) CoverageReport() CoverageReport {
+	rep := CoverageReport{
+		Stations:   len(f.readers),
+		PerStation: f.Coverage(),
+	}
+	for i, a := range f.alive {
+		if !a {
+			rep.DeadStations = append(rep.DeadStations, i)
+		}
+	}
+	for _, n := range f.nodes {
+		if _, ok := f.best[n.Handle()]; !ok {
+			rep.Orphans = append(rep.Orphans, n.Handle())
+		}
+	}
+	sort.Slice(rep.Orphans, func(i, j int) bool { return rep.Orphans[i] < rep.Orphans[j] })
+	return rep
+}
+
+// FaultStats sums the resilience counters over every station's reader.
+func (f *Fleet) FaultStats() reader.FaultStats {
+	var total reader.FaultStats
+	for _, r := range f.readers {
+		s := r.FaultStats()
+		total.CorruptedReplies += s.CorruptedReplies
+		total.Retries += s.Retries
+		total.Backoff += s.Backoff
+	}
+	return total
 }

@@ -1,0 +1,168 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"ecocapsule/internal/sensors"
+	"ecocapsule/internal/units"
+)
+
+// SurveyRow is one capsule's line in an SHM survey.
+type SurveyRow struct {
+	Handle uint16
+	// Station is the serving station index, -1 for orphans.
+	Station int
+	// Status is "ok", "orphan", or "missing".
+	Status string
+	// TemperatureC / RelativeHumidity / StrainX / StrainY hold the decoded
+	// readings when Status is "ok".
+	TemperatureC     float64
+	RelativeHumidity float64
+	StrainX          float64
+	StrainY          float64
+}
+
+// SHMReport is the fleet-level structural health survey. A partially
+// covered fleet (dead stations, orphaned or unreadable capsules) still
+// produces a report — flagged Degraded and annotated with what is missing —
+// because a building operator needs the remaining coverage, not an error.
+type SHMReport struct {
+	Stations      int
+	AliveStations int
+	DeadStations  []int
+	// Expected / Reporting count the deployed capsules and the subset that
+	// answered their sensor reads.
+	Expected  int
+	Reporting int
+	// Missing lists capsules that are served but did not answer; Orphans
+	// lists capsules no alive station reaches at all.
+	Missing []uint16
+	Orphans []uint16
+	// Degraded is set when any station is dead or any capsule is absent.
+	Degraded bool
+	// Link-layer resilience counters accumulated during the survey.
+	CorruptedReplies int
+	Retries          int
+	Backoff          time.Duration
+	Rows             []SurveyRow
+}
+
+// Text renders the report deterministically — same fleet state and seed,
+// byte-identical output — so surveys can be diffed and pinned in tests.
+func (rep SHMReport) Text() string {
+	var b strings.Builder
+	health := "FULL"
+	if rep.Degraded {
+		health = "DEGRADED"
+	}
+	fmt.Fprintf(&b, "SHM survey: coverage %s\n", health)
+	fmt.Fprintf(&b, "stations: %d alive / %d deployed", rep.AliveStations, rep.Stations)
+	if len(rep.DeadStations) > 0 {
+		fmt.Fprintf(&b, " (dead:%s)", joinInts(rep.DeadStations))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "capsules: %d reporting / %d expected", rep.Reporting, rep.Expected)
+	if len(rep.Missing) > 0 {
+		fmt.Fprintf(&b, " (missing:%s)", joinHandles(rep.Missing))
+	}
+	if len(rep.Orphans) > 0 {
+		fmt.Fprintf(&b, " (orphaned:%s)", joinHandles(rep.Orphans))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "link: %d corrupted replies, %d retries\n", rep.CorruptedReplies, rep.Retries)
+	for _, row := range rep.Rows {
+		if row.Status != "ok" {
+			fmt.Fprintf(&b, "  %#04x st=%2d %s\n", row.Handle, row.Station, row.Status)
+			continue
+		}
+		fmt.Fprintf(&b, "  %#04x st=%2d ok T=%6.2fC RH=%5.1f%% strain=(%8.1f,%8.1f)ue\n",
+			row.Handle, row.Station, row.TemperatureC, row.RelativeHumidity,
+			row.StrainX/units.UE, row.StrainY/units.UE)
+	}
+	return b.String()
+}
+
+// Survey charges the fleet, then reads temperature/humidity and strain from
+// every capsule through its best station (falling back through alternates),
+// and assembles the health report. Capsules are visited in ascending handle
+// order so a fixed seed reproduces the survey byte for byte.
+func (f *Fleet) Survey(chargeDuration float64) SHMReport {
+	before := f.FaultStats()
+	f.Charge(chargeDuration)
+	cov := f.CoverageReport()
+	rep := SHMReport{
+		Stations:      cov.Stations,
+		AliveStations: f.AliveStations(),
+		DeadStations:  cov.DeadStations,
+		Expected:      len(f.nodes),
+		Orphans:       cov.Orphans,
+	}
+	orphan := make(map[uint16]bool, len(cov.Orphans))
+	for _, h := range cov.Orphans {
+		orphan[h] = true
+	}
+	nodes := append([]*nodeRef(nil), f.sortedNodes()...)
+	for _, nr := range nodes {
+		row := SurveyRow{Handle: nr.handle, Station: f.BestStation(nr.handle)}
+		switch {
+		case orphan[nr.handle]:
+			row.Status = "orphan"
+		default:
+			th, errT := f.ReadSensor(nr.handle, sensors.TypeTempHumidity)
+			st, errS := f.ReadSensor(nr.handle, sensors.TypeStrain)
+			if errT != nil || errS != nil || len(th) < 2 || len(st) < 2 {
+				row.Status = "missing"
+				rep.Missing = append(rep.Missing, nr.handle)
+			} else {
+				row.Status = "ok"
+				row.TemperatureC, row.RelativeHumidity = th[0], th[1]
+				row.StrainX, row.StrainY = st[0], st[1]
+				rep.Reporting++
+			}
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	after := f.FaultStats()
+	rep.CorruptedReplies = after.CorruptedReplies - before.CorruptedReplies
+	rep.Retries = after.Retries - before.Retries
+	rep.Backoff = after.Backoff - before.Backoff
+	rep.Degraded = len(rep.DeadStations) > 0 || len(rep.Missing) > 0 || len(rep.Orphans) > 0
+	return rep
+}
+
+// nodeRef pairs a handle with its slice position for sorted traversal.
+type nodeRef struct {
+	handle uint16
+	idx    int
+}
+
+// sortedNodes lists the fleet's capsules in ascending handle order.
+func (f *Fleet) sortedNodes() []*nodeRef {
+	out := make([]*nodeRef, len(f.nodes))
+	for i, n := range f.nodes {
+		out[i] = &nodeRef{handle: n.Handle(), idx: i}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].handle < out[b].handle })
+	return out
+}
+
+// joinInts renders ints as a comma list.
+func joinInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprintf("%d", x)
+	}
+	return strings.Join(parts, ",")
+}
+
+// joinHandles renders handles as a comma list of hex ids.
+func joinHandles(xs []uint16) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprintf("%#04x", x)
+	}
+	return strings.Join(parts, ",")
+}

@@ -9,6 +9,7 @@ package node
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"ecocapsule/internal/energy"
@@ -150,6 +151,19 @@ func (n *Node) AttachSensor(s sensors.Sensor) {
 	n.sensorsByType[s.Type()] = s
 }
 
+// Sensors returns the attached payloads sorted by type — the hook the
+// fault layer uses to wrap them (e.g. with a stuck-at fault).
+func (n *Node) Sensors() []sensors.Sensor {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]sensors.Sensor, 0, len(n.sensorsByType))
+	for _, s := range n.sensorsByType {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Type() < out[j].Type() })
+	return out
+}
+
 // EmbedCheck verifies the shell survives the embedment depth in the host
 // concrete (eq. 4). depth is metres of concrete head above the node.
 func (n *Node) EmbedCheck(concreteDensity, depth float64) error {
@@ -274,6 +288,13 @@ func (n *Node) HandleDownlink(p protocol.Packet, env sensors.Environment) (*prot
 	case protocol.CmdSleep:
 		n.slotter.EndRound()
 		n.state = Standby
+		return nil, nil
+	case protocol.CmdNak:
+		// The reader could not decode our reply: re-arm arbitration with
+		// the slot counter untouched, so the next QueryRep re-solicits it.
+		if n.state == Replying {
+			n.state = Arbitrating
+		}
 		return nil, nil
 	default:
 		return nil, fmt.Errorf("node: unsupported command %v", p.Cmd)

@@ -28,7 +28,7 @@ func TestNodeStateMachineNeverPanicsProperty(t *testing.T) {
 			case 1: // brown-out
 				n.Excite(0.01*rng.Float64(), 230*units.KHz, cs, 1e-3)
 			default: // a random command with random addressing/payload
-				cmd := protocol.Command(1 + rng.Intn(7)) // includes one invalid opcode
+				cmd := protocol.Command(1 + rng.Intn(8)) // includes one invalid opcode
 				target := protocol.Broadcast
 				if rng.Intn(2) == 0 {
 					target = uint16(rng.Intn(0x100))

@@ -29,6 +29,10 @@ const (
 	CmdReadSensor Command = 0x05
 	// CmdSleep puts an addressed node back into harvest-only standby.
 	CmdSleep Command = 0x06
+	// CmdNak tells a replying node its backscatter was not decoded (CRC
+	// failure at the reader): the node returns to arbitration with its slot
+	// counter intact so the next QueryRep re-solicits the reply.
+	CmdNak Command = 0x07
 )
 
 func (c Command) String() string {
@@ -45,6 +49,8 @@ func (c Command) String() string {
 		return "ReadSensor"
 	case CmdSleep:
 		return "Sleep"
+	case CmdNak:
+		return "Nak"
 	default:
 		return fmt.Sprintf("Command(%#02x)", byte(c))
 	}

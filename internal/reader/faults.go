@@ -1,0 +1,119 @@
+package reader
+
+import (
+	"time"
+
+	"ecocapsule/internal/faultinject"
+	"ecocapsule/internal/node"
+	"ecocapsule/internal/protocol"
+	"ecocapsule/internal/units"
+)
+
+// brownoutStep is the excitation step used to model an instantaneous
+// storage-capacitor collapse.
+const brownoutStep = 1 * units.MS
+
+// FrameFaults is the injectable fault hook on the reader's acoustic link.
+// When installed, every downlink and uplink frame is marshalled to its wire
+// bytes and routed through the hook, which may corrupt the frame or drop it
+// (ok = false). faultinject.Injector implements it; production readers run
+// with no hook installed and pay nothing.
+type FrameFaults interface {
+	// Downlink transforms a reader→capsule frame for the given capsule.
+	Downlink(handle uint16, frame []byte) ([]byte, bool)
+	// Uplink transforms a capsule→reader frame.
+	Uplink(handle uint16, frame []byte) ([]byte, bool)
+}
+
+// CapsuleFaults is optionally implemented by a FrameFaults hook to inject
+// capsule-side power faults: Brownout is drawn once per downlink delivery,
+// and true knocks the capsule back to dormant mid-operation.
+type CapsuleFaults interface {
+	Brownout(handle uint16) bool
+}
+
+// FaultStats counts the reader's own view of link trouble and what its
+// resilience machinery spent recovering.
+type FaultStats struct {
+	// CorruptedReplies is the number of uplink frames that arrived but
+	// failed CRC.
+	CorruptedReplies int
+	// Retries is the number of NAK re-solicitations and read re-sends.
+	Retries int
+	// Backoff is the simulated time spent in retry backoff.
+	Backoff time.Duration
+}
+
+// SetFrameFaults installs (or, with nil, removes) the fault hook.
+func (r *Reader) SetFrameFaults(f FrameFaults) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.faults = f
+}
+
+// SetRetryPolicy overrides the bounded-backoff policy the reader uses to
+// retry CRC-failed and silent exchanges.
+func (r *Reader) SetRetryPolicy(b faultinject.Backoff) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.retry = b
+}
+
+// FaultStats returns a snapshot of the reader's resilience counters.
+func (r *Reader) FaultStats() FaultStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.faultStats
+}
+
+// deliverLocked transports one packet to one node through the fault layer
+// and returns the parsed reply. corrupted reports an uplink that arrived
+// but failed CRC; err carries the node-level rejection (not powered, no
+// such sensor, ...) for addressed commands. Caller holds the lock.
+func (r *Reader) deliverLocked(p protocol.Packet, n *node.Node) (up *protocol.UplinkFrame, corrupted bool, err error) {
+	env := r.env(n.Position())
+	h := n.Handle()
+	pkt := p
+	if r.faults != nil {
+		if cf, ok := r.faults.(CapsuleFaults); ok && cf.Brownout(h) {
+			// The capsule loses its storage charge mid-operation: one
+			// zero-amplitude excitation step drops it back to dormant.
+			n.Excite(0, r.cfg.CarrierHz, r.shearSpeedLocked(), brownoutStep)
+		}
+		frame, ok := r.faults.Downlink(h, p.Marshal())
+		if !ok {
+			return nil, false, nil // lost in the concrete
+		}
+		pkt, err = protocol.Unmarshal(frame)
+		if err != nil {
+			return nil, false, nil // capsule's CRC rejects the command
+		}
+	}
+	u, err := n.HandleDownlink(pkt, env)
+	if err != nil || u == nil {
+		return nil, false, err
+	}
+	if r.faults == nil {
+		return u, false, nil
+	}
+	frame, ok := r.faults.Uplink(h, u.Marshal())
+	if !ok {
+		return nil, false, nil // backscatter never reached the RX
+	}
+	parsed, perr := protocol.UnmarshalUplink(frame)
+	if perr != nil {
+		r.faultStats.CorruptedReplies++
+		return nil, true, nil
+	}
+	return &parsed, false, nil
+}
+
+// shearSpeedLocked returns the structure's S-wave speed (P-wave fallback),
+// the medium speed the node state machine expects.
+func (r *Reader) shearSpeedLocked() float64 {
+	cs := r.cfg.Structure.Material.VS()
+	if cs == 0 {
+		cs = r.cfg.Structure.Material.VP()
+	}
+	return cs
+}

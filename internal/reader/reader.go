@@ -13,6 +13,7 @@ import (
 
 	"ecocapsule/internal/channel"
 	"ecocapsule/internal/energy"
+	"ecocapsule/internal/faultinject"
 	"ecocapsule/internal/geometry"
 	"ecocapsule/internal/node"
 	"ecocapsule/internal/physics"
@@ -59,6 +60,12 @@ type Reader struct {
 	// into the PZT amplitude at a node (the electro-mechanical coupling
 	// of the whole chain), calibrated against the Fig. 12 anchor points.
 	PZTCouplingVoltsPerUnit float64
+
+	// faults, when non-nil, routes every frame through the fault layer.
+	faults FrameFaults
+	// retry bounds the NAK/re-read recovery on CRC failures.
+	retry      faultinject.Backoff
+	faultStats FaultStats
 }
 
 // New validates the configuration and returns a Reader.
@@ -84,6 +91,7 @@ func New(cfg Config) (*Reader, error) {
 		chans:                   make(map[uint16]*channel.Channel),
 		env:                     func(geometry.Vec3) sensors.Environment { return sensors.Environment{} },
 		PZTCouplingVoltsPerUnit: DefaultPZTCoupling,
+		retry:                   faultinject.DefaultBackoff(),
 	}, nil
 }
 
@@ -179,19 +187,22 @@ func (r *Reader) Charge(duration float64) int {
 	return up
 }
 
-// broadcastLocked delivers a packet to every powered node and collects
-// replies. Caller holds the lock.
-func (r *Reader) broadcastLocked(p protocol.Packet) []*protocol.UplinkFrame {
+// broadcastLocked delivers a packet to every powered node through the
+// fault layer and collects replies, plus the number of replies that
+// arrived corrupted (CRC failure). Caller holds the lock.
+func (r *Reader) broadcastLocked(p protocol.Packet) ([]*protocol.UplinkFrame, int) {
 	var replies []*protocol.UplinkFrame
+	corrupted := 0
 	for _, n := range r.nodes {
-		env := r.env(n.Position())
-		up, err := n.HandleDownlink(p, env)
-		if err != nil || up == nil {
-			continue
+		up, bad, _ := r.deliverLocked(p, n)
+		if bad {
+			corrupted++
 		}
-		replies = append(replies, up)
+		if up != nil {
+			replies = append(replies, up)
+		}
 	}
-	return replies
+	return replies, corrupted
 }
 
 // InventoryResult summarises one full inventory.
@@ -200,6 +211,10 @@ type InventoryResult struct {
 	Rounds     int
 	Collisions int
 	Empties    int
+	// Corrupted counts uplink replies that failed CRC at the reader.
+	Corrupted int
+	// Retries counts NAK re-solicitations issued to recover them.
+	Retries int
 }
 
 // Inventory runs adaptive-Q slotted-ALOHA rounds until every powered node
@@ -222,7 +237,20 @@ func (r *Reader) Inventory(maxRounds int) InventoryResult {
 			} else {
 				p = protocol.Packet{Cmd: protocol.CmdQueryRep, Target: protocol.Broadcast}
 			}
-			replies := r.broadcastLocked(p)
+			replies, corrupted := r.broadcastLocked(p)
+			// A slot that produced only CRC garbage is re-solicited with
+			// bounded exponential backoff: a NAK returns the replying
+			// capsules to arbitration, and a QueryRep draws their
+			// backscatter again through (hopefully) a cleaner channel.
+			for attempt := 0; corrupted > 0 && len(replies) == 0 && attempt < r.retry.MaxAttempts; attempt++ {
+				res.Corrupted += corrupted
+				res.Retries++
+				r.faultStats.Retries++
+				r.faultStats.Backoff += r.retry.Delay(attempt)
+				r.broadcastLocked(protocol.Packet{Cmd: protocol.CmdNak, Target: protocol.Broadcast})
+				replies, corrupted = r.broadcastLocked(protocol.Packet{Cmd: protocol.CmdQueryRep, Target: protocol.Broadcast})
+			}
+			res.Corrupted += corrupted
 			switch len(replies) {
 			case 0:
 				outcome.Empties++
@@ -276,23 +304,40 @@ func (r *Reader) ReadSensor(handle uint16, st sensors.SensorType) ([]float64, er
 	if target == nil {
 		return nil, fmt.Errorf("reader: unknown node %#04x", handle)
 	}
-	env := r.env(target.Position())
-	up, err := target.HandleDownlink(protocol.Packet{
-		Cmd: protocol.CmdReadSensor, Target: handle, Payload: []byte{byte(st)},
-	}, env)
-	if err != nil {
-		return nil, err
+	p := protocol.Packet{Cmd: protocol.CmdReadSensor, Target: handle, Payload: []byte{byte(st)}}
+	attempts := 1
+	if r.faults != nil && r.retry.MaxAttempts > 0 {
+		attempts += r.retry.MaxAttempts
 	}
-	if up == nil {
-		return nil, errors.New("reader: node stayed silent")
+	lastErr := errors.New("reader: node stayed silent")
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			r.faultStats.Retries++
+			r.faultStats.Backoff += r.retry.Delay(a - 1)
+		}
+		up, bad, err := r.deliverLocked(p, target)
+		if err != nil {
+			// A node-level rejection (not powered, no such sensor) is not
+			// a link fault; retrying cannot change it.
+			return nil, err
+		}
+		if up != nil {
+			// Round-trip through the wire framing, as the acoustic link
+			// would (the fault path already did this).
+			parsed := *up
+			if r.faults == nil {
+				parsed, err = protocol.UnmarshalUplink(up.Marshal())
+				if err != nil {
+					return nil, fmt.Errorf("reader: uplink corrupted: %w", err)
+				}
+			}
+			return sensors.Decode(sensors.SensorType(parsed.Kind), parsed.Data)
+		}
+		if bad {
+			lastErr = fmt.Errorf("reader: uplink corrupted: %w", protocol.ErrBadCRC)
+		}
 	}
-	// Round-trip through the wire framing, as the acoustic link would.
-	frame := up.Marshal()
-	parsed, err := protocol.UnmarshalUplink(frame)
-	if err != nil {
-		return nil, fmt.Errorf("reader: uplink corrupted: %w", err)
-	}
-	return sensors.Decode(sensors.SensorType(parsed.Kind), parsed.Data)
+	return nil, lastErr
 }
 
 // SetDriveVoltage changes the amplifier setting (clamped to the ceiling).

@@ -1,0 +1,178 @@
+package shmwire
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ecocapsule/internal/faultinject"
+)
+
+// ReconnectConfig parameterises a self-healing subscription.
+type ReconnectConfig struct {
+	// Addr / Name mirror Dial.
+	Addr string
+	Name string
+	// Backoff bounds the redial schedule (defaults to
+	// faultinject.ReconnectBackoff).
+	Backoff faultinject.Backoff
+	// ReadTimeout bounds each Recv so a stalled server surfaces as an error
+	// (and triggers a reconnect) instead of blocking forever. Zero disables.
+	ReadTimeout time.Duration
+	// Dial overrides the connection factory (tests inject failures here).
+	Dial func(addr, name string) (*Client, error)
+	// Sleep overrides the backoff sleep (tests run instantly).
+	Sleep func(time.Duration)
+	// Logf receives reconnect diagnostics (default: silent).
+	Logf func(format string, args ...any)
+}
+
+// ErrClientClosed is returned after Close.
+var ErrClientClosed = errors.New("shmwire: reconnecting client closed")
+
+// ReconnectingClient wraps Client with dial-retry and mid-stream
+// reconnection under a bounded exponential backoff. A monitoring
+// subscription should ride out a daemon restart, not die with it.
+type ReconnectingClient struct {
+	cfg ReconnectConfig
+
+	mu         sync.Mutex
+	cl         *Client
+	closed     bool
+	reconnects int
+}
+
+// NewReconnectingClient builds the client without dialing; the first Next
+// (or Connect) establishes the session.
+func NewReconnectingClient(cfg ReconnectConfig) *ReconnectingClient {
+	if cfg.Backoff == (faultinject.Backoff{}) {
+		cfg.Backoff = faultinject.ReconnectBackoff()
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = Dial
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &ReconnectingClient{cfg: cfg}
+}
+
+// Reconnects counts completed re-dials (the first dial is not counted).
+func (rc *ReconnectingClient) Reconnects() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.reconnects
+}
+
+// Connect ensures a live session, dialing with backoff if needed.
+func (rc *ReconnectingClient) Connect() error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.connectLocked()
+}
+
+func (rc *ReconnectingClient) connectLocked() error {
+	if rc.closed {
+		return ErrClientClosed
+	}
+	if rc.cl != nil {
+		return nil
+	}
+	var lastErr error
+	for attempt := 0; attempt < rc.cfg.Backoff.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			rc.cfg.Sleep(rc.cfg.Backoff.Delay(attempt - 1))
+		}
+		cl, err := rc.cfg.Dial(rc.cfg.Addr, rc.cfg.Name)
+		if err == nil {
+			rc.cl = cl
+			return nil
+		}
+		lastErr = err
+		rc.cfg.Logf("shmwire: dial %s attempt %d/%d: %v",
+			rc.cfg.Addr, attempt+1, rc.cfg.Backoff.MaxAttempts, err)
+	}
+	return fmt.Errorf("shmwire: reconnect budget exhausted: %w", lastErr)
+}
+
+// Next returns the next event. A broken or stalled stream is redialed
+// transparently (counted in Reconnects); Next fails only when the redial
+// budget is exhausted or the client is closed.
+func (rc *ReconnectingClient) Next() (Event, error) {
+	for {
+		rc.mu.Lock()
+		if err := rc.connectLocked(); err != nil {
+			rc.mu.Unlock()
+			return Event{}, err
+		}
+		cl := rc.cl
+		rc.mu.Unlock()
+
+		if rc.cfg.ReadTimeout > 0 {
+			cl.SetDeadline(time.Now().Add(rc.cfg.ReadTimeout))
+		}
+		ev, err := cl.Next()
+		if err == nil {
+			return ev, nil
+		}
+
+		rc.mu.Lock()
+		if rc.closed {
+			rc.mu.Unlock()
+			return Event{}, ErrClientClosed
+		}
+		if rc.cl == cl { // nobody else replaced it
+			rc.cl.Close()
+			rc.cl = nil
+			rc.reconnects++
+		}
+		rc.mu.Unlock()
+		rc.cfg.Logf("shmwire: stream to %s broken (%v), reconnecting", rc.cfg.Addr, err)
+	}
+}
+
+// Events pumps decoded events into a channel until stop closes or the
+// redial budget dies; the channel is closed on exit either way.
+func (rc *ReconnectingClient) Events(stop <-chan struct{}) <-chan Event {
+	out := make(chan Event, 16)
+	go func() {
+		defer close(out)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ev, err := rc.Next()
+			if err != nil {
+				return
+			}
+			select {
+			case out <- ev:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// Close tears the session down; subsequent Next calls fail fast.
+func (rc *ReconnectingClient) Close() error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.closed {
+		return nil
+	}
+	rc.closed = true
+	if rc.cl != nil {
+		err := rc.cl.Close()
+		rc.cl = nil
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,239 @@
+package shmwire
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ecocapsule/internal/faultinject"
+)
+
+func TestStatusRoundTrip(t *testing.T) {
+	in := Status{
+		Timestamp:    time.Unix(0, 1_700_000_000_000_000_000).UTC(),
+		Expected:     12,
+		Reporting:    9,
+		Degraded:     true,
+		MissingNodes: []uint16{0x81, 0x85, 0x8B},
+	}
+	out, err := DecodeStatus(EncodeStatus(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Expected != in.Expected || out.Reporting != in.Reporting || !out.Degraded {
+		t.Errorf("round trip lost counts: %+v", out)
+	}
+	if len(out.MissingNodes) != 3 || out.MissingNodes[1] != 0x85 {
+		t.Errorf("missing nodes: %v", out.MissingNodes)
+	}
+	if !out.Timestamp.Equal(in.Timestamp) {
+		t.Errorf("timestamp %v != %v", out.Timestamp, in.Timestamp)
+	}
+}
+
+func TestStatusDecodeRejectsShortBodies(t *testing.T) {
+	full := EncodeStatus(Status{Expected: 5, MissingNodes: []uint16{1, 2}})
+	for n := 0; n < len(full); n++ {
+		if _, err := DecodeStatus(full[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes must error", n)
+		}
+	}
+}
+
+func TestStatusEncodeTruncatesHugeMissingList(t *testing.T) {
+	missing := make([]uint16, 3000)
+	for i := range missing {
+		missing[i] = uint16(i)
+	}
+	body := EncodeStatus(Status{MissingNodes: missing})
+	if len(body) > MaxFrameSize {
+		t.Fatalf("status body %d bytes exceeds MaxFrameSize", len(body))
+	}
+	dec, err := DecodeStatus(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.MissingNodes) != maxMissingNodes {
+		t.Errorf("decoded %d missing nodes, want the %d cap", len(dec.MissingNodes), maxMissingNodes)
+	}
+}
+
+func waitForSubscribers(t *testing.T, s *Server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Subscribers() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never reached %d subscribers", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestServerBroadcastsStatus(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetLogf(func(string, ...any) {})
+	cl, err := Dial(s.Addr().String(), "status-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	waitForSubscribers(t, s, 1)
+	s.BroadcastStatus(Status{Expected: 4, Reporting: 3, Degraded: true, MissingNodes: []uint16{0x82}})
+	cl.SetDeadline(time.Now().Add(2 * time.Second))
+	ev, err := cl.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Type != MsgStatus || ev.Status == nil {
+		t.Fatalf("got event %+v, want status", ev)
+	}
+	if ev.Status.Reporting != 3 || !ev.Status.Degraded || len(ev.Status.MissingNodes) != 1 {
+		t.Errorf("status payload %+v", ev.Status)
+	}
+}
+
+// TestReconnectingClientRidesOverServerRestart kills the server mid-stream
+// and checks the client redials the replacement transparently.
+func TestReconnectingClientRidesOverServerRestart(t *testing.T) {
+	s1, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.SetLogf(func(string, ...any) {})
+
+	var mu sync.Mutex
+	addr := s1.Addr().String()
+	rc := NewReconnectingClient(ReconnectConfig{
+		Addr:    "dynamic",
+		Name:    "resilient-sub",
+		Backoff: faultinject.Backoff{Base: time.Millisecond, Max: 4 * time.Millisecond, Factor: 2, MaxAttempts: 8},
+		Sleep:   func(time.Duration) {},
+		Dial: func(_, name string) (*Client, error) {
+			mu.Lock()
+			a := addr
+			mu.Unlock()
+			return Dial(a, name)
+		},
+	})
+	defer rc.Close()
+
+	if err := rc.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	waitForSubscribers(t, s1, 1)
+	s1.BroadcastAlert(Alert{Code: AlertThreshold, Message: "before restart"})
+	ev, err := rc.Next()
+	if err != nil || ev.Type != MsgAlert {
+		t.Fatalf("first event: %+v, %v", ev, err)
+	}
+
+	// Restart: s1 dies, s2 comes up on a fresh port.
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	s2.SetLogf(func(string, ...any) {})
+	mu.Lock()
+	addr = s2.Addr().String()
+	mu.Unlock()
+
+	// Pump frames on the new server until the client catches one.
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				s2.BroadcastAlert(Alert{Code: AlertAnomaly, Message: "after restart"})
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	defer close(done)
+
+	ev, err = rc.Next()
+	if err != nil {
+		t.Fatalf("next after restart: %v", err)
+	}
+	if ev.Type != MsgAlert || ev.Alert == nil || ev.Alert.Message != "after restart" {
+		t.Fatalf("event after restart: %+v", ev)
+	}
+	if rc.Reconnects() < 1 {
+		t.Error("reconnect counter never advanced")
+	}
+}
+
+func TestReconnectingClientExhaustsBudget(t *testing.T) {
+	dials := 0
+	rc := NewReconnectingClient(ReconnectConfig{
+		Addr:    "nowhere",
+		Name:    "doomed",
+		Backoff: faultinject.Backoff{Base: time.Millisecond, Max: time.Millisecond, Factor: 2, MaxAttempts: 3},
+		Sleep:   func(time.Duration) {},
+		Dial: func(_, _ string) (*Client, error) {
+			dials++
+			return nil, errors.New("synthetic dial failure")
+		},
+	})
+	defer rc.Close()
+	if _, err := rc.Next(); err == nil {
+		t.Fatal("exhausted budget must surface an error")
+	}
+	if dials != 3 {
+		t.Errorf("dialed %d times, want MaxAttempts=3", dials)
+	}
+	if err := rc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.Next(); !errors.Is(err, ErrClientClosed) {
+		t.Errorf("next after close: %v", err)
+	}
+}
+
+func TestReconnectingClientEventsStops(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetLogf(func(string, ...any) {})
+	rc := NewReconnectingClient(ReconnectConfig{Addr: s.Addr().String(), Name: "ev"})
+	if err := rc.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	waitForSubscribers(t, s, 1)
+	stop := make(chan struct{})
+	events := rc.Events(stop)
+	s.BroadcastHealth(Health{Section: 'B', Level: 'A', Pedestrians: 2, SpeedMS: 1.2})
+	select {
+	case ev := <-events:
+		if ev.Type != MsgHealth {
+			t.Fatalf("event %+v", ev)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no event arrived")
+	}
+	close(stop)
+	rc.Close()
+	select {
+	case _, open := <-events:
+		if open {
+			// A buffered event may still drain; the channel must close after.
+			for range events {
+				continue
+			}
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("events channel never closed")
+	}
+}

@@ -20,7 +20,13 @@ type Server struct {
 	closed    bool
 	wg        sync.WaitGroup
 	logf      func(format string, args ...any)
+	// writeTimeout bounds each frame write so one wedged subscriber socket
+	// cannot pin its writer goroutine forever.
+	writeTimeout time.Duration
 }
+
+// defaultWriteTimeout bounds a single subscriber frame write.
+const defaultWriteTimeout = 5 * time.Second
 
 type subscriber struct {
 	id   int
@@ -41,9 +47,10 @@ func NewServer(addr string) (*Server, error) {
 		return nil, fmt.Errorf("shmwire: listen: %w", err)
 	}
 	s := &Server{
-		ln:   ln,
-		subs: make(map[int]*subscriber),
-		logf: log.Printf,
+		ln:           ln,
+		subs:         make(map[int]*subscriber),
+		logf:         log.Printf,
+		writeTimeout: defaultWriteTimeout,
 	}
 	s.wg.Add(1)
 	//ecolint:ignore leakcheck acceptLoop exits when Close() shuts the listener and is awaited via s.wg
@@ -58,6 +65,13 @@ func (s *Server) SetLogf(f func(string, ...any)) {
 	if f != nil {
 		s.logf = f
 	}
+}
+
+// SetWriteTimeout overrides the per-frame write deadline (zero disables).
+func (s *Server) SetWriteTimeout(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writeTimeout = d
 }
 
 // Addr returns the bound address.
@@ -105,8 +119,16 @@ func (s *Server) handle(conn net.Conn) {
 	s.mu.Unlock()
 	logf("shmwire: subscriber %q connected from %s", sub.name, conn.RemoteAddr())
 
-	// Writer drains the fan-out channel onto the socket.
+	// Writer drains the fan-out channel onto the socket. Each write runs
+	// under a deadline: a subscriber that stops draining its socket times
+	// out and is dropped instead of wedging this goroutine.
 	for of := range sub.ch {
+		s.mu.Lock()
+		wt := s.writeTimeout
+		s.mu.Unlock()
+		if wt > 0 {
+			conn.SetWriteDeadline(time.Now().Add(wt))
+		}
 		if err := c.Send(of.t, of.body); err != nil {
 			break
 		}
@@ -166,6 +188,11 @@ func (s *Server) BroadcastAlert(a Alert) {
 	s.Broadcast(MsgAlert, EncodeAlert(a))
 }
 
+// BroadcastStatus is a convenience wrapper.
+func (s *Server) BroadcastStatus(st Status) {
+	s.Broadcast(MsgStatus, EncodeStatus(st))
+}
+
 // Close shuts the listener and every subscriber down and waits for the
 // handler goroutines to exit.
 func (s *Server) Close() error {
@@ -220,6 +247,7 @@ type Event struct {
 	Telemetry *Telemetry
 	Health    *Health
 	Alert     *Alert
+	Status    *Status
 }
 
 // Next blocks for the next event. io.EOF-wrapped errors mean the stream
@@ -248,6 +276,12 @@ func (cl *Client) Next() (Event, error) {
 			return Event{}, err
 		}
 		return Event{Type: f.Type, Alert: &a}, nil
+	case MsgStatus:
+		st, err := DecodeStatus(f.Body)
+		if err != nil {
+			return Event{}, err
+		}
+		return Event{Type: f.Type, Status: &st}, nil
 	case MsgBye:
 		return Event{Type: f.Type}, nil
 	default:

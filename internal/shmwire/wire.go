@@ -42,6 +42,11 @@ const (
 	MsgAlert MsgType = 4
 	// MsgBye closes the session gracefully.
 	MsgBye MsgType = 5
+	// MsgStatus carries the fleet coverage status (server → client): how
+	// many capsules are expected vs reporting and which are missing, so a
+	// building-management system can distinguish "quiet structure" from
+	// "blind monitoring".
+	MsgStatus MsgType = 6
 )
 
 func (m MsgType) String() string {
@@ -56,6 +61,8 @@ func (m MsgType) String() string {
 		return "alert"
 	case MsgBye:
 		return "bye"
+	case MsgStatus:
+		return "status"
 	default:
 		return fmt.Sprintf("MsgType(%d)", byte(m))
 	}
@@ -92,6 +99,24 @@ const (
 	AlertThreshold uint16 = 1
 	AlertAnomaly   uint16 = 2
 )
+
+// Status is the fleet coverage annotation. Degraded surveys still stream —
+// the report carries the holes instead of suppressing the data.
+type Status struct {
+	Timestamp time.Time
+	// Expected / Reporting count the deployed capsules and those answering.
+	Expected  uint16
+	Reporting uint16
+	// Degraded mirrors the fleet's coverage flag.
+	Degraded bool
+	// MissingNodes lists capsule handles that did not report (bounded by
+	// maxMissingNodes on the wire).
+	MissingNodes []uint16
+}
+
+// maxMissingNodes bounds the missing-handle list so a Status body always
+// fits MaxFrameSize.
+const maxMissingNodes = 1024
 
 // Frame is a decoded wire frame.
 type Frame struct {
@@ -230,6 +255,48 @@ func DecodeAlert(b []byte) (Alert, error) {
 		Code:      binary.BigEndian.Uint16(b[8:10]),
 		Message:   string(b[12 : 12+n]),
 	}, nil
+}
+
+// EncodeStatus serialises a coverage status. Missing handles beyond
+// maxMissingNodes are truncated (the counts still carry the magnitude).
+func EncodeStatus(s Status) []byte {
+	missing := s.MissingNodes
+	if len(missing) > maxMissingNodes {
+		missing = missing[:maxMissingNodes]
+	}
+	b := make([]byte, 8+2+2+1+2+2*len(missing))
+	binary.BigEndian.PutUint64(b[0:8], uint64(s.Timestamp.UnixNano()))
+	binary.BigEndian.PutUint16(b[8:10], s.Expected)
+	binary.BigEndian.PutUint16(b[10:12], s.Reporting)
+	if s.Degraded {
+		b[12] = 1
+	}
+	binary.BigEndian.PutUint16(b[13:15], uint16(len(missing)))
+	for i, h := range missing {
+		binary.BigEndian.PutUint16(b[15+2*i:17+2*i], h)
+	}
+	return b
+}
+
+// DecodeStatus reverses EncodeStatus.
+func DecodeStatus(b []byte) (Status, error) {
+	if len(b) < 15 {
+		return Status{}, ErrShortBody
+	}
+	n := int(binary.BigEndian.Uint16(b[13:15]))
+	if n > maxMissingNodes || len(b) < 15+2*n {
+		return Status{}, ErrShortBody
+	}
+	s := Status{
+		Timestamp: time.Unix(0, int64(binary.BigEndian.Uint64(b[0:8]))).UTC(),
+		Expected:  binary.BigEndian.Uint16(b[8:10]),
+		Reporting: binary.BigEndian.Uint16(b[10:12]),
+		Degraded:  b[12] == 1,
+	}
+	for i := 0; i < n; i++ {
+		s.MissingNodes = append(s.MissingNodes, binary.BigEndian.Uint16(b[15+2*i:17+2*i]))
+	}
+	return s, nil
 }
 
 // Conn wraps a net.Conn (or any ReadWriter) with buffered framing.

@@ -30,6 +30,7 @@ const (
 	MW  = 1e-3 // milliwatt in W
 	MS  = 1e-3 // millisecond in s
 	US  = 1e-6 // microsecond in s
+	UE  = 1e-6 // microstrain in strain
 )
 
 // DB converts a linear power ratio to decibels. Ratios <= 0 return -Inf.

@@ -2,15 +2,21 @@
 # Tier-1 verification gate for the EcoCapsule repository.
 #
 # Runs the full correctness stack: compile, go vet, the domain-aware
-# ecolint static-analysis suite (internal/analysis), and the tests under
-# the race detector. CI and pre-merge checks should invoke this script;
-# every step must pass.
+# ecolint static-analysis suite (internal/analysis), the tests under the
+# race detector, and a short fuzzing smoke pass over the untrusted-input
+# decoders. CI and pre-merge checks should invoke this script; every step
+# must pass.
 #
-# For a fast inner-loop signal use `go test -short ./...` (see README.md,
-# "Verification"): the slowest acoustic integration cases in
-# internal/reader are skipped in short mode.
+# Usage:
+#   ./verify.sh          full gate (including the fuzz smoke)
+#   ./verify.sh -short   fast inner loop: -short tests, no race, no fuzz
 set -eu
 cd "$(dirname "$0")"
+
+SHORT=0
+if [ "${1:-}" = "-short" ]; then
+	SHORT=1
+fi
 
 echo "== go build ./..."
 go build ./...
@@ -21,7 +27,24 @@ go vet ./...
 echo "== ecolint ./..."
 go run ./cmd/ecolint ./...
 
+if [ "$SHORT" = 1 ]; then
+	echo "== go test -short ./..."
+	go test -short ./...
+	echo "verify.sh: short gates passed (fuzz smoke and race detector skipped)"
+	exit 0
+fi
+
 echo "== go test -race ./..."
 go test -race ./...
+
+# Fuzz smoke: each decoder target fuzzes for a few seconds. Any panic or
+# property violation fails the gate; new corpus findings are kept by go
+# test under the package's testdata/fuzz directory.
+FUZZTIME="${FUZZTIME:-5s}"
+echo "== fuzz smoke (${FUZZTIME} per target)"
+go test -run='^$' -fuzz='^FuzzDecodeFM0$' -fuzztime="$FUZZTIME" ./internal/coding
+go test -run='^$' -fuzz='^FuzzDecodeMiller$' -fuzztime="$FUZZTIME" ./internal/coding
+go test -run='^$' -fuzz='^FuzzDecodePIE$' -fuzztime="$FUZZTIME" ./internal/coding
+go test -run='^$' -fuzz='^FuzzReadFrame$' -fuzztime="$FUZZTIME" ./internal/shmwire
 
 echo "verify.sh: all gates passed"
