@@ -6,6 +6,11 @@
 // Usage:
 //
 //	ecoreader [-capsules N] [-voltage V] [-structure wall|slab|column|protective]
+//	ecoreader trace [-capsules N] [-seed S] [-read 0xNN] [-loss P]
+//
+// The trace subcommand runs one seeded charge → inventory → read cycle
+// non-interactively and prints its deterministic span tree (same seed,
+// byte-identical output) — see the Observability section of the README.
 //
 // Commands at the prompt:
 //
@@ -99,6 +104,12 @@ func pickStructure(name string) *geometry.Structure {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		if err := runTrace(os.Args[2:]); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	var (
 		nCapsules = flag.Int("capsules", 5, "number of capsules to cast into the structure")
 		voltage   = flag.Float64("voltage", 200, "initial drive voltage (V)")

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ecocapsule/internal/core"
+	"ecocapsule/internal/faultinject"
+	"ecocapsule/internal/geometry"
+	"ecocapsule/internal/reader"
+	"ecocapsule/internal/sensors"
+	"ecocapsule/internal/telemetry"
+)
+
+// runTrace executes the `ecoreader trace` subcommand: build a small seeded
+// deployment, run one charge → inventory → read cycle with a span tracer
+// installed, and print the resulting span tree. The output is deterministic
+// for a fixed seed, so traces can be diffed across runs and code changes.
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	var (
+		nCapsules = fs.Int("capsules", 2, "number of capsules to cast into the structure")
+		voltage   = fs.Float64("voltage", 200, "drive voltage (V)")
+		structure = fs.String("structure", "wall", "structure: wall|slab|column|protective")
+		seed      = fs.Int64("seed", 42, "deployment and trace seed")
+		readSpec  = fs.String("read", "0x10", "capsule handle to read after the inventory")
+		loss      = fs.Float64("loss", 0, "injected frame-loss probability in [0,1]")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	handle, err := strconv.ParseUint(strings.TrimPrefix(*readSpec, "0x"), 16, 16)
+	if err != nil {
+		return fmt.Errorf("bad -read handle %q: %w", *readSpec, err)
+	}
+
+	s := pickStructure(*structure)
+	cast, err := core.NewCasting(s)
+	if err != nil {
+		return err
+	}
+	for _, n := range core.PlanGrid(s, *nCapsules, 0x10, *seed) {
+		if err := cast.Mix(n); err != nil {
+			return fmt.Errorf("mixing capsule %#04x: %w", n.Handle(), err)
+		}
+	}
+	cast.Seal()
+
+	tx := geometry.Vec3{X: 0.1, Y: s.Height / 2, Z: 0}
+	if s.Shape == geometry.Cylinder {
+		tx = geometry.Vec3{X: 0, Y: 0.05, Z: s.Diameter / 2}
+	}
+	r, err := cast.AttachReader(reader.Config{
+		TXPosition:   tx,
+		DriveVoltage: *voltage,
+		Seed:         *seed,
+	})
+	if err != nil {
+		return err
+	}
+	r.SetEnvironment(func(pos geometry.Vec3) sensors.Environment {
+		return sensors.Environment{
+			TemperatureC:     26 + pos.X/10,
+			RelativeHumidity: 68,
+			StrainX:          40e-6, StrainY: 25e-6,
+		}
+	})
+	if *loss > 0 {
+		inj, err := faultinject.New(faultinject.Plan{Seed: *seed, FrameLossProb: *loss})
+		if err != nil {
+			return err
+		}
+		r.SetFrameFaults(inj)
+	}
+
+	tr := telemetry.NewTracer(*seed)
+	r.SetTracer(tr)
+	r.Charge(0.5)
+	r.Inventory(2)
+	r.ReadSensor(uint16(handle), sensors.TypeTempHumidity)
+	fmt.Print(tr.Tree())
+	return nil
+}

@@ -16,13 +16,16 @@ import (
 
 	"ecocapsule/internal/bridge"
 	"ecocapsule/internal/dashboard"
+	"ecocapsule/internal/fleet"
+	"ecocapsule/internal/telemetry"
 )
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
-		seed   = flag.Int64("seed", 2021, "simulation seed")
-		damage = flag.Float64("damage", 0, "simulated stiffness loss 0..0.9 (modal damage scenario)")
+		listen  = flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
+		seed    = flag.Int64("seed", 2021, "simulation seed")
+		damage  = flag.Float64("damage", 0, "simulated stiffness loss 0..0.9 (modal damage scenario)")
+		metrics = flag.Bool("metrics", true, "run a demo-fleet survey and serve its metrics panel + /api/telemetry")
 	)
 	flag.Parse()
 
@@ -31,6 +34,16 @@ func main() {
 		sim.SetDamage(*damage)
 	}
 	srv := dashboard.NewServer(sim)
+	if *metrics {
+		// One demo survey gives the station panel real series to render.
+		f, _, err := fleet.NewDemoFleet(fleet.DemoSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shmdash: demo fleet: %v\n", err)
+			os.Exit(1)
+		}
+		f.Survey(0.4)
+		srv.SetTelemetry(telemetry.Default())
+	}
 	fmt.Printf("shmdash: serving the July-2021 pilot on http://%s/ (damage %.0f%%)\n",
 		*listen, *damage*100)
 	if err := http.ListenAndServe(*listen, srv.Handler()); err != nil {

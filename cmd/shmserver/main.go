@@ -27,13 +27,15 @@ import (
 
 func main() {
 	var (
-		listen    = flag.String("listen", "", "serve on this address")
-		connect   = flag.String("connect", "", "subscribe to this address")
-		speedup   = flag.Float64("speedup", 3600, "simulated seconds per wall-clock second")
-		hours     = flag.Int("hours", 24*31, "simulated hours to stream")
-		nEvents   = flag.Int("n", 50, "client: events to print before exiting")
-		mute      = flag.String("mute", "", "comma-separated capsule handles whose telemetry is suppressed (fault drill)")
-		reconnect = flag.Bool("reconnect", false, "client: ride over server restarts with backoff redials")
+		listen        = flag.String("listen", "", "serve on this address")
+		connect       = flag.String("connect", "", "subscribe to this address")
+		speedup       = flag.Float64("speedup", 3600, "simulated seconds per wall-clock second")
+		hours         = flag.Int("hours", 24*31, "simulated hours to stream")
+		nEvents       = flag.Int("n", 50, "client: events to print before exiting")
+		mute          = flag.String("mute", "", "comma-separated capsule handles whose telemetry is suppressed (fault drill)")
+		reconnect     = flag.Bool("reconnect", false, "client: ride over server restarts with backoff redials")
+		telemetryAddr = flag.String("telemetry-addr", "", "serve /metrics, /healthz and pprof on this address")
+		statusEvery   = flag.Int("status-interval", 24, "simulated hours between coverage status broadcasts")
 	)
 	flag.Parse()
 
@@ -44,7 +46,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "shmserver: %v\n", err)
 			os.Exit(2)
 		}
-		if err := serve(*listen, *speedup, *hours, muted); err != nil {
+		if *statusEvery < 1 {
+			fmt.Fprintln(os.Stderr, "shmserver: -status-interval must be >= 1")
+			os.Exit(2)
+		}
+		if err := serve(*listen, *telemetryAddr, *speedup, *hours, *statusEvery, muted); err != nil {
 			fmt.Fprintf(os.Stderr, "shmserver: %v\n", err)
 			os.Exit(1)
 		}
@@ -76,7 +82,7 @@ func parseMuted(spec string) (map[uint16]bool, error) {
 	return muted, nil
 }
 
-func serve(addr string, speedup float64, hours int, muted map[uint16]bool) error {
+func serve(addr, telemetryAddr string, speedup float64, hours, statusEvery int, muted map[uint16]bool) error {
 	srv, err := shmwire.NewServer(addr)
 	if err != nil {
 		return err
@@ -84,6 +90,20 @@ func serve(addr string, speedup float64, hours int, muted map[uint16]bool) error
 	defer srv.Close()
 	fmt.Printf("shmserver: listening on %s (replaying %d h at %gx)\n",
 		srv.Addr(), hours, speedup)
+
+	health := newHealthState()
+	if telemetryAddr != "" {
+		// Populate every subsystem's metric families before the first
+		// scrape, then open the operational endpoints.
+		if err := selftest(); err != nil {
+			return err
+		}
+		bound, err := startTelemetry(telemetryAddr, health)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("shmserver: telemetry on http://%s/metrics\n", bound)
+	}
 
 	sim := bridge.NewSim(2021)
 	th := shm.FootbridgeThresholds()
@@ -125,7 +145,7 @@ func serve(addr string, speedup float64, hours int, muted map[uint16]bool) error
 				Humidity:     env.RelativeHumidity,
 			})
 		}
-		if h%24 == 0 {
+		if h%statusEvery == 0 {
 			srv.BroadcastStatus(shmwire.Status{
 				Timestamp:    ts,
 				Expected:     deployedCapsules,
@@ -133,7 +153,9 @@ func serve(addr string, speedup float64, hours int, muted map[uint16]bool) error
 				Degraded:     len(missing) > 0,
 				MissingNodes: missing,
 			})
+			health.RecordStatusBroadcast(ts)
 		}
+		mSimHours.Inc()
 		if status, err := sim.SectionStatus(h); err == nil {
 			for _, sec := range status {
 				srv.BroadcastHealth(shmwire.Health{

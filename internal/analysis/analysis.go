@@ -166,5 +166,6 @@ func All() []*Analyzer {
 		LeakCheck,
 		ErrCheckLite,
 		FloatCmp,
+		MetricName,
 	}
 }

@@ -143,6 +143,7 @@ func TestGolden(t *testing.T) {
 		{"leakcheck", analysis.LeakCheck},
 		{"errchecklite", analysis.ErrCheckLite},
 		{"floatcmp", analysis.FloatCmp},
+		{"metricname", analysis.MetricName},
 		{"suppress", analysis.UnitSafety},
 	}
 	for _, c := range cases {

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"path"
+	"regexp"
+	"strings"
+)
+
+// metricConstructors are the telemetry functions and Registry methods whose
+// first argument is a metric family name.
+var metricConstructors = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"CounterVec": true, "GaugeVec": true, "HistogramVec": true,
+	"NewCounter": true, "NewGauge": true, "NewHistogram": true,
+	"NewCounterVec": true, "NewGaugeVec": true, "NewHistogramVec": true,
+}
+
+// metricNameRe is the repository-wide naming convention:
+// ecocapsule_<pkg>_<name>, all lowercase, underscore-separated.
+var metricNameRe = regexp.MustCompile(`^ecocapsule_[a-z][a-z0-9]*_[a-z0-9_]+$`)
+
+// MetricName enforces the metric naming convention on every telemetry
+// constructor call with a constant name: the name must match
+// ecocapsule_<pkg>_<name> and <pkg> must be the base name of the defining
+// package, so a scrape of /metrics maps each family straight back to the
+// code that emits it. Dynamic (non-constant) names are not checked. The
+// telemetry package itself is exempt — it defines the constructors.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc: "flags telemetry metric names that do not follow ecocapsule_<pkg>_<name> " +
+		"with <pkg> equal to the defining package's base name",
+	Run: runMetricName,
+}
+
+func runMetricName(pass *Pass) {
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/telemetry") {
+		return
+	}
+	self := path.Base(pass.Pkg.Path())
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil || !metricConstructors[fn.Name()] {
+				return true
+			}
+			if path.Base(fn.Pkg().Path()) != "telemetry" {
+				return true
+			}
+			tv, ok := pass.Info.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true // dynamic names cannot be checked statically
+			}
+			name := constant.StringVal(tv.Value)
+			if !metricNameRe.MatchString(name) {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric name %q does not match ecocapsule_<pkg>_<name> (lowercase, underscore-separated)", name)
+				return true
+			}
+			pkgSeg := strings.SplitN(strings.TrimPrefix(name, "ecocapsule_"), "_", 2)[0]
+			if pkgSeg != self {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric name %q claims package %q; metrics defined here must use ecocapsule_%s_<name>", name, pkgSeg, self)
+			}
+			return true
+		})
+	}
+}

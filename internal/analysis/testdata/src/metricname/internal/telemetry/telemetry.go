@@ -1,0 +1,42 @@
+// Fixture stand-in for ecocapsule/internal/telemetry.
+package telemetry
+
+type Counter struct{}
+
+type Gauge struct{}
+
+type Histogram struct{}
+
+type CounterVec struct{}
+
+type GaugeVec struct{}
+
+type HistogramVec struct{}
+
+type Registry struct{}
+
+func Default() *Registry { return &Registry{} }
+
+func (r *Registry) Counter(name, help string) *Counter { return &Counter{} }
+
+func (r *Registry) Gauge(name, help string) *Gauge { return &Gauge{} }
+
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram { return &Histogram{} }
+
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{}
+}
+
+func NewCounter(name, help string) *Counter { return &Counter{} }
+
+func NewGauge(name, help string) *Gauge { return &Gauge{} }
+
+func NewHistogram(name, help string, buckets []float64) *Histogram { return &Histogram{} }
+
+func NewCounterVec(name, help string, labelNames ...string) *CounterVec { return &CounterVec{} }
+
+func NewGaugeVec(name, help string, labelNames ...string) *GaugeVec { return &GaugeVec{} }
+
+func NewHistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	return &HistogramVec{}
+}

@@ -1,0 +1,21 @@
+// Fixture for the metricname analyzer. The package base name is "widget",
+// so every constant metric name must start with ecocapsule_widget_.
+package widget
+
+import "metricname/internal/telemetry"
+
+var (
+	spins = telemetry.NewCounter("ecocapsule_widget_spins_total", "ok: convention followed")
+	depth = telemetry.NewGauge("widget_depth", "no prefix")                                     // want `metric name "widget_depth" does not match ecocapsule_<pkg>_<name>`
+	other = telemetry.NewCounter("ecocapsule_reader_spins_total", "wrong package segment")      // want `metric name "ecocapsule_reader_spins_total" claims package "reader"; metrics defined here must use ecocapsule_widget_<name>`
+	mixed = telemetry.NewCounterVec("ecocapsule_widget_Spins_total", "uppercase", "kind")       // want `metric name "ecocapsule_widget_Spins_total" does not match ecocapsule_<pkg>_<name>`
+	hist  = telemetry.NewHistogram("ecocapsule_widget_depth_m", "ok: histogram", []float64{1})
+)
+
+func build(name string) {
+	r := telemetry.Default()
+	r.Counter("ecocapsule_widget_builds_total", "ok: registry method")
+	r.Gauge("builds", "bare name") // want `metric name "builds" does not match ecocapsule_<pkg>_<name>`
+	r.Histogram(name, "ok: dynamic names are not checked", nil)
+	r.CounterVec("ecocapsule_fleet_builds_total", "wrong package via method", "kind") // want `metric name "ecocapsule_fleet_builds_total" claims package "fleet"`
+}

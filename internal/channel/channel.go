@@ -135,12 +135,15 @@ func New(cfg Config) (*Channel, error) {
 			res = m.FrequencyResponse(cfg.CarrierFrequency) / peak
 		}
 	}
-	return &Channel{
+	c := &Channel{
 		cfg:      cfg,
 		arrivals: arr,
 		noise:    dsp.NewNoiseSource(cfg.Seed),
 		resGain:  res,
-	}, nil
+	}
+	mLinks.Inc()
+	mPathGain.Observe(c.PathGain())
+	return c, nil
 }
 
 // beamConeWeight models the directivity of a PZT glued straight onto the
@@ -202,7 +205,12 @@ func (c *Channel) Transmit(x []float64) []float64 {
 	fade := 1.0
 	if c.imp != nil {
 		fade = c.imp.Attenuate()
+		if fade < 1 {
+			mFades.Inc()
+			mFadeDepth.Observe(fade)
+		}
 	}
+	mTransmits.Inc()
 	out := make([]float64, len(x)+int(maxDelay*fs)+1)
 	for _, a := range c.arrivals {
 		off := int(a.Delay * fs)

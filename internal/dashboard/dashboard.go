@@ -17,6 +17,7 @@ import (
 	"ecocapsule/internal/bridge"
 	"ecocapsule/internal/dsp"
 	"ecocapsule/internal/shm"
+	"ecocapsule/internal/telemetry"
 )
 
 // Server wraps the simulator and caches the month it serves.
@@ -24,6 +25,8 @@ type Server struct {
 	mu    sync.Mutex
 	sim   *bridge.Sim
 	month *bridge.MonthlySeries
+	// telemetry, when non-nil, backs /api/telemetry and the station panel.
+	telemetry *telemetry.Registry
 }
 
 // NewServer builds a dashboard over a bridge simulation.
@@ -40,6 +43,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/health", s.handleHealth)
 	mux.HandleFunc("/api/anomalies", s.handleAnomalies)
 	mux.HandleFunc("/api/modal", s.handleModal)
+	mux.HandleFunc("/api/telemetry", s.handleTelemetry)
 	return mux
 }
 
@@ -255,6 +259,9 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	b.WriteString(sparklineSVG(stress, 14, 22))
 	b.WriteString("<p>JSON API: <a href=\"/api/daily\">/api/daily</a> · <a href=\"/api/health\">/api/health</a> · ")
 	b.WriteString("<a href=\"/api/anomalies\">/api/anomalies</a> · <a href=\"/api/modal\">/api/modal</a> · <a href=\"/api/month\">/api/month</a></p>")
+	if reg := s.registry(); reg != nil {
+		b.WriteString(stationPanelHTML(reg))
+	}
 	b.WriteString("</body></html>")
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	fmt.Fprint(w, b.String())

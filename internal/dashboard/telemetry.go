@@ -1,0 +1,92 @@
+package dashboard
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"sort"
+	"strings"
+
+	"ecocapsule/internal/telemetry"
+)
+
+// SetTelemetry attaches a metrics registry; /api/telemetry and the per-
+// station panel on the index page render from it. A nil registry (the
+// default) hides both.
+func (s *Server) SetTelemetry(reg *telemetry.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.telemetry = reg
+}
+
+func (s *Server) registry() *telemetry.Registry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.telemetry
+}
+
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	reg := s.registry()
+	if reg == nil {
+		http.Error(w, "telemetry not enabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	reg.WriteJSON(w)
+}
+
+// stationPanelHTML renders the per-station fleet metrics table plus a
+// compact listing of every other family, from the same snapshot the JSON
+// endpoint serves.
+func stationPanelHTML(reg *telemetry.Registry) string {
+	snap := reg.Snapshot()
+	byName := make(map[string]telemetry.FamilySnapshot, len(snap))
+	for _, f := range snap {
+		byName[f.Name] = f
+	}
+
+	var b strings.Builder
+	b.WriteString("<h2>Station telemetry</h2>")
+
+	// Per-station coverage table from the labelled gauge family.
+	if cov, ok := byName["ecocapsule_fleet_station_coverage"]; ok {
+		type row struct {
+			station string
+			value   float64
+		}
+		var rows []row
+		for _, s := range cov.Series {
+			rows = append(rows, row{station: s.Labels["station"], value: s.Value})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].station < rows[j].station })
+		b.WriteString("<table border=\"1\" cellpadding=\"4\"><tr><th>station</th><th>capsules served best</th></tr>")
+		for _, r := range rows {
+			fmt.Fprintf(&b, "<tr><td>%s</td><td>%g</td></tr>", html.EscapeString(r.station), r.value)
+		}
+		b.WriteString("</table>")
+	}
+	for _, name := range []string{
+		"ecocapsule_fleet_stations_alive",
+		"ecocapsule_fleet_orphans",
+		"ecocapsule_fleet_survey_reporting_ratio",
+	} {
+		if f, ok := byName[name]; ok && len(f.Series) > 0 {
+			fmt.Fprintf(&b, "<p>%s: <b>%g</b></p>", html.EscapeString(f.Name), f.Series[0].Value)
+		}
+	}
+
+	// Everything else, compactly: family → series count or single value.
+	b.WriteString("<details><summary>All metric families</summary><table border=\"1\" cellpadding=\"3\">")
+	b.WriteString("<tr><th>family</th><th>kind</th><th>series</th></tr>")
+	for _, f := range snap {
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td>%d</td></tr>",
+			html.EscapeString(f.Name), html.EscapeString(f.Kind), len(f.Series))
+	}
+	b.WriteString("</table></details>")
+	b.WriteString("<p>Raw snapshot: <a href=\"/api/telemetry\">/api/telemetry</a></p>")
+	return b.String()
+}

@@ -160,8 +160,10 @@ func (in *Injector) Downlink(handle uint16, frame []byte) ([]byte, bool) {
 	out, delivered, touched := in.frameLocked(frame)
 	if !delivered {
 		in.stats.DownlinkDropped++
+		mInjected.With(kindDownlinkDropped).Inc()
 	} else if touched {
 		in.stats.DownlinkCorrupted++
+		mInjected.With(kindDownlinkCorrupted).Inc()
 	}
 	return out, delivered
 }
@@ -173,13 +175,16 @@ func (in *Injector) Uplink(handle uint16, frame []byte) ([]byte, bool) {
 	defer in.mu.Unlock()
 	if in.muted[handle] {
 		in.stats.UplinkDropped++
+		mInjected.With(kindUplinkDropped).Inc()
 		return nil, false
 	}
 	out, delivered, touched := in.frameLocked(frame)
 	if !delivered {
 		in.stats.UplinkDropped++
+		mInjected.With(kindUplinkDropped).Inc()
 	} else if touched {
 		in.stats.UplinkCorrupted++
+		mInjected.With(kindUplinkCorrupted).Inc()
 	}
 	return out, delivered
 }
@@ -225,6 +230,7 @@ func (in *Injector) Brownout(handle uint16) bool {
 	defer in.mu.Unlock()
 	if in.rng.Float64() < in.plan.BrownoutProb {
 		in.stats.Brownouts++
+		mInjected.With(kindBrownout).Inc()
 		return true
 	}
 	return false
@@ -240,6 +246,7 @@ func (in *Injector) Attenuate() float64 {
 	defer in.mu.Unlock()
 	if in.rng.Float64() < in.plan.FadeProb {
 		in.stats.Fades++
+		mInjected.With(kindFade).Inc()
 		return 1 - in.plan.FadeDepth
 	}
 	return 1

@@ -1,0 +1,52 @@
+package fleet
+
+import (
+	"ecocapsule/internal/deploy"
+	"ecocapsule/internal/geometry"
+	"ecocapsule/internal/node"
+	"ecocapsule/internal/sensors"
+	"ecocapsule/internal/units"
+)
+
+// DemoSeed is the fleet seed the pinned demo scenario runs with; the golden
+// survey file and the operational self-tests share it.
+const DemoSeed = 0xEC0
+
+// NewDemoFleet builds the canonical demo deployment the tools and golden
+// tests share: a 20 m wall, three stations with overlapping footprints, and
+// 12 capsules between them, so every capsule is reachable from at least two
+// stations and station loss exercises re-routing rather than orphaning. The
+// environment sampler installs a linear temperature/strain gradient along
+// the wall so every capsule reports distinct, position-derived readings.
+func NewDemoFleet(seed int64) (*Fleet, []*node.Node, error) {
+	wall := geometry.CommonWall()
+	plan := deploy.Plan{
+		Voltage: 200,
+		Stations: []deploy.Station{
+			{Position: geometry.Vec3{X: 5, Y: wall.Height / 2, Z: 0}},
+			{Position: geometry.Vec3{X: 9.5, Y: wall.Height / 2, Z: 0}},
+			{Position: geometry.Vec3{X: 14, Y: wall.Height / 2, Z: 0}},
+		},
+	}
+	var capsules []*node.Node
+	for i := 0; i < 12; i++ {
+		capsules = append(capsules, node.New(node.Config{
+			Handle:   uint16(0x90 + i),
+			Position: geometry.Vec3{X: 4 + float64(i), Y: wall.Height / 2, Z: 0.1},
+			Seed:     int64(100 + i),
+		}))
+	}
+	f, err := New(wall, plan, capsules, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	f.SetEnvironment(func(pos geometry.Vec3) sensors.Environment {
+		return sensors.Environment{
+			TemperatureC:     18 + 0.4*pos.X,
+			RelativeHumidity: 58,
+			StrainX:          (50 + 10*pos.X) * units.UE,
+			StrainY:          -20 * units.UE,
+		}
+	})
+	return f, capsules, nil
+}

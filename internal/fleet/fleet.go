@@ -41,6 +41,8 @@ type Fleet struct {
 	// best maps each capsule handle to the index of the alive station that
 	// delivers the highest PZT amplitude.
 	best map[uint16]int
+	// reroutedReads counts successful reads served by a fallback station.
+	reroutedReads int
 }
 
 // Errors.
@@ -131,6 +133,18 @@ func (f *Fleet) reroute() {
 			f.best[n.Handle()] = bestIdx
 		}
 	}
+	mReroutes.Inc()
+	f.publishGauges()
+}
+
+// publishGauges refreshes the liveness/coverage gauges from current state.
+func (f *Fleet) publishGauges() {
+	mStations.Set(float64(len(f.readers)))
+	mStationsAlive.Set(float64(f.AliveStations()))
+	mOrphans.Set(float64(len(f.nodes) - len(f.best)))
+	for i, c := range f.Coverage() {
+		mCoverage.With(stationLabel(i)).Set(float64(c))
+	}
 }
 
 // Stations returns the number of readers in the fleet.
@@ -154,6 +168,7 @@ func (f *Fleet) KillStation(i int) {
 		return
 	}
 	f.alive[i] = false
+	mKills.Inc()
 	f.reroute()
 }
 
@@ -163,6 +178,7 @@ func (f *Fleet) ReviveStation(i int) {
 		return
 	}
 	f.alive[i] = true
+	mRevives.Inc()
 	f.reroute()
 }
 
@@ -272,21 +288,41 @@ func (f *Fleet) Inventory(maxRoundsPerStation int) []uint16 {
 // not beat), falls back through the remaining alive stations in descending
 // amplitude order.
 func (f *Fleet) ReadSensor(handle uint16, st sensors.SensorType) ([]float64, error) {
+	vals, _, err := f.ReadSensorVia(handle, st)
+	return vals, err
+}
+
+// ReadSensorVia is ReadSensor plus the index of the station that actually
+// served the read — which the fallback path can make different from
+// BestStation. A failed read returns station -1.
+func (f *Fleet) ReadSensorVia(handle uint16, st sensors.SensorType) ([]float64, int, error) {
 	stations := f.readOrder(handle)
 	if len(stations) == 0 {
-		return nil, fmt.Errorf("fleet: no station serves capsule %#04x", handle)
+		mFleetReads.With(routeFailed).Inc()
+		return nil, -1, fmt.Errorf("fleet: no station serves capsule %#04x", handle)
 	}
 	var lastErr error
 	for _, idx := range stations {
 		vals, err := f.readers[idx].ReadSensor(handle, st)
 		if err == nil {
-			return vals, nil
+			if idx == f.BestStation(handle) {
+				mFleetReads.With(routePrimary).Inc()
+			} else {
+				mFleetReads.With(routeRerouted).Inc()
+				f.reroutedReads++
+			}
+			return vals, idx, nil
 		}
 		lastErr = err
 	}
-	return nil, fmt.Errorf("fleet: capsule %#04x unreadable from %d station(s): %w",
+	mFleetReads.With(routeFailed).Inc()
+	return nil, -1, fmt.Errorf("fleet: capsule %#04x unreadable from %d station(s): %w",
 		handle, len(stations), lastErr)
 }
+
+// ReroutedReads returns the number of successful reads a fallback station
+// (not the capsule's best) served over the fleet's lifetime.
+func (f *Fleet) ReroutedReads() int { return f.reroutedReads }
 
 // readOrder lists the alive stations that can reach the capsule, best
 // amplitude first.

@@ -47,7 +47,10 @@ type SHMReport struct {
 	CorruptedReplies int
 	Retries          int
 	Backoff          time.Duration
-	Rows             []SurveyRow
+	// ReroutedReads counts successful reads a fallback station (not the
+	// capsule's best) served during this survey.
+	ReroutedReads int
+	Rows          []SurveyRow
 }
 
 // Text renders the report deterministically — same fleet state and seed,
@@ -72,7 +75,8 @@ func (rep SHMReport) Text() string {
 		fmt.Fprintf(&b, " (orphaned:%s)", joinHandles(rep.Orphans))
 	}
 	b.WriteByte('\n')
-	fmt.Fprintf(&b, "link: %d corrupted replies, %d retries\n", rep.CorruptedReplies, rep.Retries)
+	fmt.Fprintf(&b, "link: %d corrupted replies, %d retries, %d rerouted reads\n",
+		rep.CorruptedReplies, rep.Retries, rep.ReroutedReads)
 	for _, row := range rep.Rows {
 		if row.Status != "ok" {
 			fmt.Fprintf(&b, "  %#04x st=%2d %s\n", row.Handle, row.Station, row.Status)
@@ -91,6 +95,7 @@ func (rep SHMReport) Text() string {
 // order so a fixed seed reproduces the survey byte for byte.
 func (f *Fleet) Survey(chargeDuration float64) SHMReport {
 	before := f.FaultStats()
+	reroutedBefore := f.reroutedReads
 	f.Charge(chargeDuration)
 	cov := f.CoverageReport()
 	rep := SHMReport{
@@ -111,13 +116,16 @@ func (f *Fleet) Survey(chargeDuration float64) SHMReport {
 		case orphan[nr.handle]:
 			row.Status = "orphan"
 		default:
-			th, errT := f.ReadSensor(nr.handle, sensors.TypeTempHumidity)
-			st, errS := f.ReadSensor(nr.handle, sensors.TypeStrain)
+			th, servedT, errT := f.ReadSensorVia(nr.handle, sensors.TypeTempHumidity)
+			st, _, errS := f.ReadSensorVia(nr.handle, sensors.TypeStrain)
 			if errT != nil || errS != nil || len(th) < 2 || len(st) < 2 {
 				row.Status = "missing"
 				rep.Missing = append(rep.Missing, nr.handle)
 			} else {
 				row.Status = "ok"
+				// Report the station that actually answered, which a
+				// fallback read can make different from BestStation.
+				row.Station = servedT
 				row.TemperatureC, row.RelativeHumidity = th[0], th[1]
 				row.StrainX, row.StrainY = st[0], st[1]
 				rep.Reporting++
@@ -129,7 +137,16 @@ func (f *Fleet) Survey(chargeDuration float64) SHMReport {
 	rep.CorruptedReplies = after.CorruptedReplies - before.CorruptedReplies
 	rep.Retries = after.Retries - before.Retries
 	rep.Backoff = after.Backoff - before.Backoff
+	rep.ReroutedReads = f.reroutedReads - reroutedBefore
 	rep.Degraded = len(rep.DeadStations) > 0 || len(rep.Missing) > 0 || len(rep.Orphans) > 0
+	if rep.Degraded {
+		mSurveys.With("degraded").Inc()
+	} else {
+		mSurveys.With("full").Inc()
+	}
+	if rep.Expected > 0 {
+		mReportingRatio.Set(float64(rep.Reporting) / float64(rep.Expected))
+	}
 	return rep
 }
 

@@ -1,0 +1,42 @@
+package fleet
+
+import (
+	"strconv"
+
+	"ecocapsule/internal/telemetry"
+)
+
+// Metric handles, resolved once at init.
+var (
+	mStations = telemetry.NewGauge("ecocapsule_fleet_stations",
+		"reader stations deployed in the fleet")
+	mStationsAlive = telemetry.NewGauge("ecocapsule_fleet_stations_alive",
+		"reader stations currently operational")
+	mKills = telemetry.NewCounter("ecocapsule_fleet_station_kills_total",
+		"stations marked dead")
+	mRevives = telemetry.NewCounter("ecocapsule_fleet_station_revives_total",
+		"dead stations brought back")
+	mReroutes = telemetry.NewCounter("ecocapsule_fleet_reroutes_total",
+		"best-station re-resolutions (construction, kill, revive)")
+	mOrphans = telemetry.NewGauge("ecocapsule_fleet_orphans",
+		"capsules no alive station currently reaches")
+	mCoverage = telemetry.NewGaugeVec("ecocapsule_fleet_station_coverage",
+		"capsules each station serves best", "station")
+	mFleetReads = telemetry.NewCounterVec("ecocapsule_fleet_reads_total",
+		"fleet sensor reads by route taken", "route")
+	mSurveys = telemetry.NewCounterVec("ecocapsule_fleet_surveys_total",
+		"surveys executed by coverage outcome", "coverage")
+	mReportingRatio = telemetry.NewGauge("ecocapsule_fleet_survey_reporting_ratio",
+		"reporting/expected capsule fraction of the last survey")
+)
+
+// Read route label values: primary means the capsule's best station served
+// the read, rerouted means a fallback station did, failed means none could.
+const (
+	routePrimary  = "primary"
+	routeRerouted = "rerouted"
+	routeFailed   = "failed"
+)
+
+// stationLabel renders a station index the way every metric labels it.
+func stationLabel(i int) string { return strconv.Itoa(i) }

@@ -130,6 +130,16 @@ var ErrNoEdges = errors.New("phy: no demodulator edges detected")
 
 // Demodulate recovers downlink bits from the received pass-band waveform.
 func (rx *NodeRX) Demodulate(signal []float64) ([]byte, error) {
+	bits, err := rx.demodulate(signal)
+	if err != nil {
+		mDownlinkDemods.With(demodError).Inc()
+	} else {
+		mDownlinkDemods.With(demodOK).Inc()
+	}
+	return bits, err
+}
+
+func (rx *NodeRX) demodulate(signal []float64) ([]byte, error) {
 	if len(signal) == 0 {
 		return nil, ErrNoEdges
 	}

@@ -144,11 +144,13 @@ func pilotCosine(ac []float64, tmpl []float64, start int, half float64) float64 
 func (rx *ReaderRX) DemodulateFrame(signal []float64, nBits int) ([]byte, error) {
 	start, err := rx.Synchronize(signal, 0)
 	if err != nil {
+		mFrameDemods.With(demodNoSync).Inc()
 		return nil, err
 	}
 	total := len(PilotBits) + nBits
 	bits, err := rx.Demodulate(signal, start, total)
 	if err != nil {
+		mFrameDemods.With(demodError).Inc()
 		return nil, err
 	}
 	// Validate the pilot decoded correctly (tolerate one bit slip).
@@ -159,8 +161,10 @@ func (rx *ReaderRX) DemodulateFrame(signal []float64, nBits int) ([]byte, error)
 		}
 	}
 	if errs > len(PilotBits)/3 {
+		mFrameDemods.With(demodNoSync).Inc()
 		return nil, ErrNoSync
 	}
+	mFrameDemods.With(demodOK).Inc()
 	return bits[len(PilotBits):], nil
 }
 

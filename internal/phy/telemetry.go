@@ -1,0 +1,18 @@
+package phy
+
+import "ecocapsule/internal/telemetry"
+
+// Metric handles, resolved once at init.
+var (
+	mFrameDemods = telemetry.NewCounterVec("ecocapsule_phy_frame_demodulates_total",
+		"reader-side FM0 frame demodulations by result", "result")
+	mDownlinkDemods = telemetry.NewCounterVec("ecocapsule_phy_downlink_demodulates_total",
+		"node-side PIE envelope demodulations by result", "result")
+)
+
+// Demodulation result label values.
+const (
+	demodOK     = "ok"
+	demodNoSync = "no_sync"
+	demodError  = "error"
+)

@@ -6,6 +6,7 @@ import (
 	"ecocapsule/internal/faultinject"
 	"ecocapsule/internal/node"
 	"ecocapsule/internal/protocol"
+	"ecocapsule/internal/telemetry"
 	"ecocapsule/internal/units"
 )
 
@@ -73,39 +74,88 @@ func (r *Reader) FaultStats() FaultStats {
 func (r *Reader) deliverLocked(p protocol.Packet, n *node.Node) (up *protocol.UplinkFrame, corrupted bool, err error) {
 	env := r.env(n.Position())
 	h := n.Handle()
+	var sp *telemetry.Span
+	if r.span != nil {
+		sp = r.span.Child("deliver").
+			Attr("capsule", handleLabel(h)).Attr("cmd", p.Cmd.String())
+	}
 	pkt := p
 	if r.faults != nil {
+		brownout := false
 		if cf, ok := r.faults.(CapsuleFaults); ok && cf.Brownout(h) {
 			// The capsule loses its storage charge mid-operation: one
 			// zero-amplitude excitation step drops it back to dormant.
 			n.Excite(0, r.cfg.CarrierHz, r.shearSpeedLocked(), brownoutStep)
+			brownout = true
 		}
-		frame, ok := r.faults.Downlink(h, p.Marshal())
+		wire := p.Marshal()
+		frame, ok := r.faults.Downlink(h, wire)
+		if sp != nil {
+			sp.Child("pie_downlink").Attr("bytes", len(wire)).
+				Attr("delivered", ok).Attr("brownout", brownout).End()
+		}
 		if !ok {
+			endDeliver(sp, "downlink_dropped")
 			return nil, false, nil // lost in the concrete
 		}
 		pkt, err = protocol.Unmarshal(frame)
 		if err != nil {
+			endDeliver(sp, "downlink_corrupted")
 			return nil, false, nil // capsule's CRC rejects the command
 		}
+	} else if sp != nil {
+		sp.Child("pie_downlink").Attr("bytes", len(p.Marshal())).
+			Attr("delivered", true).Attr("brownout", false).End()
 	}
 	u, err := n.HandleDownlink(pkt, env)
 	if err != nil || u == nil {
+		if err != nil {
+			endDeliver(sp, "rejected")
+		} else {
+			endDeliver(sp, "silent")
+		}
 		return nil, false, err
 	}
 	if r.faults == nil {
+		if sp != nil {
+			sp.Child("fm0_uplink").Attr("bytes", len(u.Marshal())).
+				Attr("delivered", true).End()
+			sp.Child("decode").Attr("result", "ok").End()
+		}
+		endDeliver(sp, "reply")
 		return u, false, nil
 	}
-	frame, ok := r.faults.Uplink(h, u.Marshal())
+	wire := u.Marshal()
+	frame, ok := r.faults.Uplink(h, wire)
+	if sp != nil {
+		sp.Child("fm0_uplink").Attr("bytes", len(wire)).Attr("delivered", ok).End()
+	}
 	if !ok {
+		endDeliver(sp, "uplink_dropped")
 		return nil, false, nil // backscatter never reached the RX
 	}
 	parsed, perr := protocol.UnmarshalUplink(frame)
 	if perr != nil {
 		r.faultStats.CorruptedReplies++
+		mCorrupted.Inc()
+		if sp != nil {
+			sp.Child("decode").Attr("result", "bad_crc").End()
+		}
+		endDeliver(sp, "uplink_corrupted")
 		return nil, true, nil
 	}
+	if sp != nil {
+		sp.Child("decode").Attr("result", "ok").End()
+	}
+	endDeliver(sp, "reply")
 	return &parsed, false, nil
+}
+
+// endDeliver closes a deliver span with its final outcome.
+func endDeliver(sp *telemetry.Span, outcome string) {
+	if sp != nil {
+		sp.Attr("outcome", outcome).End()
+	}
 }
 
 // shearSpeedLocked returns the structure's S-wave speed (P-wave fallback),

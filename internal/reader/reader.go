@@ -19,6 +19,7 @@ import (
 	"ecocapsule/internal/physics"
 	"ecocapsule/internal/protocol"
 	"ecocapsule/internal/sensors"
+	"ecocapsule/internal/telemetry"
 	"ecocapsule/internal/units"
 )
 
@@ -66,6 +67,11 @@ type Reader struct {
 	// retry bounds the NAK/re-read recovery on CRC failures.
 	retry      faultinject.Backoff
 	faultStats FaultStats
+
+	// tracer, when non-nil, records interrogation spans; span is the
+	// current parent for frame deliveries (only mutated under mu).
+	tracer *telemetry.Tracer
+	span   *telemetry.Span
 }
 
 // New validates the configuration and returns a Reader.
@@ -126,6 +132,9 @@ func (r *Reader) Deploy(n *node.Node) error {
 	}
 	r.nodes = append(r.nodes, n)
 	r.chans[n.Handle()] = ch
+	mLinkGain.With(handleLabel(n.Handle())).Set(ch.PathGain())
+	mLinkSNR.With(handleLabel(n.Handle())).Set(
+		ch.SNRAt(r.cfg.DriveVoltage * r.PZTCouplingVoltsPerUnit))
 	return nil
 }
 
@@ -160,6 +169,10 @@ func (r *Reader) nodeAmplitudeLocked(handle uint16) (float64, error) {
 func (r *Reader) Charge(duration float64) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	var sp *telemetry.Span
+	if r.tracer != nil {
+		sp = r.tracer.Start("charge").Attrf("duration_s", "%g", duration)
+	}
 	cs := r.cfg.Structure.Material.VS()
 	if cs == 0 {
 		cs = r.cfg.Structure.Material.VP()
@@ -183,6 +196,12 @@ func (r *Reader) Charge(duration float64) int {
 		if n.PoweredUp() {
 			up++
 		}
+	}
+	if len(r.nodes) > 0 {
+		mChargeRatio.Set(float64(up) / float64(len(r.nodes)))
+	}
+	if sp != nil {
+		sp.Attr("powered", up).Attr("deployed", len(r.nodes)).End()
 	}
 	return up
 }
@@ -222,11 +241,22 @@ type InventoryResult struct {
 func (r *Reader) Inventory(maxRounds int) InventoryResult {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	mInventories.Inc()
+	var invSpan *telemetry.Span
+	if r.tracer != nil {
+		invSpan = r.tracer.Start("inventory").Attr("max_rounds", maxRounds)
+		defer func() { r.span = nil }()
+	}
 	found := make(map[uint16]bool)
 	var res InventoryResult
 	q := 2
 	for round := 0; round < maxRounds; round++ {
 		res.Rounds++
+		mRounds.Inc()
+		var roundSpan *telemetry.Span
+		if invSpan != nil {
+			roundSpan = invSpan.Child("round").Attr("n", round).Attr("q", q)
+		}
 		var outcome protocol.RoundOutcome
 		// Query opens the round; each subsequent slot is a QueryRep.
 		slots := 1 << uint(q)
@@ -237,6 +267,9 @@ func (r *Reader) Inventory(maxRounds int) InventoryResult {
 			} else {
 				p = protocol.Packet{Cmd: protocol.CmdQueryRep, Target: protocol.Broadcast}
 			}
+			if roundSpan != nil {
+				r.span = roundSpan.Child("slot").Attr("n", slot).Attr("cmd", p.Cmd.String())
+			}
 			replies, corrupted := r.broadcastLocked(p)
 			// A slot that produced only CRC garbage is re-solicited with
 			// bounded exponential backoff: a NAK returns the replying
@@ -246,7 +279,10 @@ func (r *Reader) Inventory(maxRounds int) InventoryResult {
 				res.Corrupted += corrupted
 				res.Retries++
 				r.faultStats.Retries++
-				r.faultStats.Backoff += r.retry.Delay(attempt)
+				delay := r.retry.Delay(attempt)
+				r.faultStats.Backoff += delay
+				mRetries.Inc()
+				mBackoffSeconds.Add(delay.Seconds())
 				r.broadcastLocked(protocol.Packet{Cmd: protocol.CmdNak, Target: protocol.Broadcast})
 				replies, corrupted = r.broadcastLocked(protocol.Packet{Cmd: protocol.CmdQueryRep, Target: protocol.Broadcast})
 			}
@@ -254,24 +290,31 @@ func (r *Reader) Inventory(maxRounds int) InventoryResult {
 			switch len(replies) {
 			case 0:
 				outcome.Empties++
+				mSlots.With(slotEmpty).Inc()
+				r.endSlotSpan("empty")
 			case 1:
 				outcome.Singles++
+				mSlots.With(slotSingle).Inc()
 				h := replies[0].Handle
 				if !found[h] {
 					found[h] = true
 					res.Discovered = append(res.Discovered, h)
 				}
+				r.endSlotSpan("single")
 				// Ack singulates; the node leaves the round.
 				r.broadcastLocked(protocol.Packet{Cmd: protocol.CmdAck, Target: h})
 			default:
 				outcome.Collisions++
 				res.Collisions++
+				mSlots.With(slotCollision).Inc()
+				r.endSlotSpan("collision")
 				// Collided nodes stay replying; sleep them back to
 				// standby so the next round redraws their slots.
 				for _, reply := range replies {
 					r.broadcastLocked(protocol.Packet{Cmd: protocol.CmdSleep, Target: reply.Handle})
 				}
 			}
+			r.span = nil
 		}
 		res.Empties += outcome.Empties
 		powered := 0
@@ -280,13 +323,30 @@ func (r *Reader) Inventory(maxRounds int) InventoryResult {
 				powered++
 			}
 		}
+		if roundSpan != nil {
+			roundSpan.Attr("singles", outcome.Singles).
+				Attr("collisions", outcome.Collisions).
+				Attr("empties", outcome.Empties).End()
+		}
 		if len(found) >= powered {
 			break
 		}
 		q = protocol.AdaptQ(q, outcome)
 	}
+	if invSpan != nil {
+		invSpan.Attr("discovered", len(res.Discovered)).Attr("rounds", res.Rounds).End()
+	}
 	sort.Slice(res.Discovered, func(i, j int) bool { return res.Discovered[i] < res.Discovered[j] })
 	return res
+}
+
+// endSlotSpan closes the active slot span with its outcome; the span stays
+// installed so the singulating Ack/Sleep deliveries still nest under it
+// until the caller clears r.span.
+func (r *Reader) endSlotSpan(outcome string) {
+	if r.span != nil {
+		r.span.Attr("outcome", outcome).End()
+	}
 }
 
 // ReadSensor requests one sensor reading from an addressed node and decodes
@@ -302,7 +362,14 @@ func (r *Reader) ReadSensor(handle uint16, st sensors.SensorType) ([]float64, er
 		}
 	}
 	if target == nil {
+		mReads.With(readErr).Inc()
 		return nil, fmt.Errorf("reader: unknown node %#04x", handle)
+	}
+	var readSpan *telemetry.Span
+	if r.tracer != nil {
+		readSpan = r.tracer.Start("read").
+			Attr("capsule", handleLabel(handle)).Attr("sensor", st.String())
+		defer func() { r.span = nil }()
 	}
 	p := protocol.Packet{Cmd: protocol.CmdReadSensor, Target: handle, Payload: []byte{byte(st)}}
 	attempts := 1
@@ -313,12 +380,20 @@ func (r *Reader) ReadSensor(handle uint16, st sensors.SensorType) ([]float64, er
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
 			r.faultStats.Retries++
-			r.faultStats.Backoff += r.retry.Delay(a - 1)
+			delay := r.retry.Delay(a - 1)
+			r.faultStats.Backoff += delay
+			mRetries.Inc()
+			mBackoffSeconds.Add(delay.Seconds())
+		}
+		if readSpan != nil {
+			r.span = readSpan.Child("attempt").Attr("n", a)
 		}
 		up, bad, err := r.deliverLocked(p, target)
 		if err != nil {
 			// A node-level rejection (not powered, no such sensor) is not
 			// a link fault; retrying cannot change it.
+			r.endAttemptSpan("rejected")
+			r.finishRead(readSpan, readErr, a+1)
 			return nil, err
 		}
 		if up != nil {
@@ -328,16 +403,41 @@ func (r *Reader) ReadSensor(handle uint16, st sensors.SensorType) ([]float64, er
 			if r.faults == nil {
 				parsed, err = protocol.UnmarshalUplink(up.Marshal())
 				if err != nil {
+					r.endAttemptSpan("corrupted")
+					r.finishRead(readSpan, readErr, a+1)
 					return nil, fmt.Errorf("reader: uplink corrupted: %w", err)
 				}
 			}
+			r.endAttemptSpan("ok")
+			r.finishRead(readSpan, readOK, a+1)
+			mReadAttempts.Observe(float64(a + 1))
 			return sensors.Decode(sensors.SensorType(parsed.Kind), parsed.Data)
 		}
 		if bad {
 			lastErr = fmt.Errorf("reader: uplink corrupted: %w", protocol.ErrBadCRC)
+			r.endAttemptSpan("corrupted")
+		} else {
+			r.endAttemptSpan("silent")
 		}
 	}
+	r.finishRead(readSpan, readErr, attempts)
 	return nil, lastErr
+}
+
+// endAttemptSpan closes the active read-attempt span with its outcome.
+func (r *Reader) endAttemptSpan(outcome string) {
+	if r.span != nil {
+		r.span.Attr("outcome", outcome).End()
+		r.span = nil
+	}
+}
+
+// finishRead records the read result metric and closes the read root span.
+func (r *Reader) finishRead(sp *telemetry.Span, result string, attempts int) {
+	mReads.With(result).Inc()
+	if sp != nil {
+		sp.Attr("result", result).Attr("attempts", attempts).End()
+	}
 }
 
 // SetDriveVoltage changes the amplifier setting (clamped to the ceiling).

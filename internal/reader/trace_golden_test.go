@@ -1,0 +1,88 @@
+package reader
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ecocapsule/internal/faultinject"
+	"ecocapsule/internal/geometry"
+	"ecocapsule/internal/node"
+	"ecocapsule/internal/sensors"
+	"ecocapsule/internal/telemetry"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// tracedScenario runs the pinned interrogation: two capsules in the common
+// wall, 5 % injected frame loss, one charge → inventory → read cycle with a
+// seeded tracer, and returns the span tree.
+func tracedScenario(t *testing.T) string {
+	t.Helper()
+	wall := geometry.CommonWall()
+	r, err := New(Config{
+		Structure:    wall,
+		TXPosition:   geometry.Vec3{X: 0.1, Y: wall.Height / 2, Z: 0},
+		DriveVoltage: 200,
+		Seed:         42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		n := node.New(node.Config{
+			Handle:   uint16(0x10 + i),
+			Position: geometry.Vec3{X: 1 + float64(i), Y: wall.Height / 2, Z: 0.1},
+			Seed:     int64(7 + i),
+		})
+		if err := r.Deploy(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.SetEnvironment(func(pos geometry.Vec3) sensors.Environment {
+		return sensors.Environment{TemperatureC: 20, RelativeHumidity: 55}
+	})
+	r.SetFrameFaults(faultinject.MustNew(faultinject.Plan{Seed: 3, FrameLossProb: 0.05}))
+
+	tr := telemetry.NewTracer(42)
+	r.SetTracer(tr)
+	r.Charge(0.5)
+	r.Inventory(1)
+	r.ReadSensor(0x10, sensors.TypeTempHumidity)
+	return tr.Tree()
+}
+
+// TestGoldenSpanTree pins the span tree of one seeded interrogation round to
+// a golden file: same seed, byte-identical trace — the contract `ecoreader
+// trace` relies on. Regenerate with:
+// go test ./internal/reader -run TestGoldenSpanTree -update
+func TestGoldenSpanTree(t *testing.T) {
+	got := tracedScenario(t)
+
+	golden := filepath.Join("testdata", "golden_span_tree.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("span tree diverged from golden file\n--- got\n%s--- want\n%s", got, want)
+	}
+}
+
+// TestSpanTreeDeterministic runs the scenario twice in one process; the
+// trees must match byte for byte even though the tracer RNG is fresh each
+// time.
+func TestSpanTreeDeterministic(t *testing.T) {
+	if tracedScenario(t) != tracedScenario(t) {
+		t.Error("same seed, different span trees")
+	}
+}

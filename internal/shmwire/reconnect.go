@@ -129,6 +129,7 @@ func (rc *ReconnectingClient) Next() (Event, error) {
 			rc.cl.Close()
 			rc.cl = nil
 			rc.reconnects++
+			mReconnects.Inc()
 		}
 		rc.mu.Unlock()
 		rc.cfg.Logf("shmwire: stream to %s broken (%v), reconnecting", rc.cfg.Addr, err)

@@ -115,6 +115,7 @@ func (s *Server) handle(conn net.Conn) {
 	s.nextSubID++
 	sub.id = s.nextSubID
 	s.subs[sub.id] = sub
+	mSubscribers.Set(float64(len(s.subs)))
 	logf := s.logf
 	s.mu.Unlock()
 	logf("shmwire: subscriber %q connected from %s", sub.name, conn.RemoteAddr())
@@ -130,6 +131,10 @@ func (s *Server) handle(conn net.Conn) {
 			conn.SetWriteDeadline(time.Now().Add(wt))
 		}
 		if err := c.Send(of.t, of.body); err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				mWriteDeadlineHits.Inc()
+			}
 			break
 		}
 	}
@@ -143,6 +148,7 @@ func (s *Server) removeSub(id int) {
 	if sub, ok := s.subs[id]; ok {
 		delete(s.subs, id)
 		close(sub.ch)
+		mSubscribers.Set(float64(len(s.subs)))
 	}
 }
 
@@ -156,6 +162,7 @@ func (s *Server) Subscribers() int {
 // Broadcast fans one frame out to every subscriber. Slow subscribers whose
 // buffers are full are disconnected (the frame is dropped for them).
 func (s *Server) Broadcast(t MsgType, body []byte) {
+	mBroadcasts.With(t.String()).Inc()
 	s.mu.Lock()
 	var evict []int
 	for id, sub := range s.subs {
@@ -169,6 +176,7 @@ func (s *Server) Broadcast(t MsgType, body []byte) {
 	s.mu.Unlock()
 	for _, id := range evict {
 		logf("shmwire: evicting slow subscriber %d", id)
+		mEvictions.Inc()
 		s.removeSub(id)
 	}
 }

@@ -145,8 +145,11 @@ func WriteFrame(w io.Writer, t MsgType, body []byte) error {
 	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
-	_, err := w.Write(body)
-	return err
+	if _, err := w.Write(body); err != nil {
+		return err
+	}
+	mFramesWritten.With(t.String()).Inc()
+	return nil
 }
 
 // ReadFrame reads one frame from r.
@@ -156,20 +159,26 @@ func ReadFrame(r io.Reader) (Frame, error) {
 		return Frame{}, err
 	}
 	if binary.BigEndian.Uint16(hdr[0:2]) != Magic {
+		mReadErrors.Inc()
 		return Frame{}, ErrBadMagic
 	}
 	if hdr[2] != Version {
+		mReadErrors.Inc()
 		return Frame{}, ErrBadVersion
 	}
 	n := int(binary.BigEndian.Uint16(hdr[4:6]))
 	if n > MaxFrameSize {
+		mReadErrors.Inc()
 		return Frame{}, ErrTooLarge
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
+		mReadErrors.Inc()
 		return Frame{}, err
 	}
-	return Frame{Type: MsgType(hdr[3]), Body: body}, nil
+	f := Frame{Type: MsgType(hdr[3]), Body: body}
+	mFramesRead.With(f.Type.String()).Inc()
+	return f, nil
 }
 
 func putF64(b []byte, v float64) { binary.BigEndian.PutUint64(b, math.Float64bits(v)) }

@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+)
+
+// Tracer records trees of spans with IDs drawn from a seeded RNG: the same
+// seed and the same span-creation order reproduce the same tree byte for
+// byte, which is what lets one interrogation round be pinned as a golden
+// file. Wall-clock time is deliberately absent from the rendered tree —
+// durations would make goldens flaky — so spans carry their measurements as
+// explicit attributes instead.
+type Tracer struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	roots []*Span
+}
+
+// NewTracer returns a tracer whose span IDs derive from seed.
+func NewTracer(seed int64) *Tracer {
+	return &Tracer{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Span is one node of a trace tree. Attributes keep insertion order so the
+// rendering is deterministic.
+type Span struct {
+	tracer *Tracer
+	id     uint32
+	name   string
+	attrs  []attr
+	kids   []*Span
+	ended  bool
+}
+
+type attr struct{ key, val string }
+
+// Start opens a root span.
+func (t *Tracer) Start(name string) *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sp := &Span{tracer: t, id: t.rng.Uint32(), name: name}
+	t.roots = append(t.roots, sp)
+	return sp
+}
+
+// Child opens a sub-span.
+func (s *Span) Child(name string) *Span {
+	t := s.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sp := &Span{tracer: t, id: t.rng.Uint32(), name: name}
+	s.kids = append(s.kids, sp)
+	return sp
+}
+
+// Attr records one key=value attribute; the value is rendered with %v.
+func (s *Span) Attr(key string, value any) *Span {
+	t := s.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s.attrs = append(s.attrs, attr{key: key, val: fmt.Sprintf("%v", value)})
+	return s
+}
+
+// Attrf records one key=value attribute with a format string.
+func (s *Span) Attrf(key, format string, args ...any) *Span {
+	t := s.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s.attrs = append(s.attrs, attr{key: key, val: fmt.Sprintf(format, args...)})
+	return s
+}
+
+// End marks the span complete. Ending twice is harmless.
+func (s *Span) End() {
+	t := s.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s.ended = true
+}
+
+// ID returns the span's deterministic identifier.
+func (s *Span) ID() string { return fmt.Sprintf("%08x", s.id) }
+
+// Reset drops every recorded span (the RNG keeps advancing, so IDs across a
+// Reset stay unique within the tracer's lifetime).
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.roots = nil
+}
+
+// Tree renders every root span as an indented deterministic tree:
+//
+//	charge [22ca1008] duration_s=0.4 powered=5
+//	inventory [45b23f1a] max_rounds=1
+//	  round [fe3ddb2a] q=2 slots=4
+//
+// Unfinished spans are marked so a truncated trace is visible as such.
+func (t *Tracer) Tree() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var b strings.Builder
+	for _, sp := range t.roots {
+		writeSpan(&b, sp, 0)
+	}
+	return b.String()
+}
+
+func writeSpan(b *strings.Builder, s *Span, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	fmt.Fprintf(b, "%s [%08x]", s.name, s.id)
+	for _, a := range s.attrs {
+		fmt.Fprintf(b, " %s=%s", a.key, a.val)
+	}
+	if !s.ended {
+		b.WriteString(" UNFINISHED")
+	}
+	b.WriteByte('\n')
+	for _, kid := range s.kids {
+		writeSpan(b, kid, depth+1)
+	}
+}

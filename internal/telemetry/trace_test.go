@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildTrace records one small deterministic tree.
+func buildTrace(seed int64) *Tracer {
+	tr := NewTracer(seed)
+	root := tr.Start("round").Attr("q", 2)
+	slot := root.Child("slot").Attr("cmd", "query")
+	slot.Child("pie_downlink").Attr("delivered", true).End()
+	slot.Child("fm0_uplink").Attr("delivered", true).End()
+	slot.Attr("outcome", "single")
+	slot.End()
+	root.End()
+	return tr
+}
+
+// TestTracerDeterministicIDs pins that the same seed and span order
+// reproduce the same tree byte for byte, and that a different seed changes
+// the IDs but not the structure.
+func TestTracerDeterministicIDs(t *testing.T) {
+	a, b := buildTrace(42).Tree(), buildTrace(42).Tree()
+	if a != b {
+		t.Errorf("same seed, different trees\n--- a\n%s--- b\n%s", a, b)
+	}
+	c := buildTrace(43).Tree()
+	if a == c {
+		t.Error("different seeds must draw different span IDs")
+	}
+	strip := func(s string) string {
+		var out []string
+		for _, line := range strings.Split(s, "\n") {
+			if i := strings.IndexByte(line, '['); i >= 0 {
+				line = line[:i] + line[i+10:] // drop "[xxxxxxxx]"
+			}
+			out = append(out, line)
+		}
+		return strings.Join(out, "\n")
+	}
+	if strip(a) != strip(c) {
+		t.Errorf("seed must only change IDs\n--- a\n%s--- c\n%s", strip(a), strip(c))
+	}
+}
+
+// TestTracerTreeShape pins nesting, attribute order and the UNFINISHED
+// marker.
+func TestTracerTreeShape(t *testing.T) {
+	tr := NewTracer(1)
+	root := tr.Start("read").Attr("handle", "0x10")
+	root.Child("attempt").Attr("n", 1).End()
+	// root deliberately left un-Ended.
+	got := tr.Tree()
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("tree has %d lines, want 2:\n%s", len(lines), got)
+	}
+	if !strings.HasPrefix(lines[0], "read [") || !strings.Contains(lines[0], "handle=0x10") {
+		t.Errorf("root line malformed: %q", lines[0])
+	}
+	if !strings.HasSuffix(lines[0], "UNFINISHED") {
+		t.Errorf("unended root must be marked UNFINISHED: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  attempt [") || !strings.HasSuffix(lines[1], "n=1") {
+		t.Errorf("child line malformed: %q", lines[1])
+	}
+}
+
+// TestTracerReset drops recorded spans but keeps drawing fresh IDs.
+func TestTracerReset(t *testing.T) {
+	tr := NewTracer(7)
+	first := tr.Start("a")
+	first.End()
+	firstID := first.ID()
+	tr.Reset()
+	if tr.Tree() != "" {
+		t.Errorf("tree after reset = %q, want empty", tr.Tree())
+	}
+	second := tr.Start("b")
+	if second.ID() == firstID {
+		t.Error("IDs must keep advancing across Reset")
+	}
+}

@@ -37,6 +37,49 @@ fi
 echo "== go test -race ./..."
 go test -race ./...
 
+# Telemetry smoke: boot shmserver with the metrics endpoint on an
+# ephemeral port, scrape /metrics and /healthz once, and require a healthy
+# spread of metric families (the self-test survey populates reader, fleet,
+# shmwire and faultinject series before the first scrape).
+echo "== telemetry smoke (/metrics + /healthz)"
+SMOKE_DIR="$(mktemp -d)"
+cleanup_smoke() {
+	[ -n "${SMOKE_PID:-}" ] && kill "$SMOKE_PID" 2>/dev/null || true
+	[ -n "${SMOKE_PID:-}" ] && wait "$SMOKE_PID" 2>/dev/null || true
+	rm -rf "$SMOKE_DIR"
+}
+go build -o "$SMOKE_DIR/shmserver" ./cmd/shmserver
+"$SMOKE_DIR/shmserver" -listen 127.0.0.1:0 -telemetry-addr 127.0.0.1:0 \
+	-speedup 3600000 -hours 8760 >"$SMOKE_DIR/log" 2>&1 &
+SMOKE_PID=$!
+TELEMETRY_URL=""
+i=0
+while [ "$i" -lt 50 ]; do
+	TELEMETRY_URL="$(sed -n 's|^shmserver: telemetry on \(http://[^ ]*\)/metrics$|\1|p' "$SMOKE_DIR/log")"
+	[ -n "$TELEMETRY_URL" ] && break
+	sleep 0.2
+	i=$((i + 1))
+done
+if [ -z "$TELEMETRY_URL" ]; then
+	echo "verify.sh: telemetry endpoint never came up:"
+	cat "$SMOKE_DIR/log"
+	cleanup_smoke
+	exit 1
+fi
+FAMILIES="$(curl -sf "$TELEMETRY_URL/metrics" | grep -c '^# TYPE' || true)"
+if [ "${FAMILIES:-0}" -lt 20 ]; then
+	echo "verify.sh: /metrics exposed only ${FAMILIES:-0} metric families (want >= 20)"
+	cleanup_smoke
+	exit 1
+fi
+if ! curl -sf "$TELEMETRY_URL/healthz" | grep -q '"status"'; then
+	echo "verify.sh: /healthz did not return a status report"
+	cleanup_smoke
+	exit 1
+fi
+cleanup_smoke
+echo "   $FAMILIES metric families exposed; /healthz healthy"
+
 # Fuzz smoke: each decoder target fuzzes for a few seconds. Any panic or
 # property violation fails the gate; new corpus findings are kept by go
 # test under the package's testdata/fuzz directory.
