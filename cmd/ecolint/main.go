@@ -7,9 +7,16 @@
 //	go run ./cmd/ecolint ./...
 //	go run ./cmd/ecolint -list
 //	go run ./cmd/ecolint -only unitsafety,floatcmp ./internal/physics
+//	go run ./cmd/ecolint -include-tests -json ./...
 //
-// Findings print as `file:line: analyzer: message`. A finding is suppressed
-// by an inline directive on the same line or the line above:
+// Packages are analyzed in dependency order by a parallel worker pool;
+// results are cached under .ecolint-cache/ (keyed by content hash and
+// analyzer version) so repeat runs on an unchanged tree are near-instant.
+// Disable with -cache=false or point elsewhere with -cache-dir.
+//
+// Findings print as `file:line: analyzer: message` (or as a JSON array with
+// -json). A finding is suppressed by an inline directive on the same line or
+// the line above:
 //
 //	//ecolint:ignore <analyzer> <reason>
 //
@@ -17,6 +24,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,11 +33,25 @@ import (
 	"ecocapsule/internal/analysis"
 )
 
+// jsonDiag is the stable wire shape of one finding under -json.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	listFlag := flag.Bool("list", false, "list the analyzers and exit")
 	onlyFlag := flag.String("only", "", "comma-separated subset of analyzers to run")
+	jsonFlag := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	testsFlag := flag.Bool("include-tests", false, "also analyze _test.go files (in-package and external)")
+	cacheFlag := flag.Bool("cache", true, "consult and populate the on-disk result cache")
+	cacheDir := flag.String("cache-dir", ".ecolint-cache", "result cache location (with -cache)")
+	parFlag := flag.Int("parallel", 0, "worker pool size; 0 means GOMAXPROCS, 1 forces a sequential run")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ecolint [-list] [-only a,b] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: ecolint [-list] [-only a,b] [-json] [-include-tests] [-cache=false] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -60,22 +82,37 @@ func main() {
 		analyzers = selected
 	}
 
-	patterns := flag.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
+	opts := analysis.Options{
+		Analyzers:    analyzers,
+		IncludeTests: *testsFlag,
+		Parallelism:  *parFlag,
 	}
-	loader := analysis.NewLoader()
-	pkgs, err := loader.Load("", patterns...)
+	if *cacheFlag {
+		opts.CacheDir = *cacheDir
+	}
+	diags, stats, err := analysis.Run(opts, flag.Args()...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ecolint: %v\n", err)
 		os.Exit(2)
 	}
-	diags := analysis.RunAnalyzers(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+
+	if *jsonFlag {
+		out := make([]jsonDiag, len(diags))
+		for i, d := range diags {
+			out[i] = jsonDiag{File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "ecolint: encoding findings: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		analysis.FormatText(os.Stdout, diags)
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "ecolint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		fmt.Fprintf(os.Stderr, "ecolint: %d finding(s) in %d package(s)\n", len(diags), stats.Targets)
 		os.Exit(1)
 	}
 }

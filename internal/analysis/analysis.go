@@ -18,6 +18,14 @@ type Analyzer struct {
 	// Doc is a one-paragraph description of what the analyzer catches and
 	// why it matters for SHM data integrity.
 	Doc string
+	// Version participates in the on-disk result-cache key: bump it
+	// whenever the analyzer's behaviour changes so stale cached
+	// diagnostics are invalidated. An empty version reads as "1".
+	Version string
+	// UsesFacts marks analyzers that export or import cross-package
+	// facts; only these run in facts-only passes over dependency
+	// packages.
+	UsesFacts bool
 	// Run performs the check.
 	Run func(*Pass)
 }
@@ -29,12 +37,23 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Facts is the run-wide cross-package fact table (see facts.go).
+	// Nil when the driver runs without fact support.
+	Facts *Facts
+	// FactsOnly suppresses diagnostics: the pass runs purely to export
+	// facts for dependent packages (used for dependency packages outside
+	// the requested patterns, and for the plain variant of a package
+	// whose diagnostics come from its test-augmented variant).
+	FactsOnly bool
 	// report receives raw (pre-suppression) diagnostics.
 	report func(Diagnostic)
 }
 
-// Reportf records a finding at pos.
+// Reportf records a finding at pos. Facts-only passes drop it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.FactsOnly {
+		return
+	}
 	p.report(Diagnostic{
 		Pos:      p.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
@@ -106,15 +125,16 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) map[ignoreKey][]igno
 	return ignores
 }
 
-// RunAnalyzers applies every analyzer to every package and returns the
-// surviving diagnostics sorted by position. Findings matched by a
-// well-formed ignore directive are dropped; ignore directives without a
-// reason are reported as findings themselves so suppressions stay auditable.
-func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+// analyzeUnit applies the analyzers to one type-checked unit (a plain
+// package, a package merged with its in-package test files, or an
+// external _test package), applying ignore directives, and returns the
+// surviving diagnostics unsorted. When factsOnly is set, only
+// fact-producing analyzers run and nothing is reported.
+func analyzeUnit(pkg *Package, analyzers []*Analyzer, facts *Facts, factsOnly bool) []Diagnostic {
 	var diags []Diagnostic
-	seenBadDirective := make(map[token.Position]bool)
-	for _, pkg := range pkgs {
-		ignores := collectIgnores(pkg.Fset, pkg.Files)
+	ignores := collectIgnores(pkg.Fset, pkg.Files)
+	if !factsOnly {
+		seenBadDirective := make(map[token.Position]bool)
 		for k, entries := range ignores {
 			for _, e := range entries {
 				if !e.hasReason && !seenBadDirective[e.pos] && k.line == e.pos.Line {
@@ -127,25 +147,37 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				}
 			}
 		}
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-			}
-			pass.report = func(d Diagnostic) {
-				for _, e := range ignores[ignoreKey{file: d.Pos.Filename, line: d.Pos.Line}] {
-					if e.hasReason && (e.analyzer == d.Analyzer || e.analyzer == "all") {
-						return
-					}
-				}
-				diags = append(diags, d)
-			}
-			a.Run(pass)
-		}
 	}
+	for _, a := range analyzers {
+		if factsOnly && !a.UsesFacts {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			Info:      pkg.Info,
+			Facts:     facts,
+			FactsOnly: factsOnly,
+		}
+		pass.report = func(d Diagnostic) {
+			for _, e := range ignores[ignoreKey{file: d.Pos.Filename, line: d.Pos.Line}] {
+				if e.hasReason && (e.analyzer == d.Analyzer || e.analyzer == "all") {
+					return
+				}
+			}
+			diags = append(diags, d)
+		}
+		a.Run(pass)
+	}
+	return diags
+}
+
+// sortDiagnostics orders diagnostics by file, line, analyzer and
+// message — a total order, so sequential and parallel drivers (and
+// cached and fresh results) produce byte-identical output.
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		if diags[i].Pos.Filename != diags[j].Pos.Filename {
 			return diags[i].Pos.Filename < diags[j].Pos.Filename
@@ -153,8 +185,26 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if diags[i].Pos.Line != diags[j].Pos.Line {
 			return diags[i].Pos.Line < diags[j].Pos.Line
 		}
-		return diags[i].Analyzer < diags[j].Analyzer
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
 	})
+}
+
+// RunAnalyzers applies every analyzer to every package in order —
+// dependencies must precede dependents for cross-package facts to
+// propagate — and returns the surviving diagnostics sorted by position.
+// Findings matched by a well-formed ignore directive are dropped;
+// ignore directives without a reason are reported as findings
+// themselves so suppressions stay auditable.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	facts := NewFacts()
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, analyzeUnit(pkg, analyzers, facts, false)...)
+	}
+	sortDiagnostics(diags)
 	return diags
 }
 
@@ -167,5 +217,6 @@ func All() []*Analyzer {
 		ErrCheckLite,
 		FloatCmp,
 		MetricName,
+		Determinism,
 	}
 }

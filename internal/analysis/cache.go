@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// cacheSchema versions the on-disk entry layout; bumping it orphans
+// every existing entry.
+const cacheSchema = 1
+
+// A cacheEntry is one package's persisted analysis result: its
+// surviving diagnostics and the facts it exported. FactsOnly entries
+// come from dependency packages analyzed only for their facts — they
+// satisfy a facts lookup but not a diagnostics lookup.
+type cacheEntry struct {
+	Schema    int              `json:"schema"`
+	Package   string           `json:"package"`
+	FactsOnly bool             `json:"factsOnly"`
+	Diags     []cachedDiag     `json:"diags"`
+	Facts     []SerializedFact `json:"facts"`
+}
+
+type cachedDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func toCachedDiags(diags []Diagnostic) []cachedDiag {
+	out := make([]cachedDiag, len(diags))
+	for i, d := range diags {
+		out[i] = cachedDiag{File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+			Analyzer: d.Analyzer, Message: d.Message}
+	}
+	return out
+}
+
+func fromCachedDiags(cached []cachedDiag) []Diagnostic {
+	out := make([]Diagnostic, len(cached))
+	for i, c := range cached {
+		out[i] = Diagnostic{Pos: token.Position{Filename: c.File, Line: c.Line, Column: c.Col},
+			Analyzer: c.Analyzer, Message: c.Message}
+	}
+	return out
+}
+
+// resultCache is the content-addressed on-disk store under
+// .ecolint-cache/. Keys are package hashes (see runner.pkgHash): the
+// analyzer fingerprint, toolchain version, every source file's content
+// and every dependency's hash all feed the key, so any edit anywhere in
+// a package's cone — or an analyzer version bump — makes a fresh key
+// and silently orphans the stale entry. There is no mutable state to
+// invalidate, which is what makes concurrent writers safe.
+type resultCache struct {
+	dir string
+}
+
+func newResultCache(dir string) (*resultCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("analysis: creating cache dir: %w", err)
+	}
+	return &resultCache{dir: dir}, nil
+}
+
+func (c *resultCache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// get loads the entry for key, or nil on any miss (absent, unreadable,
+// schema drift — all equivalent: the package just gets re-analyzed).
+func (c *resultCache) get(key, pkgPath string) *cacheEntry {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil
+	}
+	var e cacheEntry
+	if json.Unmarshal(data, &e) != nil || e.Schema != cacheSchema || e.Package != pkgPath {
+		return nil
+	}
+	return &e
+}
+
+// put writes the entry atomically (tmp file + rename) so that a
+// concurrent reader never observes a torn file.
+func (c *resultCache) put(key string, e *cacheEntry) error {
+	e.Schema = cacheSchema
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	return os.Rename(tmp.Name(), c.path(key))
+}
+
+// analyzersFingerprint folds every selected analyzer's name and version
+// into the cache key, so adding, removing or revising an analyzer
+// invalidates exactly once.
+func analyzersFingerprint(analyzers []*Analyzer) string {
+	parts := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		v := a.Version
+		if v == "" {
+			v = "1"
+		}
+		parts = append(parts, a.Name+":"+v)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// hashFile returns the hex sha256 of one source file's content.
+func hashFile(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// toolchainFingerprint pins cache entries to the Go toolchain that
+// type-checked them: stdlib dependency hashes are just "std:<path>", so
+// the toolchain version must participate instead of their file
+// contents.
+func toolchainFingerprint() string {
+	return runtime.Version() + "/" + runtime.GOOS + "/" + runtime.GOARCH
+}

@@ -1,0 +1,62 @@
+package cfg
+
+// Flow describes a forward dataflow problem over a Graph for lattice
+// values of type L. The solver owns every value it passes around;
+// callbacks must treat their arguments as read-only and return fresh
+// (or reused-but-owned) values:
+//
+//   - Entry produces the in-value of the entry block.
+//   - Transfer computes a block's out-value from its in-value without
+//     mutating the in-value.
+//   - Join merges src into dst, returning the merged value and whether
+//     dst changed; it may mutate and return dst but not src.
+//   - Copy clones a value so that a successor's initial in-value does
+//     not alias its predecessor's out-value.
+type Flow[L any] struct {
+	Entry    func() L
+	Transfer func(b *Block, in L) L
+	Join     func(dst, src L) (L, bool)
+	Copy     func(L) L
+}
+
+// Result holds the fixpoint per reachable block. Blocks unreachable
+// from Entry do not appear in either map.
+type Result[L any] struct {
+	In  map[*Block]L
+	Out map[*Block]L
+}
+
+// Forward solves the dataflow problem with a deterministic worklist
+// iteration to a fixpoint. Visit order is derived from block indices,
+// which are stable for a given function body, so the result (and any
+// diagnostics derived from it) is identical across runs.
+func Forward[L any](g *Graph, f Flow[L]) Result[L] {
+	res := Result[L]{In: make(map[*Block]L), Out: make(map[*Block]L)}
+	res.In[g.Entry] = f.Entry()
+
+	work := []*Block{g.Entry}
+	queued := make(map[*Block]bool)
+	queued[g.Entry] = true
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+
+		out := f.Transfer(b, res.In[b])
+		res.Out[b] = out
+		for _, s := range b.Succs {
+			var changed bool
+			if cur, ok := res.In[s]; ok {
+				res.In[s], changed = f.Join(cur, out)
+			} else {
+				res.In[s] = f.Copy(out)
+				changed = true
+			}
+			if changed && !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return res
+}

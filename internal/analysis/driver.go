@@ -29,14 +29,64 @@ import (
 
 // listedPackage is the subset of `go list -json` output the driver needs.
 type listedPackage struct {
-	Dir        string
-	ImportPath string
-	Name       string
-	GoFiles    []string
-	Imports    []string
-	Standard   bool
-	DepOnly    bool
-	Error      *struct{ Err string }
+	Dir          string
+	ImportPath   string
+	Name         string
+	GoFiles      []string
+	TestGoFiles  []string // in-package _test.go files (package foo)
+	XTestGoFiles []string // external _test.go files (package foo_test)
+	Imports      []string
+	TestImports  []string
+	XTestImports []string
+	Standard     bool
+	DepOnly      bool
+	Error        *struct{ Err string }
+}
+
+// listedFields is the -json field projection shared by every go list
+// invocation the drivers make.
+const listedFields = "Dir,ImportPath,Name,GoFiles,TestGoFiles,XTestGoFiles," +
+	"Imports,TestImports,XTestImports,Standard,DepOnly,Error"
+
+// goListRaw runs `go list -e -deps -json` for the patterns in dir and
+// decodes every listed package. CGO is disabled so that every listed
+// package (including net, os/user, ...) is buildable as pure Go and can
+// be type-checked from source. It touches no shared state and is safe
+// to call from any goroutine.
+func goListRaw(dir string, patterns ...string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-e", "-deps", "-json=" + listedFields}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("analysis: starting go list: %w", err)
+	}
+	dec := json.NewDecoder(out)
+	var listed []*listedPackage
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			cmd.Wait()
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		if p.ImportPath == "" {
+			continue
+		}
+		cp := p
+		listed = append(listed, &cp)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	return listed, nil
 }
 
 // Package is one parsed and type-checked package ready for analysis.
@@ -75,72 +125,21 @@ func NewLoader() *Loader {
 	}
 }
 
-// goList runs `go list -deps -json` for the patterns and records the
-// metadata of every listed package. CGO is disabled so that every listed
-// package (including net, os/user, ...) is buildable as pure Go and can be
-// type-checked from source.
+// goList lists the patterns and merges the metadata of every listed
+// package into the loader, returning the loader-owned entries.
 func (l *Loader) goList(dir string, patterns ...string) ([]*listedPackage, error) {
-	args := append([]string{"list", "-e", "-deps", "-json=Dir,ImportPath,Name,GoFiles,Imports,Standard,DepOnly,Error"}, patterns...)
-	cmd := exec.Command("go", args...)
-	cmd.Dir = dir
-	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
-	var stderr bytes.Buffer
-	cmd.Stderr = &stderr
-	out, err := cmd.StdoutPipe()
+	raw, err := goListRaw(dir, patterns...)
 	if err != nil {
 		return nil, err
 	}
-	if err := cmd.Start(); err != nil {
-		return nil, fmt.Errorf("analysis: starting go list: %w", err)
-	}
-	dec := json.NewDecoder(out)
-	var listed []*listedPackage
-	for {
-		var p listedPackage
-		if err := dec.Decode(&p); err == io.EOF {
-			break
-		} else if err != nil {
-			cmd.Wait()
-			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
-		}
-		if p.ImportPath == "" {
-			continue
-		}
+	listed := make([]*listedPackage, 0, len(raw))
+	for _, p := range raw {
 		if _, ok := l.meta[p.ImportPath]; !ok {
-			cp := p
-			l.meta[p.ImportPath] = &cp
+			l.meta[p.ImportPath] = p
 		}
 		listed = append(listed, l.meta[p.ImportPath])
 	}
-	if err := cmd.Wait(); err != nil {
-		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.String())
-	}
 	return listed, nil
-}
-
-// Load lists the patterns (relative to dir; "" means the current directory)
-// and returns the type-checked non-dependency target packages in listing
-// order.
-func (l *Loader) Load(dir string, patterns ...string) ([]*Package, error) {
-	listed, err := l.goList(dir, patterns...)
-	if err != nil {
-		return nil, err
-	}
-	var targets []*Package
-	for _, p := range listed {
-		if p.DepOnly || p.Standard {
-			continue
-		}
-		if p.Error != nil {
-			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
-		}
-		pkg, err := l.check(p.ImportPath)
-		if err != nil {
-			return nil, err
-		}
-		targets = append(targets, pkg)
-	}
-	return targets, nil
 }
 
 // Import implements types.Importer. It serves already-checked packages from

@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"sync"
+)
+
+// A Fact is a piece of information an analyzer derives about a
+// package-level object (function, method, var, type) and exports for
+// passes over *dependent* packages to consume. The driver analyzes
+// packages in dependency order, so by the time a pass asks for a fact
+// on an imported object, the defining package's pass has already run
+// (or its facts were restored from the on-disk cache).
+//
+// Facts must be JSON-serialisable: they round-trip through the result
+// cache, and the fact table stores them in encoded form so that a
+// cached and a freshly-computed run are observationally identical.
+type Fact interface {
+	// AFact is a marker method; it has no behaviour.
+	AFact()
+}
+
+// factKey names one fact: the defining package, the object within it,
+// and the fact's Go type name (one object may carry facts from several
+// analyzers).
+type factKey struct {
+	pkg  string
+	obj  string
+	typ  string
+}
+
+// Facts is the cross-package fact table shared by every pass of one
+// driver run. It is safe for concurrent use: the parallel driver
+// guarantees dependency order between writers (defining package) and
+// readers (dependent packages), and duplicate exports of the same key
+// keep the first value, so the table's observable content does not
+// depend on goroutine interleaving.
+type Facts struct {
+	mu sync.RWMutex
+	m  map[factKey]json.RawMessage
+}
+
+// NewFacts returns an empty fact table.
+func NewFacts() *Facts {
+	return &Facts{m: make(map[factKey]json.RawMessage)}
+}
+
+func factTypeName(f Fact) string {
+	t := reflect.TypeOf(f)
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	return t.Name()
+}
+
+// ObjectKey returns the stable intra-package name for a package-level
+// object: "F" for a function or var, "T.M" for a method (pointer and
+// value receivers collapse to the same key). Objects that cannot cross
+// package boundaries — locals, closures — have no key.
+func ObjectKey(o types.Object) (string, bool) {
+	if o == nil || o.Pkg() == nil {
+		return "", false
+	}
+	if fn, ok := o.(*types.Func); ok {
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return "", false
+		}
+		if recv := sig.Recv(); recv != nil {
+			t := recv.Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				return "", false
+			}
+			return named.Obj().Name() + "." + fn.Name(), true
+		}
+		if o.Parent() != o.Pkg().Scope() {
+			return "", false // function literal bound to a local
+		}
+		return fn.Name(), true
+	}
+	if o.Parent() == o.Pkg().Scope() {
+		return o.Name(), true
+	}
+	return "", false
+}
+
+// export records a fact for (pkg, objKey). First write wins, which
+// keeps the table deterministic when the same package is analyzed
+// twice (once for facts, once with its test files merged in).
+func (t *Facts) export(pkg, obj string, f Fact) error {
+	data, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("analysis: encoding fact %T for %s.%s: %w", f, pkg, obj, err)
+	}
+	k := factKey{pkg: pkg, obj: obj, typ: factTypeName(f)}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.m[k]; !ok {
+		t.m[k] = data
+	}
+	return nil
+}
+
+// lookup decodes the fact for (pkg, objKey) into f, reporting whether
+// one was present.
+func (t *Facts) lookup(pkg, obj string, f Fact) bool {
+	k := factKey{pkg: pkg, obj: obj, typ: factTypeName(f)}
+	t.mu.RLock()
+	data, ok := t.m[k]
+	t.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(data, f) == nil
+}
+
+// A SerializedFact is the cache representation of one exported fact.
+type SerializedFact struct {
+	Obj  string          `json:"obj"`
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data"`
+}
+
+// PackageFacts snapshots every fact exported by pkg, sorted for
+// byte-stable cache files.
+func (t *Facts) PackageFacts(pkg string) []SerializedFact {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []SerializedFact
+	for k, data := range t.m {
+		if k.pkg == pkg {
+			out = append(out, SerializedFact{Obj: k.obj, Type: k.typ, Data: data})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Obj != out[j].Obj {
+			return out[i].Obj < out[j].Obj
+		}
+		return out[i].Type < out[j].Type
+	})
+	return out
+}
+
+// AddSerialized restores cached facts for pkg into the table.
+func (t *Facts) AddSerialized(pkg string, facts []SerializedFact) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, sf := range facts {
+		k := factKey{pkg: pkg, obj: sf.Obj, typ: sf.Type}
+		if _, ok := t.m[k]; !ok {
+			t.m[k] = sf.Data
+		}
+	}
+}
+
+// ExportObjectFact publishes a fact about obj (which must be a
+// package-level object of the pass's own package) for dependent
+// packages. Facts about locals are silently dropped — they cannot be
+// named across package boundaries.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	if p.Facts == nil || obj == nil || obj.Pkg() == nil {
+		return
+	}
+	key, ok := ObjectKey(obj)
+	if !ok {
+		return
+	}
+	// Facts are filed under the pass's own package path so that the
+	// test-augmented variant of a package (checked under the same import
+	// path) lands on the same keys as the plain variant.
+	if err := p.Facts.export(p.Pkg.Path(), key, f); err != nil {
+		p.report(Diagnostic{Analyzer: p.Analyzer.Name, Message: err.Error()})
+	}
+}
+
+// ImportObjectFact fills f with the fact of f's type previously
+// exported about obj, reporting whether one exists. It works for
+// objects of the current package and of its (transitive) dependencies.
+func (p *Pass) ImportObjectFact(obj types.Object, f Fact) bool {
+	if p.Facts == nil || obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	key, ok := ObjectKey(obj)
+	if !ok {
+		return false
+	}
+	return p.Facts.lookup(obj.Pkg().Path(), key, f)
+}

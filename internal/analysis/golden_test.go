@@ -144,6 +144,7 @@ func TestGolden(t *testing.T) {
 		{"errchecklite", analysis.ErrCheckLite},
 		{"floatcmp", analysis.FloatCmp},
 		{"metricname", analysis.MetricName},
+		{"determinism", analysis.Determinism},
 		{"suppress", analysis.UnitSafety},
 	}
 	for _, c := range cases {
@@ -170,21 +171,21 @@ func TestIgnoreMissingReason(t *testing.T) {
 	}
 }
 
-// TestRunOnRealRepo loads the repository itself and asserts the committed
-// tree is clean — the same gate verify.sh applies in CI.
+// TestRunOnRealRepo analyzes the repository itself — test files included,
+// cache disabled — and asserts the committed tree is clean: the same gate
+// verify.sh applies in CI.
 func TestRunOnRealRepo(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checking the whole module is not short-mode work")
 	}
-	loader := analysis.NewLoader()
-	pkgs, err := loader.Load("", "ecocapsule/...")
+	diags, stats, err := analysis.Run(analysis.Options{IncludeTests: true}, "ecocapsule/...")
 	if err != nil {
-		t.Fatalf("loading module packages: %v", err)
+		t.Fatalf("running analyzers over the module: %v", err)
 	}
-	if len(pkgs) == 0 {
-		t.Fatal("loaded no packages")
+	if stats.Targets == 0 {
+		t.Fatal("matched no packages")
 	}
-	if diags := analysis.RunAnalyzers(pkgs, analysis.All()); len(diags) > 0 {
+	if len(diags) > 0 {
 		t.Errorf("committed tree has %d findings:\n%s", len(diags), diagList(diags))
 	}
 }

@@ -11,9 +11,11 @@ import (
 // guards nothing — two goroutines each lock their own copy and race on the
 // shared telemetry state behind it.
 var LockSafety = &Analyzer{
-	Name: "locksafety",
+	Name:    "locksafety",
+	Version: "2",
 	Doc: "detects sync.Mutex/sync.RWMutex copied by value through parameters, " +
-		"receivers, range variables or assignment",
+		"receivers, range variables or assignment, and locks still held on an " +
+		"early-return path (CFG dataflow)",
 	Run: runLockSafety,
 }
 
@@ -64,6 +66,7 @@ func runLockSafety(pass *Pass) {
 					checkFieldList(pass, n.Recv, "receiver")
 				}
 				checkFieldList(pass, n.Type.Params, "parameter")
+				checkLockBalance(pass, n)
 			case *ast.FuncLit:
 				checkFieldList(pass, n.Type.Params, "parameter")
 			case *ast.RangeStmt:

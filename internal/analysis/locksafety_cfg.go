@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"ecocapsule/internal/analysis/cfg"
+)
+
+// This file is the CFG-powered half of the locksafety analyzer: a
+// forward may-held dataflow over each function body that reports locks
+// still held when control reaches a return (the classic early-return
+// leak: `mu.Lock(); if err != nil { return err }; mu.Unlock()`).
+//
+// The lattice value is the set of held locks, keyed by the printed
+// receiver expression ("s.mu", with an R suffix for read locks). A
+// deferred unlock releases at the point the defer statement executes —
+// every exit after it is covered — and blocks that end in panic /
+// t.Fatal have no edge to the exit, so crash paths don't misfire.
+
+// heldSet maps lock key -> position of the acquiring Lock call
+// (earliest across joined paths, for stable messages).
+type heldSet map[string]token.Pos
+
+// lockOp classifies one statement's effect on the held set.
+type lockOp struct {
+	key     string
+	acquire bool
+}
+
+// syncLockMethod returns the lock key and operation for a call to a
+// sync.Mutex/sync.RWMutex method, or ok=false.
+func syncLockMethod(pass *Pass, call *ast.CallExpr) (lockOp, token.Pos, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, token.NoPos, false
+	}
+	fn, _ := pass.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockOp{}, token.NoPos, false
+	}
+	recv := types.ExprString(sel.X)
+	switch fn.Name() {
+	case "Lock":
+		return lockOp{key: recv, acquire: true}, call.Pos(), true
+	case "Unlock":
+		return lockOp{key: recv}, call.Pos(), true
+	case "RLock":
+		return lockOp{key: recv + " (read)", acquire: true}, call.Pos(), true
+	case "RUnlock":
+		return lockOp{key: recv + " (read)"}, call.Pos(), true
+	}
+	return lockOp{}, token.NoPos, false
+}
+
+// lockOpsIn collects the lock operations a CFG node performs, in
+// order. Function literals are skipped — they execute later, if at
+// all. A defer of an unlock (directly or via a literal body) counts as
+// a release from this point on: every subsequent exit runs it.
+func lockOpsIn(pass *Pass, n ast.Node) []lockOp {
+	var ops []lockOp
+	var walk func(ast.Node)
+	walk = func(root ast.Node) {
+		ast.Inspect(root, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.DeferStmt:
+				// defer mu.Unlock() or defer func(){ ...mu.Unlock()... }()
+				if op, _, ok := syncLockMethod(pass, x.Call); ok && !op.acquire {
+					ops = append(ops, op)
+				} else if lit, isLit := ast.Unparen(x.Call.Fun).(*ast.FuncLit); isLit {
+					ast.Inspect(lit.Body, func(y ast.Node) bool {
+						if call, isCall := y.(*ast.CallExpr); isCall {
+							if op, _, ok := syncLockMethod(pass, call); ok && !op.acquire {
+								ops = append(ops, op)
+							}
+						}
+						return true
+					})
+				}
+				return false
+			case *ast.CallExpr:
+				if op, _, ok := syncLockMethod(pass, x); ok {
+					ops = append(ops, op)
+				}
+			}
+			return true
+		})
+	}
+	walk(n)
+	return ops
+}
+
+// checkLockBalance runs the early-return dataflow on one function.
+func checkLockBalance(pass *Pass, fn *ast.FuncDecl) {
+	if fn.Body == nil {
+		return
+	}
+	// Cheap pre-filter: no Lock/RLock call, nothing to do.
+	hasAcquire := false
+	ast.Inspect(fn.Body, func(x ast.Node) bool {
+		if call, ok := x.(*ast.CallExpr); ok {
+			if op, _, ok := syncLockMethod(pass, call); ok && op.acquire {
+				hasAcquire = true
+			}
+		}
+		return !hasAcquire
+	})
+	if !hasAcquire {
+		return
+	}
+
+	g := cfg.New(fn.Body)
+	flow := cfg.Flow[heldSet]{
+		Entry: func() heldSet { return heldSet{} },
+		Copy: func(h heldSet) heldSet {
+			out := make(heldSet, len(h))
+			for k, v := range h {
+				out[k] = v
+			}
+			return out
+		},
+		Join: func(dst, src heldSet) (heldSet, bool) {
+			changed := false
+			for k, pos := range src {
+				if prev, ok := dst[k]; !ok || pos < prev {
+					dst[k] = pos
+					changed = true
+				}
+			}
+			return dst, changed
+		},
+		Transfer: func(b *cfg.Block, in heldSet) heldSet {
+			out := make(heldSet, len(in))
+			for k, v := range in {
+				out[k] = v
+			}
+			for _, n := range b.Nodes {
+				ops := lockOpsIn(pass, n)
+				var pos token.Pos
+				if len(ops) > 0 {
+					pos = n.Pos()
+				}
+				for _, op := range ops {
+					if op.acquire {
+						if _, held := out[op.key]; !held {
+							out[op.key] = pos
+						}
+					} else {
+						delete(out, op.key)
+					}
+				}
+			}
+			return out
+		},
+	}
+	res := cfg.Forward(g, flow)
+
+	// A block with an edge to Exit is a returning path; report every
+	// lock still held when it hands control back.
+	reported := make(map[string]bool) // key+return line, to dedupe joins
+	for _, b := range g.Reachable() {
+		exits := false
+		for _, s := range b.Succs {
+			if s == g.Exit {
+				exits = true
+			}
+		}
+		if !exits {
+			continue
+		}
+		held := res.Out[b]
+		if len(held) == 0 {
+			continue
+		}
+		retPos := returnPosOf(b, fn)
+		keys := make([]string, 0, len(held))
+		for k := range held {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			lockLine := pass.Fset.Position(held[k]).Line
+			id := fmt.Sprintf("%s@%d", k, pass.Fset.Position(retPos).Line)
+			if reported[id] {
+				continue
+			}
+			reported[id] = true
+			pass.Reportf(retPos, "%s locked at line %d is still held on this return path (missing Unlock or defer)",
+				describeLock(k), lockLine)
+		}
+	}
+}
+
+// returnPosOf finds the position to report for an exiting block: its
+// return statement if present, else the function's closing brace
+// (fall-off-the-end exit).
+func returnPosOf(b *cfg.Block, fn *ast.FuncDecl) token.Pos {
+	for i := len(b.Nodes) - 1; i >= 0; i-- {
+		if ret, ok := b.Nodes[i].(*ast.ReturnStmt); ok {
+			return ret.Pos()
+		}
+	}
+	return fn.Body.Rbrace
+}
+
+func describeLock(key string) string {
+	if strings.HasSuffix(key, " (read)") {
+		return strings.TrimSuffix(key, " (read)") + ".RLock()"
+	}
+	return key + ".Lock()"
+}

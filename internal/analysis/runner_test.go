@@ -1,0 +1,252 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ecocapsule/internal/analysis"
+)
+
+// writeModule materialises a throwaway Go module for driver tests:
+//
+//	clock    — helper package reading the wall clock (taint source)
+//	sim      — //ecolint:deterministic, calls clock.Stamp through an import
+//	geometry — exact float comparison, plus one more in its _test.go file
+//	           (named for the floatcmp analyzer's package scope)
+//
+// The cross-package edge (sim → clock) exercises the facts layer and its
+// cache round-trip; the _test.go file exercises test-unit loading.
+func writeModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module cachemod\n\ngo 1.21\n",
+		"clock/clock.go": `package clock
+
+import "time"
+
+// Stamp reads the wall clock.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Pure is untainted.
+func Pure(x int64) int64 { return x + 1 }
+`,
+		"sim/sim.go": `// Package sim is a deterministic stage.
+package sim
+
+//ecolint:deterministic
+
+import "cachemod/clock"
+
+// Tainted reaches time.Now through the clock helper.
+func Tainted() int64 { return clock.Stamp() }
+
+// Clean stays inside deterministic code.
+func Clean() int64 { return clock.Pure(41) }
+`,
+		"geometry/geometry.go": `package geometry
+
+// Eq compares floats exactly.
+func Eq(a, b float64) bool { return a == b }
+`,
+		"geometry/geometry_test.go": `package geometry
+
+import "testing"
+
+func TestEq(t *testing.T) {
+	x, y := 0.1+0.2, 0.3
+	if x == y {
+		t.Log("equal")
+	}
+	_ = Eq(x, y)
+}
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// suite is the analyzer subset the driver tests run: one facts-using
+// analyzer (cross-package taint) and one purely local analyzer.
+func suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{analysis.Determinism, analysis.FloatCmp}
+}
+
+func formatDiags(diags []analysis.Diagnostic) string {
+	var b strings.Builder
+	analysis.FormatText(&b, diags)
+	return b.String()
+}
+
+func TestCacheLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go list and type-checks stdlib deps")
+	}
+	dir := writeModule(t)
+	opts := analysis.Options{
+		Dir:          dir,
+		Analyzers:    suite(),
+		IncludeTests: true,
+		CacheDir:     filepath.Join(dir, ".ecolint-cache"),
+	}
+
+	// Cold: every target misses and gets checked.
+	cold, stats, err := analysis.Run(opts, "./...")
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if stats.Targets != 3 {
+		t.Fatalf("targets = %d, want 3", stats.Targets)
+	}
+	if stats.CacheHits != 0 || stats.CacheMisses != 3 {
+		t.Errorf("cold run: hits=%d misses=%d, want 0/3", stats.CacheHits, stats.CacheMisses)
+	}
+	if stats.UnitsChecked == 0 {
+		t.Error("cold run checked no units")
+	}
+	out := formatDiags(cold)
+	if !strings.Contains(out, "determinism") || !strings.Contains(out, "clock.Stamp") {
+		t.Errorf("cold run missing the cross-package determinism finding:\n%s", out)
+	}
+	if got := strings.Count(out, "floatcmp"); got != 2 {
+		t.Errorf("cold run has %d floatcmp findings, want 2 (one in geometry.go, one in geometry_test.go):\n%s", got, out)
+	}
+
+	// Warm: all hits, nothing checked, byte-identical output.
+	warm, stats2, err := analysis.Run(opts, "./...")
+	if err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if stats2.CacheHits != 3 || stats2.CacheMisses != 0 {
+		t.Errorf("warm run: hits=%d misses=%d, want 3/0", stats2.CacheHits, stats2.CacheMisses)
+	}
+	if stats2.UnitsChecked != 0 {
+		t.Errorf("warm run checked %d units, want 0", stats2.UnitsChecked)
+	}
+	if w := formatDiags(warm); w != out {
+		t.Errorf("warm diagnostics differ from cold:\ncold:\n%s\nwarm:\n%s", out, w)
+	}
+
+	// Invalidation is transitive: editing clock re-analyzes clock AND sim
+	// (sim's key embeds clock's hash), while geometry still hits.
+	clockSrc := filepath.Join(dir, "clock", "clock.go")
+	src, err := os.ReadFile(clockSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := strings.Replace(string(src), "time.Now().UnixNano()", "time.Time{}.UnixNano()", 1)
+	if edited == string(src) {
+		t.Fatal("edit did not apply")
+	}
+	if err := os.WriteFile(clockSrc, []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fixed, stats3, err := analysis.Run(opts, "./...")
+	if err != nil {
+		t.Fatalf("post-edit run: %v", err)
+	}
+	if stats3.CacheHits != 1 || stats3.CacheMisses != 2 {
+		t.Errorf("post-edit run: hits=%d misses=%d, want 1/2 (geometry hits; clock and sim re-analyze)", stats3.CacheHits, stats3.CacheMisses)
+	}
+	fixedOut := formatDiags(fixed)
+	if strings.Contains(fixedOut, "determinism") {
+		t.Errorf("determinism finding survived removing the taint source:\n%s", fixedOut)
+	}
+	if got := strings.Count(fixedOut, "floatcmp"); got != 2 {
+		t.Errorf("floatcmp findings disturbed by an unrelated edit: got %d, want 2:\n%s", got, fixedOut)
+	}
+
+	// And the edited tree warms back up.
+	_, stats4, err := analysis.Run(opts, "./...")
+	if err != nil {
+		t.Fatalf("re-warm run: %v", err)
+	}
+	if stats4.CacheHits != 3 || stats4.UnitsChecked != 0 {
+		t.Errorf("re-warm run: hits=%d units=%d, want 3 hits / 0 units", stats4.CacheHits, stats4.UnitsChecked)
+	}
+
+	// Bumping an analyzer's version invalidates every entry: the
+	// fingerprint participates in each package's key.
+	bumped := *analysis.FloatCmp
+	bumped.Version = "version-bump-test"
+	bumpedOpts := opts
+	bumpedOpts.Analyzers = []*analysis.Analyzer{analysis.Determinism, &bumped}
+	_, stats5, err := analysis.Run(bumpedOpts, "./...")
+	if err != nil {
+		t.Fatalf("version-bump run: %v", err)
+	}
+	if stats5.CacheHits != 0 || stats5.CacheMisses != 3 {
+		t.Errorf("version-bump run: hits=%d misses=%d, want 0/3 (analyzer version must invalidate)", stats5.CacheHits, stats5.CacheMisses)
+	}
+}
+
+// TestParallelMatchesSequential asserts the parallel driver is
+// observationally deterministic: whatever the worker interleaving, the
+// ordered diagnostics are byte-identical to a fully sequential run. Run
+// under -race this also exercises the shared FileSet, the completed-types
+// map and the facts table from many goroutines at once.
+func TestParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go list and type-checks stdlib deps")
+	}
+	dir := writeModule(t)
+	base := analysis.Options{Dir: dir, Analyzers: suite(), IncludeTests: true}
+
+	seqOpts := base
+	seqOpts.Parallelism = 1
+	seq, _, err := analysis.Run(seqOpts, "./...")
+	if err != nil {
+		t.Fatalf("sequential run: %v", err)
+	}
+	want := formatDiags(seq)
+	if want == "" {
+		t.Fatal("sequential run found nothing; fixture is broken")
+	}
+
+	parOpts := base
+	parOpts.Parallelism = 8
+	for i := 0; i < 3; i++ {
+		par, _, err := analysis.Run(parOpts, "./...")
+		if err != nil {
+			t.Fatalf("parallel run %d: %v", i, err)
+		}
+		if got := formatDiags(par); got != want {
+			t.Errorf("parallel run %d diverged from sequential:\nsequential:\n%s\nparallel:\n%s", i, want, got)
+		}
+	}
+}
+
+// TestCacheDisabled verifies -cache=false semantics: no directory is
+// created and every run re-checks.
+func TestCacheDisabled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go list and type-checks stdlib deps")
+	}
+	dir := writeModule(t)
+	opts := analysis.Options{Dir: dir, Analyzers: suite(), IncludeTests: true}
+	for i := 0; i < 2; i++ {
+		_, stats, err := analysis.Run(opts, "./...")
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if stats.CacheHits != 0 || stats.CacheMisses != 3 {
+			t.Errorf("run %d: hits=%d misses=%d, want 0/3 without a cache", i, stats.CacheHits, stats.CacheMisses)
+		}
+		if stats.UnitsChecked == 0 {
+			t.Errorf("run %d checked nothing", i)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".ecolint-cache")); !os.IsNotExist(err) {
+		t.Error("cache directory created despite cache being disabled")
+	}
+}

@@ -1,0 +1,41 @@
+// Package clockdep is a plain helper package — NOT marked
+// //ecolint:deterministic — so nothing in it is reported directly. Its
+// job is to export NondetFacts that the marked parent package trips
+// over: WallClock reaches time.Now, Jittered reaches the global
+// math/rand source, and DoubleHop reaches time.Now through WallClock,
+// proving taint propagates through two intra-package hops before
+// crossing the package boundary.
+package clockdep
+
+import (
+	"math/rand"
+	"time"
+)
+
+// WallClock reads the wall clock; callers in deterministic packages
+// must be flagged.
+func WallClock() int64 {
+	return time.Now().UnixNano()
+}
+
+// DoubleHop is tainted transitively: DoubleHop -> WallClock -> time.Now.
+func DoubleHop() int64 {
+	return WallClock() + 1
+}
+
+// Jittered uses the process-global rand source.
+func Jittered(base int) int {
+	return base + rand.Intn(10)
+}
+
+// Seeded is deterministic: the caller controls the seed, and methods on
+// a seeded *rand.Rand are not flagged.
+func Seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(100)
+}
+
+// Elapsed is deterministic: pure duration arithmetic on its inputs.
+func Elapsed(a, b time.Time) time.Duration {
+	return b.Sub(a)
+}

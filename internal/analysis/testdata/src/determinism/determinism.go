@@ -1,0 +1,116 @@
+// Package determinism is the golden fixture for the determinism
+// analyzer: it is marked deterministic, so every call path reaching a
+// nondeterminism source must be flagged, and every seeded / sorted /
+// suppressed variant must stay quiet.
+//
+//ecolint:deterministic
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"determinism/clockdep"
+)
+
+// --- positive cases -------------------------------------------------
+
+// StampNow calls the wall clock directly.
+func StampNow() int64 {
+	return time.Now().UnixNano() // want `nondeterministic call to time.Now in a deterministic package`
+}
+
+// Age uses time.Since (wall clock behind a convenience wrapper).
+func Age(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `nondeterministic call to time.Since in a deterministic package`
+}
+
+// Roll uses the process-global math/rand source.
+func Roll() int {
+	return rand.Intn(6) // want `nondeterministic call to math/rand.Intn \(process-global source\) in a deterministic package`
+}
+
+// DumpGrades writes map entries in iteration order — the classic
+// map-ordered-output bug that breaks golden-file comparison.
+func DumpGrades(w *strings.Builder, grades map[string]int) {
+	for name, g := range grades {
+		fmt.Fprintf(w, "%s=%d\n", name, g) // want `nondeterministic call to map iteration order \(range writes to an output sink\) in a deterministic package`
+	}
+}
+
+// localHelper is tainted directly; throughHelper must be flagged at its
+// call site (same-package transitive propagation).
+func localHelper() int64 {
+	return time.Now().Unix() // want `nondeterministic call to time.Now in a deterministic package`
+}
+
+func throughHelper() int64 {
+	return localHelper() // want `call to localHelper, which transitively reaches time.Now, in a deterministic package`
+}
+
+// CrossPackage calls into an unmarked helper package; the taint arrives
+// via the exported NondetFact, not by re-walking clockdep.
+func CrossPackage() int64 {
+	return clockdep.WallClock() // want `call to clockdep.WallClock, which transitively reaches time.Now, in a deterministic package`
+}
+
+// CrossPackageDeep goes through two hops inside the helper package.
+func CrossPackageDeep() int64 {
+	return clockdep.DoubleHop() // want `call to clockdep.DoubleHop, which transitively reaches time.Now, in a deterministic package`
+}
+
+// JitterySlot picks up the global-rand taint across the boundary.
+func JitterySlot(base int) int {
+	return clockdep.Jittered(base) // want `call to clockdep.Jittered, which transitively reaches math/rand.Intn \(process-global source\), in a deterministic package`
+}
+
+// ClosureTaint builds a closure around the wall clock; the enclosing
+// function is charged with the source even though the literal runs
+// later.
+func ClosureTaint() func() int64 {
+	return func() int64 {
+		return time.Now().UnixNano() // want `nondeterministic call to time.Now in a deterministic package`
+	}
+}
+
+// --- negative cases -------------------------------------------------
+
+// SeededRoll drives a caller-seeded source: methods on *rand.Rand are
+// deterministic by construction.
+func SeededRoll(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}
+
+// SortedDump collects, sorts, then writes — the approved pattern for
+// emitting map contents.
+func SortedDump(w *strings.Builder, grades map[string]int) {
+	names := make([]string, 0, len(grades))
+	for name := range grades {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%s=%d\n", name, grades[name])
+	}
+}
+
+// CrossPackageClean calls only deterministic helpers.
+func CrossPackageClean(seed int64) int {
+	return clockdep.Seeded(seed)
+}
+
+// PureTimeMath does duration arithmetic on inputs — no clock read.
+func PureTimeMath(t0 time.Time) time.Time {
+	return t0.Add(3 * time.Second)
+}
+
+// SuppressedStamp documents a deliberate wall-clock read; the reasoned
+// directive keeps it out of the report.
+func SuppressedStamp() int64 {
+	//ecolint:ignore determinism operator-facing log line, never compared to goldens
+	return time.Now().UnixNano()
+}

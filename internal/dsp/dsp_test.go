@@ -5,6 +5,8 @@ import (
 	"math/cmplx"
 	"testing"
 	"testing/quick"
+
+	"ecocapsule/internal/units"
 )
 
 func sine(n int, fs, f, amp float64) []float64 {
@@ -90,6 +92,7 @@ func TestFFTParseval(t *testing.T) {
 		freqE += real(v)*real(v) + imag(v)*imag(v)
 	}
 	freqE /= float64(n)
+	//ecolint:ignore unitsafety timeE and freqE are both energies (Parseval); the time/freq prefixes name domains, not dimensions
 	if math.Abs(timeE-freqE)/timeE > 1e-9 {
 		t.Errorf("Parseval violated: time %g freq %g", timeE, freqE)
 	}
@@ -114,7 +117,7 @@ func TestNextPow2(t *testing.T) {
 }
 
 func TestSpectrumFindsTone(t *testing.T) {
-	fs := 1e6
+	fs := units.MHz
 	f0 := 230e3
 	x := sine(4096, fs, f0, 1.0)
 	freqs, mags := Spectrum(x, fs)
@@ -140,7 +143,7 @@ func TestSpectrumEmpty(t *testing.T) {
 }
 
 func TestGoertzelMatchesTone(t *testing.T) {
-	fs := 1e6
+	fs := units.MHz
 	x := sine(1000, fs, 230e3, 2.0)
 	pOn := Goertzel(x, fs, 230e3)
 	pOff := Goertzel(x, fs, 180e3)
@@ -157,7 +160,7 @@ func TestGoertzelMatchesTone(t *testing.T) {
 }
 
 func TestPeakFrequency(t *testing.T) {
-	fs := 1e6
+	fs := units.MHz
 	x := sine(8192, fs, 232e3, 1)
 	got := PeakFrequency(x, fs, 200e3, 260e3)
 	if math.Abs(got-232e3) > 300 {
@@ -170,7 +173,7 @@ func TestPeakFrequency(t *testing.T) {
 }
 
 func TestFIRLowPassResponse(t *testing.T) {
-	fs, fc := 1e6, 50e3
+	fs, fc := units.MHz, 50e3
 	h := FIRLowPass(fs, fc, 101)
 	// DC gain = 1.
 	var dc float64
@@ -201,7 +204,7 @@ func TestFIRLowPassOddTaps(t *testing.T) {
 }
 
 func TestFIRBandPass(t *testing.T) {
-	fs := 1e6
+	fs := units.MHz
 	h := FIRBandPass(fs, 200e3, 260e3, 201)
 	in := Convolve(sine(4000, fs, 230e3, 1), h)
 	below := Convolve(sine(4000, fs, 50e3, 1), h)
@@ -278,7 +281,7 @@ func TestMovingAverage(t *testing.T) {
 }
 
 func TestEnvelopeTracksAmplitude(t *testing.T) {
-	fs := 1e6
+	fs := units.MHz
 	// AM: carrier at 230 kHz switching amplitude 1 → 0.2.
 	n := 4000
 	x := make([]float64, n)
@@ -328,7 +331,7 @@ func TestDecimate(t *testing.T) {
 }
 
 func TestDownConvertRecoversBaseband(t *testing.T) {
-	fs := 1e6
+	fs := units.MHz
 	fc := 230e3
 	n := 8000
 	// OOK: carrier on for first half, off for second.
@@ -402,7 +405,7 @@ func TestNoiseStatistics(t *testing.T) {
 }
 
 func TestSigmaForSNRAndMeasureSNR(t *testing.T) {
-	fs := 1e6
+	fs := units.MHz
 	x := sine(20000, fs, 100e3, 1)
 	for _, snr := range []float64{0, 5, 10, 20} {
 		sigma := SigmaForSNR(RMS(x), snr)

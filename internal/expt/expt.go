@@ -7,6 +7,8 @@
 // a testing.B benchmark.
 package expt
 
+//ecolint:deterministic
+
 import (
 	"fmt"
 	"sort"

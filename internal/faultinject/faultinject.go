@@ -12,6 +12,8 @@
 // plan and seed reproduce the same failures byte for byte.
 package faultinject
 
+//ecolint:deterministic
+
 import (
 	"fmt"
 	"math/rand"

@@ -14,6 +14,8 @@
 // operating regime of an embedded SHM deployment, not an exception.
 package fleet
 
+//ecolint:deterministic
+
 import (
 	"errors"
 	"fmt"

@@ -169,7 +169,7 @@ func TestDilutionOfPrecision(t *testing.T) {
 }
 
 func TestMeasurementRange(t *testing.T) {
-	m := Measurement{Delay: 1e-3, Speed: 2000}
+	m := Measurement{Delay: units.MS, Speed: 2000}
 	if m.Range() != 2 {
 		t.Errorf("range %g, want 2 m", m.Range())
 	}

@@ -6,6 +6,8 @@
 // downlink packets and collects its backscattered uplink frames.
 package node
 
+//ecolint:deterministic
+
 import (
 	"errors"
 	"fmt"

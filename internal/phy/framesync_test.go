@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ecocapsule/internal/dsp"
+	"ecocapsule/internal/units"
 	"ecocapsule/internal/waveform"
 )
 
@@ -16,14 +17,14 @@ func buildCapture(t *testing.T, payload []byte, leadMS float64, noiseSigma float
 	btx := NewBackscatterTX(fs)
 	bits := PrependPilot(payload)
 	frameDur := float64(len(bits)) / btx.Bitrate
-	total := leadMS*1e-3 + frameDur + 2e-3
+	total := leadMS*units.MS + frameDur + 2e-3
 	carrier := syn.CBW(230e3, 1.0, total)
 	bs, err := btx.Modulate(bits, syn.CBW(230e3, 1.0, frameDur+1e-3))
 	if err != nil {
 		t.Fatal(err)
 	}
 	rx := make([]float64, len(carrier))
-	lead := syn.Samples(leadMS * 1e-3)
+	lead := syn.Samples(leadMS * units.MS)
 	for i := range rx {
 		rx[i] = 0.4 * carrier[i]
 		if j := i - lead; j >= 0 && j < len(bs) {

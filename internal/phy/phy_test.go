@@ -14,7 +14,7 @@ import (
 	"ecocapsule/internal/waveform"
 )
 
-const fs = 1e6
+const fs = units.MHz
 
 func TestDownlinkFSKEndToEnd(t *testing.T) {
 	// Reader modulates PIE-over-FSK → concrete suppresses the low tone →

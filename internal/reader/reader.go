@@ -5,6 +5,8 @@
 // queries the capsules embedded in a structure.
 package reader
 
+//ecolint:deterministic
+
 import (
 	"errors"
 	"fmt"

@@ -6,6 +6,8 @@
 // health levels.
 package shm
 
+//ecolint:deterministic
+
 import (
 	"errors"
 	"fmt"

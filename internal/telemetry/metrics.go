@@ -10,6 +10,8 @@
 // package-level vars rather than looking families up per event.
 package telemetry
 
+//ecolint:deterministic
+
 import (
 	"fmt"
 	"math"

@@ -7,9 +7,10 @@ import (
 
 	"ecocapsule/internal/coding"
 	"ecocapsule/internal/dsp"
+	"ecocapsule/internal/units"
 )
 
-const fs = 1e6 // 1 MS/s, the evaluation's oscilloscope rate
+const fs = units.MHz // 1 MS/s, the evaluation's oscilloscope rate
 
 func TestSamples(t *testing.T) {
 	s := NewSynth(fs)

@@ -2,10 +2,16 @@
 # Tier-1 verification gate for the EcoCapsule repository.
 #
 # Runs the full correctness stack: compile, go vet, the domain-aware
-# ecolint static-analysis suite (internal/analysis), the tests under the
-# race detector, and a short fuzzing smoke pass over the untrusted-input
-# decoders. CI and pre-merge checks should invoke this script; every step
-# must pass.
+# ecolint static-analysis suite (internal/analysis) over the whole module
+# including _test.go files, the tests under the race detector, and a short
+# fuzzing smoke pass over the untrusted-input decoders. CI and pre-merge
+# checks should invoke this script; every step must pass.
+#
+# ecolint runs twice against a fresh result cache: the second (warm) run
+# must come back from .ecolint-cache/ at least 3x faster than the cold
+# run, which gates the cache actually working, not just existing.
+#
+# Each stage reports its wall-clock seconds as "[stage NNs]".
 #
 # Usage:
 #   ./verify.sh          full gate (including the fuzz smoke)
@@ -18,30 +24,70 @@ if [ "${1:-}" = "-short" ]; then
 	SHORT=1
 fi
 
-echo "== go build ./..."
+# now_ms: monotonic-enough wall clock in milliseconds (portable sh).
+now_ms() {
+	date +%s%3N 2>/dev/null | grep -q N && date +%s000 || date +%s%3N
+}
+
+STAGE_T0=0
+stage() {
+	STAGE_T0="$(now_ms)"
+	echo "== $*"
+}
+stage_done() {
+	_t1="$(now_ms)"
+	_dt=$(( _t1 - STAGE_T0 ))
+	echo "   [stage $(( _dt / 1000 )).$(printf %03d $(( _dt % 1000 )))s]"
+}
+
+stage "go build ./..."
 go build ./...
+stage_done
 
-echo "== go vet ./..."
+stage "go vet ./..."
 go vet ./...
+stage_done
 
-echo "== ecolint ./..."
-go run ./cmd/ecolint ./...
+# ecolint over everything, test files included, against a fresh cache.
+# The full analyzer suite (determinism and the CFG lock checks included)
+# gates the tree; any finding fails the build.
+ECOLINT_CACHE=".ecolint-cache"
+stage "ecolint -include-tests ./... (cold cache)"
+rm -rf "$ECOLINT_CACHE"
+go build -o /tmp/ecolint.verify ./cmd/ecolint
+COLD_T0="$(now_ms)"
+/tmp/ecolint.verify -include-tests -cache-dir "$ECOLINT_CACHE" ./...
+COLD_MS=$(( $(now_ms) - COLD_T0 ))
+stage_done
+
+stage "ecolint -include-tests ./... (warm cache)"
+WARM_T0="$(now_ms)"
+/tmp/ecolint.verify -include-tests -cache-dir "$ECOLINT_CACHE" ./...
+WARM_MS=$(( $(now_ms) - WARM_T0 ))
+stage_done
+echo "   cold ${COLD_MS}ms, warm ${WARM_MS}ms"
+if [ $(( WARM_MS * 3 )) -gt "$COLD_MS" ]; then
+	echo "verify.sh: warm ecolint run (${WARM_MS}ms) is not >=3x faster than cold (${COLD_MS}ms); result cache is broken"
+	exit 1
+fi
 
 if [ "$SHORT" = 1 ]; then
-	echo "== go test -short ./..."
+	stage "go test -short ./..."
 	go test -short ./...
+	stage_done
 	echo "verify.sh: short gates passed (fuzz smoke and race detector skipped)"
 	exit 0
 fi
 
-echo "== go test -race ./..."
+stage "go test -race ./..."
 go test -race ./...
+stage_done
 
 # Telemetry smoke: boot shmserver with the metrics endpoint on an
 # ephemeral port, scrape /metrics and /healthz once, and require a healthy
 # spread of metric families (the self-test survey populates reader, fleet,
 # shmwire and faultinject series before the first scrape).
-echo "== telemetry smoke (/metrics + /healthz)"
+stage "telemetry smoke (/metrics + /healthz)"
 SMOKE_DIR="$(mktemp -d)"
 cleanup_smoke() {
 	[ -n "${SMOKE_PID:-}" ] && kill "$SMOKE_PID" 2>/dev/null || true
@@ -79,15 +125,17 @@ if ! curl -sf "$TELEMETRY_URL/healthz" | grep -q '"status"'; then
 fi
 cleanup_smoke
 echo "   $FAMILIES metric families exposed; /healthz healthy"
+stage_done
 
 # Fuzz smoke: each decoder target fuzzes for a few seconds. Any panic or
 # property violation fails the gate; new corpus findings are kept by go
 # test under the package's testdata/fuzz directory.
 FUZZTIME="${FUZZTIME:-5s}"
-echo "== fuzz smoke (${FUZZTIME} per target)"
+stage "fuzz smoke (${FUZZTIME} per target)"
 go test -run='^$' -fuzz='^FuzzDecodeFM0$' -fuzztime="$FUZZTIME" ./internal/coding
 go test -run='^$' -fuzz='^FuzzDecodeMiller$' -fuzztime="$FUZZTIME" ./internal/coding
 go test -run='^$' -fuzz='^FuzzDecodePIE$' -fuzztime="$FUZZTIME" ./internal/coding
 go test -run='^$' -fuzz='^FuzzReadFrame$' -fuzztime="$FUZZTIME" ./internal/shmwire
+stage_done
 
 echo "verify.sh: all gates passed"
