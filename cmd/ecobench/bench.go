@@ -1,0 +1,186 @@
+package main
+
+// The -json bench mode: three micro-benchmarks over the stack's hot paths,
+// emitted as machine-readable JSON so CI can pin performance the way the
+// golden files pin behaviour. The committed BENCH_5.json at the repository
+// root is the reference; verify.sh re-runs the suite and fails the gate
+// when the channel transmit regresses more than the tolerance against it.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+
+	"ecocapsule/internal/channel"
+	"ecocapsule/internal/fleet"
+	"ecocapsule/internal/geometry"
+	"ecocapsule/internal/phy"
+	"ecocapsule/internal/units"
+)
+
+// benchEntry is one benchmark's result.
+type benchEntry struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+	Iters   int     `json:"iters"`
+}
+
+// benchReport is the BENCH_5.json document.
+type benchReport struct {
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+}
+
+// The bench names double as the baseline-comparison keys.
+const (
+	benchTransmit = "channel_transmit_10ms"
+	benchDecode   = "uplink_round_decode"
+	benchSurvey   = "fleet_survey"
+)
+
+// transmitRegressionTolerance is how much slower than the committed
+// baseline the channel transmit may measure before the gate fails; the
+// slack absorbs host-to-host jitter without letting a real regression
+// (the crossover picking the wrong convolution path, say) slide through.
+const transmitRegressionTolerance = 1.20
+
+func runBench(result *testing.BenchmarkResult, fn func(b *testing.B)) benchEntry {
+	*result = testing.Benchmark(fn)
+	return benchEntry{NsPerOp: float64(result.NsPerOp()), Iters: result.N}
+}
+
+// runBenchSuite measures the three hot paths and assembles the report.
+func runBenchSuite() (benchReport, error) {
+	rep := benchReport{GoMaxProcs: runtime.GOMAXPROCS(0)}
+
+	// Hot path 1: 10 ms of carrier through the multipath wall channel —
+	// the kernel under every acoustic exchange (FFT overlap-add engine).
+	ch, err := channel.New(channel.Config{
+		Structure:   geometry.CommonWall(),
+		Source:      geometry.Vec3{X: 0.1, Y: 10, Z: 0},
+		Destination: geometry.Vec3{X: 2.0, Y: 10, Z: 0.1},
+		PrismAngle:  units.Deg2Rad(60),
+		Seed:        5,
+	})
+	if err != nil {
+		return rep, fmt.Errorf("bench channel: %w", err)
+	}
+	const fs = units.MHz
+	x := make([]float64, int(10*units.MS*fs))
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 230 * units.KHz * float64(i) / fs)
+	}
+	var r testing.BenchmarkResult
+	e := runBench(&r, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if out := ch.Transmit(x); len(out) < len(x) {
+				b.Fatal("short transmit")
+			}
+		}
+	})
+	e.Name = benchTransmit
+	rep.Benchmarks = append(rep.Benchmarks, e)
+
+	// Hot path 2: one uplink frame round decode — modulate a pilot-framed
+	// byte over the backscatter carrier, then sync + ML-demodulate it.
+	btx := phy.NewBackscatterTX(fs)
+	bits := phy.PrependPilot([]byte{1, 0, 1, 1, 0, 0, 1, 0, 1, 0, 1, 1, 0, 0, 1, 0})
+	dur := float64(len(bits)*2)*btx.HalfSymbolDuration() + 2*units.MS
+	carrier := make([]float64, int(dur*fs))
+	for i := range carrier {
+		carrier[i] = math.Sin(2 * math.Pi * 230 * units.KHz * float64(i) / fs)
+	}
+	bs, err := btx.Modulate(bits, carrier)
+	if err != nil {
+		return rep, fmt.Errorf("bench modulate: %w", err)
+	}
+	capture := ch.Transmit(bs)
+	rx := phy.NewReaderRX(fs)
+	if _, err := rx.DemodulateFrame(capture, len(bits)); err != nil {
+		return rep, fmt.Errorf("bench decode sanity: %w", err)
+	}
+	e = runBench(&r, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rx.DemodulateFrame(capture, len(bits)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	e.Name = benchDecode
+	rep.Benchmarks = append(rep.Benchmarks, e)
+
+	// Hot path 3: the demo-fleet survey — charge, inventory-grade reads
+	// and report over 3 stations × 12 capsules (per-station fan-out).
+	f, _, err := fleet.NewDemoFleet(fleet.DemoSeed)
+	if err != nil {
+		return rep, fmt.Errorf("bench fleet: %w", err)
+	}
+	e = runBench(&r, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if rep := f.Survey(0.4); rep.Reporting == 0 {
+				b.Fatal("survey reported nothing")
+			}
+		}
+	})
+	e.Name = benchSurvey
+	rep.Benchmarks = append(rep.Benchmarks, e)
+
+	return rep, nil
+}
+
+// nsPerOp finds a benchmark in a report (-1 when absent).
+func (rep benchReport) nsPerOp(name string) float64 {
+	for _, b := range rep.Benchmarks {
+		if b.Name == name {
+			return b.NsPerOp
+		}
+	}
+	return -1
+}
+
+// benchMain runs the suite, writes JSON to stdout and, when baselinePath
+// names a committed report, enforces the transmit regression gate.
+// Returns the process exit code.
+func benchMain(baselinePath string) int {
+	rep, err := runBenchSuite()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ecobench: %v\n", err)
+		return 1
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ecobench: %v\n", err)
+		return 1
+	}
+	fmt.Println(string(out))
+	if baselinePath == "" {
+		return 0
+	}
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ecobench: baseline: %v\n", err)
+		return 1
+	}
+	var base benchReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "ecobench: baseline %s: %v\n", baselinePath, err)
+		return 1
+	}
+	want, got := base.nsPerOp(benchTransmit), rep.nsPerOp(benchTransmit)
+	if want <= 0 || got <= 0 {
+		fmt.Fprintf(os.Stderr, "ecobench: baseline or run missing %s\n", benchTransmit)
+		return 1
+	}
+	if got > want*transmitRegressionTolerance {
+		fmt.Fprintf(os.Stderr,
+			"ecobench: %s regressed: %.0f ns/op vs baseline %.0f ns/op (>%.0f%% over)\n",
+			benchTransmit, got, want, (transmitRegressionTolerance-1)*100)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "ecobench: %s %.0f ns/op within %.0f%% of baseline %.0f ns/op\n",
+		benchTransmit, got, (transmitRegressionTolerance-1)*100, want)
+	return 0
+}

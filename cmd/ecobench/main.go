@@ -8,6 +8,10 @@
 //	ecobench -run fig12    # run one experiment by id
 //	ecobench -list         # list experiment ids
 //	ecobench -out DIR      # also write one .txt report per experiment
+//	ecobench -json         # hot-path micro-benchmarks as JSON (BENCH_5.json)
+//	ecobench -json -baseline BENCH_5.json
+//	                       # same, and fail if the channel transmit ns/op
+//	                       # regressed >20% against the committed baseline
 package main
 
 import (
@@ -21,12 +25,18 @@ import (
 
 func main() {
 	var (
-		runID  = flag.String("run", "", "run a single experiment id (e.g. fig12)")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		outDir = flag.String("out", "", "directory to write per-experiment .txt reports")
-		csvDir = flag.String("csv", "", "directory to write per-experiment .csv data (tables + series)")
+		runID    = flag.String("run", "", "run a single experiment id (e.g. fig12)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		outDir   = flag.String("out", "", "directory to write per-experiment .txt reports")
+		csvDir   = flag.String("csv", "", "directory to write per-experiment .csv data (tables + series)")
+		jsonOut  = flag.Bool("json", false, "run the hot-path micro-benchmarks and print BENCH JSON")
+		baseline = flag.String("baseline", "", "with -json: committed BENCH json to gate regressions against")
 	)
 	flag.Parse()
+
+	if *jsonOut {
+		os.Exit(benchMain(*baseline))
+	}
 
 	runners := expt.All()
 	if *list {

@@ -265,7 +265,7 @@ func TestIntegrationSensorChainMatchesEnvironment(t *testing.T) {
 	}
 	truth := sensors.Environment{StrainX: 210e-6, StrainY: -90e-6}
 	rd.SetEnvironment(func(geometry.Vec3) sensors.Environment { return truth })
-	n := node.New(node.Config{Handle: 0x0B, Position: geometry.Vec3{X: 0.9, Y: 10, Z: 0.1}, Seed: 11})
+	n := node.New(node.Config{Handle: 0x0B, Position: geometry.Vec3{X: 1.2, Y: 10, Z: 0.1}, Seed: 11})
 	if err := rd.Deploy(n); err != nil {
 		t.Fatal(err)
 	}

@@ -50,6 +50,14 @@ type Config struct {
 	MaxOrder int
 }
 
+// DefaultSelfInterferenceGain is the linear amplitude of the CBW carrier
+// coupling directly from the TX into the RX PZT when
+// Config.SelfInterferenceGain is left zero. §3.4/App. C measure the
+// leakage (surface waves + S-reflections) at roughly 10× the backscatter
+// power; at our unit-amplitude carrier normalisation that is ~0.4 in
+// amplitude, matching the reader's AcousticConfig.LeakageGain default.
+const DefaultSelfInterferenceGain = 0.4
+
 // Channel is a ready-to-use link simulator.
 type Channel struct {
 	cfg      Config
@@ -57,6 +65,7 @@ type Channel struct {
 	noise    *dsp.NoiseSource
 	resGain  float64 // material resonance gain at the carrier (0..1)
 	imp      Impairment
+	conv     *dsp.Convolver // tapped-delay line over arrivals (raw gains)
 }
 
 // Impairment is the injectable acoustic-fade hook. Each Transmit draws one
@@ -141,6 +150,7 @@ func New(cfg Config) (*Channel, error) {
 		noise:    dsp.NewNoiseSource(cfg.Seed),
 		resGain:  res,
 	}
+	c.rebuildConvolver()
 	mLinks.Inc()
 	mPathGain.Observe(c.PathGain())
 	return c, nil
@@ -193,15 +203,31 @@ func (c *Channel) PathGain() float64 {
 // DelaySpread returns the RMS delay spread of the response in seconds.
 func (c *Channel) DelaySpread() float64 { return geometry.DelaySpread(c.arrivals) }
 
+// rebuildConvolver snapshots the arrival list into the sparse FFT/direct
+// convolution engine. Tap offsets are rounded to the nearest sample, so an
+// arrival landing exactly on a sample boundary is placed there rather than
+// truncated a sample early, and the output length derived from the last tap
+// always covers the final arrival in full.
+func (c *Channel) rebuildConvolver() {
+	fs := c.cfg.SampleRate
+	offs := make([]int, len(c.arrivals))
+	gains := make([]float64, len(c.arrivals))
+	for i, a := range c.arrivals {
+		offs[i] = int(math.Round(a.Delay * fs))
+		gains[i] = a.Gain
+	}
+	c.conv = dsp.NewSparseConvolver(offs, gains)
+}
+
 // Transmit convolves x with the tapped-delay-line impulse response, applies
 // the resonance gain, and adds the configured noise floor. The output is
-// extended by the channel's maximum delay.
+// extended by the channel's maximum delay (rounded to the nearest sample),
+// so the final arrival is never truncated. Long inputs go through the
+// overlap-add FFT engine; short bursts stay on the direct sparse path.
 func (c *Channel) Transmit(x []float64) []float64 {
 	if len(x) == 0 {
 		return nil
 	}
-	fs := c.cfg.SampleRate
-	maxDelay := c.arrivals[len(c.arrivals)-1].Delay
 	fade := 1.0
 	if c.imp != nil {
 		fade = c.imp.Attenuate()
@@ -211,13 +237,11 @@ func (c *Channel) Transmit(x []float64) []float64 {
 		}
 	}
 	mTransmits.Inc()
-	out := make([]float64, len(x)+int(maxDelay*fs)+1)
-	for _, a := range c.arrivals {
-		off := int(a.Delay * fs)
-		g := a.Gain * c.resGain * fade
-		for i, v := range x {
-			out[i+off] += g * v
-		}
+	out := make([]float64, c.conv.OutLen(len(x)))
+	c.conv.ApplyTo(out, x)
+	s := c.resGain * fade
+	for i := range out {
+		out[i] *= s
 	}
 	if c.cfg.NoiseFloor > 0 {
 		c.noise.AddAWGN(out, c.cfg.NoiseFloor)
@@ -229,16 +253,31 @@ func (c *Channel) Transmit(x []float64) []float64 {
 // the node's backscatter travels through the channel while the raw carrier
 // couples directly into the RX at SelfInterferenceGain — the
 // self-interference that must be filtered in the spectrum (§3.4, App. C).
+// A zero SelfInterferenceGain means "unset" and falls back to
+// DefaultSelfInterferenceGain; pass a negative gain (or use
+// TransmitWithLeakageGain) to model a perfectly isolated RX.
 func (c *Channel) TransmitWithLeakage(backscatter, carrier []float64) []float64 {
-	y := c.Transmit(backscatter)
 	g := c.cfg.SelfInterferenceGain
 	if g == 0 {
-		g = 0
+		g = DefaultSelfInterferenceGain
 	}
-	for i := range y {
-		if i < len(carrier) {
-			y[i] += g * carrier[i]
-		}
+	return c.TransmitWithLeakageGain(backscatter, carrier, g)
+}
+
+// TransmitWithLeakageGain is TransmitWithLeakage with an explicit coupling
+// gain, overriding the channel configuration. Gains ≤ 0 disable the
+// leakage entirely.
+func (c *Channel) TransmitWithLeakageGain(backscatter, carrier []float64, g float64) []float64 {
+	y := c.Transmit(backscatter)
+	if g <= 0 {
+		return y
+	}
+	n := len(carrier)
+	if n > len(y) {
+		n = len(y)
+	}
+	for i := 0; i < n; i++ {
+		y[i] += g * carrier[i]
 	}
 	return y
 }

@@ -299,3 +299,108 @@ func TestPathGainMonotoneInAttenuationProperty(t *testing.T) {
 		prev = g
 	}
 }
+
+// TestZeroConfigLeakageNonZero is the ISSUE 5 regression for the
+// `if g == 0 { g = 0 }` no-op: a channel whose SelfInterferenceGain is left
+// at the zero value must still inject the default CBW leakage, so the
+// carrier dominates the received spectrum exactly as §3.4 demands.
+func TestZeroConfigLeakageNonZero(t *testing.T) {
+	ch, err := New(Config{
+		Structure:   geometry.CommonWall(),
+		Source:      geometry.Vec3{X: 0.1, Y: 10, Z: 0},
+		Destination: geometry.Vec3{X: 1.1, Y: 10, Z: 0.1},
+		PrismAngle:  units.Deg2Rad(60),
+		Seed:        2,
+		// SelfInterferenceGain deliberately left zero.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := 1 * units.MHz
+	syn := waveform.NewSynth(fs)
+	carrier := syn.CBW(230*units.KHz, 1, 4*units.MS)
+	bs := syn.SquareSubcarrier(230*units.KHz, 2*units.KHz, 0.05, 4*units.MS)
+	rx := ch.TransmitWithLeakage(bs, carrier)
+	iso := ch.TransmitWithLeakageGain(bs, carrier, -1)
+	// The leaked carrier must be present: the difference against the
+	// isolated capture is exactly DefaultSelfInterferenceGain × carrier.
+	var leakEnergy float64
+	for i := range carrier {
+		d := rx[i] - iso[i]
+		leakEnergy += d * d
+		want := DefaultSelfInterferenceGain * carrier[i]
+		if math.Abs(d-want) > 1e-12 {
+			t.Fatalf("sample %d: leakage contribution %g, want %g", i, d, want)
+		}
+	}
+	if leakEnergy == 0 {
+		t.Fatal("zero-config leakage is still a no-op")
+	}
+	// And it must dominate the spectrum at the carrier bin.
+	pCarrier := dsp.Goertzel(rx[:4000], fs, 230*units.KHz)
+	pSide := dsp.Goertzel(rx[:4000], fs, 232*units.KHz)
+	if pCarrier < 10*pSide {
+		t.Errorf("default leakage should dominate: carrier %g vs sideband %g", pCarrier, pSide)
+	}
+}
+
+// TestTransmitSampleBoundaryArrival pins the output-length/tap-offset
+// rounding: an arrival at exactly k samples of delay must land on index k
+// with its full gain and be covered by the output buffer, even when the
+// float product delay*fs dips just below the integer (the old truncating
+// arithmetic dropped or displaced it).
+func TestTransmitSampleBoundaryArrival(t *testing.T) {
+	fs := 1 * units.MHz
+	for _, k := range []int{1, 100, 123, 1234, 51234} {
+		c := &Channel{
+			cfg:      Config{SampleRate: fs},
+			arrivals: []geometry.Arrival{{Delay: float64(k) / fs, Gain: 0.5}},
+			noise:    dsp.NewNoiseSource(1),
+			resGain:  1,
+		}
+		c.rebuildConvolver()
+		out := c.Transmit([]float64{1})
+		if len(out) != k+1 {
+			t.Fatalf("k=%d: output length %d, want %d (arrival truncated)", k, len(out), k+1)
+		}
+		if math.Abs(out[k]-0.5) > 1e-12 {
+			t.Fatalf("k=%d: tap landed with gain %g at the boundary, want 0.5", k, out[k])
+		}
+		for i := 0; i < k; i++ {
+			if out[i] != 0 {
+				t.Fatalf("k=%d: spurious energy at sample %d (%g) — tap displaced early", k, i, out[i])
+			}
+		}
+	}
+}
+
+// TestTransmitMatchesArrivalLoop guards the convolver wiring: for a real
+// image-source channel the engine output must equal the reference
+// tapped-delay-line loop (rounded offsets, resonance gain applied) on both
+// sides of the FFT crossover.
+func TestTransmitMatchesArrivalLoop(t *testing.T) {
+	ch := wallChannel(t, 60, 1.0)
+	ch.cfg.NoiseFloor = 0 // deterministic comparison
+	fs := ch.cfg.SampleRate
+	src := dsp.NewNoiseSource(99)
+	for _, n := range []int{500, 60000} { // direct regime and FFT regime
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = src.Gaussian(1)
+		}
+		got := ch.Transmit(x)
+		want := make([]float64, len(got))
+		for _, a := range ch.Arrivals() {
+			off := int(math.Round(a.Delay * fs))
+			g := a.Gain * ch.ResonanceGain()
+			for i, v := range x {
+				want[i+off] += g * v
+			}
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("n=%d: sample %d differs by %g", n, i, got[i]-want[i])
+			}
+		}
+	}
+}

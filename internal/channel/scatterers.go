@@ -121,8 +121,10 @@ func (c *Channel) AddScatterers(objs []Scatterer) {
 			Shear:   shear,
 		})
 	}
-	// Keep the arrival list sorted by delay for Transmit.
+	// Keep the arrival list sorted by delay for Transmit, and refresh the
+	// convolution engine so the new taps take effect.
 	sortArrivals(c.arrivals)
+	c.rebuildConvolver()
 }
 
 func sortArrivals(a []geometry.Arrival) {

@@ -1,0 +1,51 @@
+// Package conc provides the bounded fork-join primitive the fleet and link
+// layers use to spread independent work items over the available cores.
+// Callers own determinism: workers pull indices from a shared atomic
+// counter, so fn must write results into per-index slots (never append to a
+// shared slice) and must not care about execution order. Merging those
+// slots afterwards in index order reproduces the serial result byte for
+// byte.
+package conc
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(i) for every i in [0, n), using up to min(n, GOMAXPROCS)
+// goroutines, and returns when all calls have finished. fn is responsible
+// for its own synchronisation on any shared state; the intended pattern is
+// one result slot per index. n <= 1 runs inline on the caller's goroutine,
+// so tight loops pay nothing for the generality.
+func For(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

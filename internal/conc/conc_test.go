@@ -1,0 +1,63 @@
+package conc
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForVisitsEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 64, 1000} {
+		visits := make([]atomic.Int32, n)
+		For(n, func(i int) { visits[i].Add(1) })
+		for i := range visits {
+			if got := visits[i].Load(); got != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, got)
+			}
+		}
+	}
+}
+
+func TestForNegativeCount(t *testing.T) {
+	called := false
+	For(-3, func(int) { called = true })
+	if called {
+		t.Error("fn must not run for negative n")
+	}
+}
+
+func TestForIndexedSlotsMatchSerial(t *testing.T) {
+	// The documented pattern: per-index result slots merged in order must
+	// reproduce the serial computation exactly.
+	const n = 500
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	got := make([]int, n)
+	For(n, func(i int) { got[i] = i * i })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slot %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestForBoundedWorkers(t *testing.T) {
+	// The pool must never run more than GOMAXPROCS goroutines at once.
+	limit := int32(runtime.GOMAXPROCS(0))
+	var inFlight, peak atomic.Int32
+	For(64, func(int) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		inFlight.Add(-1)
+	})
+	if peak.Load() > limit {
+		t.Errorf("peak concurrency %d exceeds GOMAXPROCS %d", peak.Load(), limit)
+	}
+}

@@ -1,0 +1,163 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+// naiveConvolve is the O(n·taps) reference both production paths are
+// checked against.
+func naiveConvolve(x []float64, offsets []int, gains []float64, outLen int) []float64 {
+	out := make([]float64, outLen)
+	for t, off := range offsets {
+		for i, v := range x {
+			out[i+off] += gains[t] * v
+		}
+	}
+	return out
+}
+
+// randomKernel draws a sparse kernel with the given tap count and span.
+func randomKernel(src *NoiseSource, taps, span int) ([]int, []float64) {
+	offs := make([]int, taps)
+	gains := make([]float64, taps)
+	for i := range offs {
+		offs[i] = src.Intn(span)
+		gains[i] = src.Gaussian(1)
+	}
+	return offs, gains
+}
+
+// TestConvolverEquivalenceProperty drives 1000 seeded cases through both
+// paths across three signal families — impulse, tone, Gaussian noise — and
+// requires FFT == direct within 1e-9 everywhere (the ISSUE 5 contract).
+func TestConvolverEquivalenceProperty(t *testing.T) {
+	const cases = 1000
+	src := NewNoiseSource(0xC04)
+	for cse := 0; cse < cases; cse++ {
+		n := 1 + src.Intn(2000)
+		taps := 1 + src.Intn(64)
+		span := 1 + src.Intn(4096)
+		offs, gains := randomKernel(src, taps, span)
+		x := make([]float64, n)
+		switch cse % 3 {
+		case 0: // impulse at a random position
+			x[src.Intn(n)] = 1
+		case 1: // unit tone
+			f := 0.01 + 0.4*src.Uniform()
+			for i := range x {
+				x[i] = math.Sin(2 * math.Pi * f * float64(i))
+			}
+		default: // Gaussian noise
+			for i := range x {
+				x[i] = src.Gaussian(1)
+			}
+		}
+		c := NewSparseConvolver(offs, gains)
+		direct := c.ApplyDirect(x)
+		fft := c.ApplyFFT(x)
+		if len(direct) != len(fft) || len(direct) != c.OutLen(n) {
+			t.Fatalf("case %d: length mismatch direct=%d fft=%d want=%d",
+				cse, len(direct), len(fft), c.OutLen(n))
+		}
+		for i := range direct {
+			if d := math.Abs(direct[i] - fft[i]); d > 1e-9 {
+				t.Fatalf("case %d (n=%d taps=%d span=%d): FFT diverges from direct at %d by %g",
+					cse, n, taps, span, i, d)
+			}
+		}
+	}
+}
+
+// TestConvolverMatchesNaive pins both paths to the reference loop on a few
+// deliberately awkward shapes (tap on the last offset, kernel longer than
+// the input, single-sample input).
+func TestConvolverMatchesNaive(t *testing.T) {
+	src := NewNoiseSource(7)
+	for _, tc := range []struct{ n, taps, span int }{
+		{1, 1, 1},
+		{3, 2, 9000},
+		{100, 3, 50},
+		{1000, 40, 700},
+		{5000, 343, 50000},
+		{257, 5, 1024},
+	} {
+		offs, gains := randomKernel(src, tc.taps, tc.span)
+		offs[0] = tc.span - 1 // force the dense kernel to its full span
+		x := make([]float64, tc.n)
+		for i := range x {
+			x[i] = src.Gaussian(1)
+		}
+		c := NewSparseConvolver(offs, gains)
+		want := naiveConvolve(x, offs, gains, c.OutLen(tc.n))
+		for name, got := range map[string][]float64{
+			"direct": c.ApplyDirect(x),
+			"fft":    c.ApplyFFT(x),
+			"auto":   c.Apply(x),
+		} {
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-9 {
+					t.Fatalf("%s path n=%d taps=%d span=%d: sample %d off by %g",
+						name, tc.n, tc.taps, tc.span, i, got[i]-want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestConvolverAccumulates verifies ApplyTo adds into a pre-filled buffer
+// (the channel layer relies on this to stack leakage onto backscatter).
+func TestConvolverAccumulates(t *testing.T) {
+	c := NewSparseConvolver([]int{0, 2}, []float64{1, 0.5})
+	x := []float64{1, 2}
+	out := make([]float64, c.OutLen(len(x)))
+	for i := range out {
+		out[i] = 10
+	}
+	c.ApplyTo(out, x)
+	want := []float64{11, 12, 10.5, 11}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-12 {
+			t.Fatalf("out[%d] = %g, want %g", i, out[i], want[i])
+		}
+	}
+}
+
+// TestConvolverEdgeCases covers empty inputs and degenerate kernels.
+func TestConvolverEdgeCases(t *testing.T) {
+	c := NewSparseConvolver([]int{5}, []float64{2})
+	if got := c.Apply(nil); got != nil && len(got) != 0 {
+		t.Errorf("empty input produced %v", got)
+	}
+	if c.OutLen(0) != 0 {
+		t.Errorf("OutLen(0) = %d", c.OutLen(0))
+	}
+	if c.OutLen(10) != 15 {
+		t.Errorf("OutLen(10) = %d, want 15", c.OutLen(10))
+	}
+	if c.Taps() != 1 || c.KernelLen() != 6 {
+		t.Errorf("taps=%d kernLen=%d", c.Taps(), c.KernelLen())
+	}
+	empty := NewSparseConvolver(nil, nil)
+	if got := empty.Apply([]float64{1, 2, 3}); len(got) != 0 {
+		t.Errorf("empty kernel produced %v", got)
+	}
+}
+
+// TestConvolverPanicsOnBadKernel pins the constructor contract.
+func TestConvolverPanicsOnBadKernel(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("length mismatch", func() { NewSparseConvolver([]int{1}, nil) })
+	mustPanic("negative offset", func() { NewSparseConvolver([]int{-1}, []float64{1}) })
+	mustPanic("short output", func() {
+		c := NewSparseConvolver([]int{3}, []float64{1})
+		c.ApplyTo(make([]float64, 2), []float64{1, 2})
+	})
+}

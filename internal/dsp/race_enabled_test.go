@@ -1,0 +1,8 @@
+//go:build race
+
+package dsp
+
+// raceEnabled reports that this binary carries the race detector's
+// instrumentation, which distorts the direct-vs-FFT cost ratio the
+// crossover model was calibrated for.
+const raceEnabled = true

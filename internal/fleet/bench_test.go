@@ -1,0 +1,53 @@
+package fleet
+
+import "testing"
+
+// BenchmarkFleetSurvey measures the full demo-fleet survey — charge, read,
+// report — the fleet-layer hot path that the per-station fan-out
+// accelerates on multi-core hosts.
+func BenchmarkFleetSurvey(b *testing.B) {
+	f, _, err := NewDemoFleet(DemoSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := f.Survey(0.4)
+		if rep.Reporting == 0 {
+			b.Fatal("survey reported nothing")
+		}
+	}
+}
+
+// BenchmarkFleetCharge isolates the charge loop (amplitude hoisting plus
+// the per-station partition).
+func BenchmarkFleetCharge(b *testing.B) {
+	f, _, err := NewDemoFleet(DemoSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if up := f.Charge(0.4); up == 0 {
+			b.Fatal("nothing powered up")
+		}
+	}
+}
+
+// BenchmarkFleetInventory measures the partitioned concurrent inventory.
+func BenchmarkFleetInventory(b *testing.B) {
+	f, _, err := NewDemoFleet(DemoSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f.Charge(0.4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if found := f.Inventory(16); len(found) == 0 {
+			b.Fatal("inventory found nothing")
+		}
+	}
+}

@@ -20,7 +20,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
+	"ecocapsule/internal/conc"
 	"ecocapsule/internal/deploy"
 	"ecocapsule/internal/faultinject"
 	"ecocapsule/internal/geometry"
@@ -31,20 +33,36 @@ import (
 )
 
 // Fleet is a set of readers attached to one structure.
+//
+// The charge/inventory/survey paths fan station work out over the available
+// cores (see conc.For); mu guards the routing state they share. readers,
+// nodes and reachable are immutable after New, and each capsule's MCU state
+// is only ever driven through one goroutine at a time, so stations operate
+// concurrently without touching each other's capsules.
 type Fleet struct {
 	structure *geometry.Structure
 	readers   []*reader.Reader
-	// alive[i] reports whether station i is operational.
-	alive []bool
-	nodes []*node.Node
+	nodes     []*node.Node
 	// reachable[handle][station] records whether the station could build a
 	// channel to the capsule at construction time.
 	reachable map[uint16][]bool
+
+	// mu guards the mutable routing state below — stations die and revive
+	// concurrently with surveys in the field, so liveness, routing and the
+	// reroute counter take the lock.
+	mu sync.Mutex
+	// alive[i] reports whether station i is operational.
+	alive []bool
 	// best maps each capsule handle to the index of the alive station that
 	// delivers the highest PZT amplitude.
 	best map[uint16]int
 	// reroutedReads counts successful reads served by a fallback station.
 	reroutedReads int
+	// faultsOn records that a frame-fault hook is installed. Injectors
+	// consume one shared seeded RNG, so the fleet falls back to its serial
+	// TDMA schedule to keep fault draws — and golden traces —
+	// reproducible.
+	faultsOn bool
 }
 
 // Errors.
@@ -106,14 +124,16 @@ func New(s *geometry.Structure, plan deploy.Plan, capsules []*node.Node, seed in
 			return nil, fmt.Errorf("fleet: capsule %#04x unreachable from every station", n.Handle())
 		}
 	}
-	f.reroute()
+	f.mu.Lock()
+	f.rerouteLocked()
+	f.mu.Unlock()
 	return f, nil
 }
 
-// reroute resolves the best alive station per capsule from the delivered
-// PZT amplitudes. Capsules with no alive server drop out of the best map
-// (they become orphans in the coverage report).
-func (f *Fleet) reroute() {
+// rerouteLocked resolves the best alive station per capsule from the
+// delivered PZT amplitudes. Capsules with no alive server drop out of the
+// best map (they become orphans in the coverage report). Caller holds mu.
+func (f *Fleet) rerouteLocked() {
 	for h := range f.best {
 		delete(f.best, h)
 	}
@@ -136,15 +156,15 @@ func (f *Fleet) reroute() {
 		}
 	}
 	mReroutes.Inc()
-	f.publishGauges()
+	f.publishGaugesLocked()
 }
 
-// publishGauges refreshes the liveness/coverage gauges from current state.
-func (f *Fleet) publishGauges() {
+// publishGaugesLocked refreshes the liveness/coverage gauges. Caller holds mu.
+func (f *Fleet) publishGaugesLocked() {
 	mStations.Set(float64(len(f.readers)))
-	mStationsAlive.Set(float64(f.AliveStations()))
+	mStationsAlive.Set(float64(f.aliveStationsLocked()))
 	mOrphans.Set(float64(len(f.nodes) - len(f.best)))
-	for i, c := range f.Coverage() {
+	for i, c := range f.coverageLocked() {
 		mCoverage.With(stationLabel(i)).Set(float64(c))
 	}
 }
@@ -154,6 +174,12 @@ func (f *Fleet) Stations() int { return len(f.readers) }
 
 // AliveStations returns the number of operational stations.
 func (f *Fleet) AliveStations() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.aliveStationsLocked()
+}
+
+func (f *Fleet) aliveStationsLocked() int {
 	n := 0
 	for _, a := range f.alive {
 		if a {
@@ -166,34 +192,46 @@ func (f *Fleet) AliveStations() int {
 // KillStation marks a station dead and re-routes its capsules to their
 // next-best alive server. Unknown indices are ignored.
 func (f *Fleet) KillStation(i int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if i < 0 || i >= len(f.alive) || !f.alive[i] {
 		return
 	}
 	f.alive[i] = false
 	mKills.Inc()
-	f.reroute()
+	f.rerouteLocked()
 }
 
 // ReviveStation brings a dead station back and re-routes.
 func (f *Fleet) ReviveStation(i int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if i < 0 || i >= len(f.alive) || f.alive[i] {
 		return
 	}
 	f.alive[i] = true
 	mRevives.Inc()
-	f.reroute()
+	f.rerouteLocked()
 }
 
 // StationAlive reports one station's liveness.
 func (f *Fleet) StationAlive(i int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	return i >= 0 && i < len(f.alive) && f.alive[i]
 }
 
 // SetFrameFaults installs the frame-fault hook on every station's reader.
+// While a hook is installed, the fleet runs its serial TDMA schedule: the
+// injector draws from one shared seeded RNG, and concurrent stations would
+// consume those draws in scheduling order instead of protocol order.
 func (f *Fleet) SetFrameFaults(ff reader.FrameFaults) {
 	for _, r := range f.readers {
 		r.SetFrameFaults(ff)
 	}
+	f.mu.Lock()
+	f.faultsOn = ff != nil
+	f.mu.Unlock()
 }
 
 // ApplyInjector wires one fault injector into every layer the fleet owns:
@@ -220,6 +258,8 @@ func (f *Fleet) ApplyInjector(in *faultinject.Injector) {
 
 // BestStation returns the station index serving a capsule (-1 if none).
 func (f *Fleet) BestStation(handle uint16) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if i, ok := f.best[handle]; ok {
 		return i
 	}
@@ -227,9 +267,12 @@ func (f *Fleet) BestStation(handle uint16) int {
 }
 
 // Charge drives every capsule from its best station for the given duration
-// and returns the number powered up. Stations transmit one at a time (they
-// would otherwise interfere at the same carrier), so each capsule is
-// excited by its strongest server only.
+// and returns the number powered up. Each capsule is excited by its
+// strongest server only (simultaneous same-carrier transmissions would
+// interfere), so the best-station assignment partitions the capsules into
+// disjoint groups — one per station — that charge concurrently. The
+// delivered amplitude is hoisted out of the step loop: it is a property of
+// the channel, and the per-step lookup dominated the charge cost.
 func (f *Fleet) Charge(duration float64) int {
 	cs := f.structure.Material.VS()
 	if cs == 0 {
@@ -240,19 +283,31 @@ func (f *Fleet) Charge(duration float64) int {
 	if steps < 1 {
 		steps = 1
 	}
-	for s := 0; s < steps; s++ {
-		for _, n := range f.nodes {
-			idx, ok := f.best[n.Handle()]
-			if !ok {
-				continue
-			}
-			amp, err := f.readers[idx].NodeAmplitude(n.Handle())
-			if err != nil {
-				continue
-			}
-			n.Excite(amp, 230*units.KHz, cs, dt)
-		}
+	type job struct {
+		n   *node.Node
+		amp float64
 	}
+	f.mu.Lock()
+	groups := make([][]job, len(f.readers))
+	for _, n := range f.nodes {
+		idx, ok := f.best[n.Handle()]
+		if !ok {
+			continue
+		}
+		amp, err := f.readers[idx].NodeAmplitude(n.Handle())
+		if err != nil {
+			continue
+		}
+		groups[idx] = append(groups[idx], job{n: n, amp: amp})
+	}
+	f.mu.Unlock()
+	conc.For(len(groups), func(i int) {
+		for _, j := range groups[i] {
+			for s := 0; s < steps; s++ {
+				j.n.Excite(j.amp, 230*units.KHz, cs, dt)
+			}
+		}
+	})
 	up := 0
 	for _, n := range f.nodes {
 		if n.PoweredUp() {
@@ -262,19 +317,47 @@ func (f *Fleet) Charge(duration float64) int {
 	return up
 }
 
-// Inventory runs each alive station's inventory and merges the
-// discoveries. Stations take turns (TDMA across stations on top of the
-// per-station slotted ALOHA), so a capsule is singulated by its best
-// station.
+// Inventory inventories each alive station and merges the discoveries.
+// Without a fault hook, stations arbitrate concurrently, each soliciting
+// only the capsules it serves best (the fleet's TDMA partition made
+// spatial), and the merged set is sorted so the result is deterministic
+// regardless of scheduling. With frame faults installed the stations take
+// strict turns over the full population — the injector's shared RNG makes
+// draw order part of the reproducible behaviour.
 func (f *Fleet) Inventory(maxRoundsPerStation int) []uint16 {
-	found := make(map[uint16]bool)
-	for i, r := range f.readers {
-		if !f.alive[i] {
-			continue
+	f.mu.Lock()
+	alive := append([]bool(nil), f.alive...)
+	faultsOn := f.faultsOn
+	assigned := make([][]uint16, len(f.readers))
+	for _, n := range f.nodes {
+		if idx, ok := f.best[n.Handle()]; ok {
+			assigned[idx] = append(assigned[idx], n.Handle())
 		}
-		res := r.Inventory(maxRoundsPerStation)
-		for _, h := range res.Discovered {
-			found[h] = true
+	}
+	f.mu.Unlock()
+	found := make(map[uint16]bool)
+	if faultsOn {
+		for i, r := range f.readers {
+			if !alive[i] {
+				continue
+			}
+			res := r.Inventory(maxRoundsPerStation)
+			for _, h := range res.Discovered {
+				found[h] = true
+			}
+		}
+	} else {
+		results := make([][]uint16, len(f.readers))
+		conc.For(len(f.readers), func(i int) {
+			if !alive[i] || len(assigned[i]) == 0 {
+				return
+			}
+			results[i] = f.readers[i].InventorySubset(maxRoundsPerStation, assigned[i]).Discovered
+		})
+		for _, discovered := range results {
+			for _, h := range discovered {
+				found[h] = true
+			}
 		}
 	}
 	out := make([]uint16, 0, len(found))
@@ -298,7 +381,16 @@ func (f *Fleet) ReadSensor(handle uint16, st sensors.SensorType) ([]float64, err
 // served the read — which the fallback path can make different from
 // BestStation. A failed read returns station -1.
 func (f *Fleet) ReadSensorVia(handle uint16, st sensors.SensorType) ([]float64, int, error) {
-	stations := f.readOrder(handle)
+	// Snapshot the routing under the lock, then run the (slow) acoustic
+	// exchanges outside it so concurrent reads of different capsules
+	// proceed in parallel; each reader serialises its own link internally.
+	f.mu.Lock()
+	stations := f.readOrderLocked(handle)
+	best, ok := f.best[handle]
+	f.mu.Unlock()
+	if !ok {
+		best = -1
+	}
 	if len(stations) == 0 {
 		mFleetReads.With(routeFailed).Inc()
 		return nil, -1, fmt.Errorf("fleet: no station serves capsule %#04x", handle)
@@ -307,11 +399,13 @@ func (f *Fleet) ReadSensorVia(handle uint16, st sensors.SensorType) ([]float64, 
 	for _, idx := range stations {
 		vals, err := f.readers[idx].ReadSensor(handle, st)
 		if err == nil {
-			if idx == f.BestStation(handle) {
+			if idx == best {
 				mFleetReads.With(routePrimary).Inc()
 			} else {
 				mFleetReads.With(routeRerouted).Inc()
+				f.mu.Lock()
 				f.reroutedReads++
+				f.mu.Unlock()
 			}
 			return vals, idx, nil
 		}
@@ -324,11 +418,15 @@ func (f *Fleet) ReadSensorVia(handle uint16, st sensors.SensorType) ([]float64, 
 
 // ReroutedReads returns the number of successful reads a fallback station
 // (not the capsule's best) served over the fleet's lifetime.
-func (f *Fleet) ReroutedReads() int { return f.reroutedReads }
+func (f *Fleet) ReroutedReads() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.reroutedReads
+}
 
-// readOrder lists the alive stations that can reach the capsule, best
-// amplitude first.
-func (f *Fleet) readOrder(handle uint16) []int {
+// readOrderLocked lists the alive stations that can reach the capsule, best
+// amplitude first. Caller holds mu.
+func (f *Fleet) readOrderLocked(handle uint16) []int {
 	reach, ok := f.reachable[handle]
 	if !ok {
 		return nil
@@ -364,7 +462,10 @@ func (f *Fleet) readOrder(handle uint16) []int {
 	return out
 }
 
-// SetEnvironment installs the ground-truth sampler on every station.
+// SetEnvironment installs the ground-truth sampler on every station. The
+// sampler may be called from several stations concurrently during a
+// survey, so it must be safe for concurrent use (pure position-derived
+// samplers trivially are).
 func (f *Fleet) SetEnvironment(fn func(pos geometry.Vec3) sensors.Environment) {
 	for _, r := range f.readers {
 		r.SetEnvironment(fn)
@@ -373,6 +474,12 @@ func (f *Fleet) SetEnvironment(fn func(pos geometry.Vec3) sensors.Environment) {
 
 // Coverage reports, per station, how many capsules it serves best.
 func (f *Fleet) Coverage() []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.coverageLocked()
+}
+
+func (f *Fleet) coverageLocked() []int {
 	out := make([]int, len(f.readers))
 	for _, idx := range f.best {
 		out[idx]++
@@ -398,9 +505,11 @@ func (c CoverageReport) Degraded() bool {
 
 // CoverageReport builds the current coverage view.
 func (f *Fleet) CoverageReport() CoverageReport {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	rep := CoverageReport{
 		Stations:   len(f.readers),
-		PerStation: f.Coverage(),
+		PerStation: f.coverageLocked(),
 	}
 	for i, a := range f.alive {
 		if !a {

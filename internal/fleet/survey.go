@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"ecocapsule/internal/conc"
 	"ecocapsule/internal/sensors"
 	"ecocapsule/internal/units"
 )
@@ -91,11 +92,21 @@ func (rep SHMReport) Text() string {
 
 // Survey charges the fleet, then reads temperature/humidity and strain from
 // every capsule through its best station (falling back through alternates),
-// and assembles the health report. Capsules are visited in ascending handle
-// order so a fixed seed reproduces the survey byte for byte.
+// and assembles the health report. Rows come out in ascending handle order.
+//
+// Capsules are independent at this layer — each has its own MCU state and
+// seeded sensor RNG, and every reader serialises its own acoustic link —
+// so the per-capsule reads fan out over the cores and land in per-index
+// row slots, reproducing the serial report byte for byte. The exception is
+// an installed frame-fault hook: its injector draws from one shared seeded
+// RNG, so the fleet visits capsules serially to keep the draw order (and
+// the golden traces pinned on it) reproducible.
 func (f *Fleet) Survey(chargeDuration float64) SHMReport {
 	before := f.FaultStats()
+	f.mu.Lock()
 	reroutedBefore := f.reroutedReads
+	faultsOn := f.faultsOn
+	f.mu.Unlock()
 	f.Charge(chargeDuration)
 	cov := f.CoverageReport()
 	rep := SHMReport{
@@ -110,7 +121,9 @@ func (f *Fleet) Survey(chargeDuration float64) SHMReport {
 		orphan[h] = true
 	}
 	nodes := append([]*nodeRef(nil), f.sortedNodes()...)
-	for _, nr := range nodes {
+	rows := make([]SurveyRow, len(nodes))
+	visit := func(k int) {
+		nr := nodes[k]
 		row := SurveyRow{Handle: nr.handle, Station: f.BestStation(nr.handle)}
 		switch {
 		case orphan[nr.handle]:
@@ -120,7 +133,6 @@ func (f *Fleet) Survey(chargeDuration float64) SHMReport {
 			st, _, errS := f.ReadSensorVia(nr.handle, sensors.TypeStrain)
 			if errT != nil || errS != nil || len(th) < 2 || len(st) < 2 {
 				row.Status = "missing"
-				rep.Missing = append(rep.Missing, nr.handle)
 			} else {
 				row.Status = "ok"
 				// Report the station that actually answered, which a
@@ -128,8 +140,24 @@ func (f *Fleet) Survey(chargeDuration float64) SHMReport {
 				row.Station = servedT
 				row.TemperatureC, row.RelativeHumidity = th[0], th[1]
 				row.StrainX, row.StrainY = st[0], st[1]
-				rep.Reporting++
 			}
+		}
+		rows[k] = row
+	}
+	if faultsOn {
+		for k := range nodes {
+			visit(k)
+		}
+	} else {
+		conc.For(len(nodes), visit)
+	}
+	// Merge the row slots in handle order; Missing inherits that order.
+	for _, row := range rows {
+		if row.Status == "missing" {
+			rep.Missing = append(rep.Missing, row.Handle)
+		}
+		if row.Status == "ok" {
+			rep.Reporting++
 		}
 		rep.Rows = append(rep.Rows, row)
 	}
@@ -137,7 +165,9 @@ func (f *Fleet) Survey(chargeDuration float64) SHMReport {
 	rep.CorruptedReplies = after.CorruptedReplies - before.CorruptedReplies
 	rep.Retries = after.Retries - before.Retries
 	rep.Backoff = after.Backoff - before.Backoff
+	f.mu.Lock()
 	rep.ReroutedReads = f.reroutedReads - reroutedBefore
+	f.mu.Unlock()
 	rep.Degraded = len(rep.DeadStations) > 0 || len(rep.Missing) > 0 || len(rep.Orphans) > 0
 	if rep.Degraded {
 		mSurveys.With("degraded").Inc()

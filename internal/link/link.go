@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"ecocapsule/internal/coding"
+	"ecocapsule/internal/conc"
 	"ecocapsule/internal/dsp"
 	"ecocapsule/internal/material"
 	"ecocapsule/internal/units"
@@ -174,12 +175,15 @@ func MeasureBER(p Profile, snrDB float64, maxBits int, seed int64) BERResult {
 	return res
 }
 
-// BERCurve sweeps SNR values and returns the waterfall (Fig. 15).
+// BERCurve sweeps SNR values and returns the waterfall (Fig. 15). The
+// points are independent Monte-Carlo runs with per-point seeds, so they
+// measure concurrently into indexed slots — same bytes as the serial sweep,
+// a fraction of the wall clock.
 func BERCurve(p Profile, snrsDB []float64, maxBits int, seed int64) []BERResult {
 	out := make([]BERResult, len(snrsDB))
-	for i, s := range snrsDB {
-		out[i] = MeasureBER(p, s, maxBits, seed+int64(i))
-	}
+	conc.For(len(snrsDB), func(i int) {
+		out[i] = MeasureBER(p, snrsDB[i], maxBits, seed+int64(i))
+	})
 	return out
 }
 
@@ -192,13 +196,23 @@ func Throughput(p Profile, bitrate float64, seed int64) float64 {
 }
 
 // BestThroughput scans bitrates and returns (bestBitrate, bestGoodput) —
-// the Fig. 17 measurement per concrete block.
+// the Fig. 17 measurement per concrete block. Each candidate bitrate is an
+// independent measurement (NewNoiseSource per call), so the scan fans out
+// and the winner is picked from the indexed results in ascending-bitrate
+// order, exactly as the serial loop did.
 func BestThroughput(p Profile, seed int64) (float64, float64) {
-	bestR, bestT := 0.0, 0.0
+	var rates []float64
 	for r := 1000.0; r <= 20000; r += 500 {
-		tp := Throughput(p, r, seed)
-		if tp > bestT {
-			bestR, bestT = r, tp
+		rates = append(rates, r)
+	}
+	tps := make([]float64, len(rates))
+	conc.For(len(rates), func(i int) {
+		tps[i] = Throughput(p, rates[i], seed)
+	})
+	bestR, bestT := 0.0, 0.0
+	for i, r := range rates {
+		if tps[i] > bestT {
+			bestR, bestT = r, tps[i]
 		}
 	}
 	return bestR, bestT

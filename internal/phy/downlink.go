@@ -151,36 +151,69 @@ func (rx *NodeRX) demodulate(signal []float64) ([]byte, error) {
 	if hi-lo < 1e-12 {
 		return nil, ErrNoEdges
 	}
-	mid := (hi + lo) / 2
 	hys := rx.Hysteresis * (hi - lo) / 2
+	// The level shifter is AC-coupled: its comparator reference is the
+	// envelope's own RC-filtered average (a few pulse widths), not a fixed
+	// midpoint. That keeps the slicer centred on the local high/low levels
+	// even when the AGC peak is dominated by a constructive multipath
+	// spike and the global midpoint would sail above both FSK levels.
+	ref := movingMean(env, int(4*rx.PIE.PW*rx.SampleRate))
 	// Binarise with hysteresis (the level shifter).
-	level := env[0] > mid
-	var highs []float64
+	type run struct {
+		level bool
+		dur   float64
+	}
+	level := env[0] > ref[0]
+	var runs []run
 	runStart := 0
 	for i, v := range env {
 		newLevel := level
-		if level && v < mid-hys {
+		if level && v < ref[i]-hys {
 			newLevel = false
-		} else if !level && v > mid+hys {
+		} else if !level && v > ref[i]+hys {
 			newLevel = true
 		}
 		if newLevel != level {
-			dur := float64(i-runStart) / rx.SampleRate
-			if level {
-				highs = append(highs, dur)
-			}
+			runs = append(runs, run{level, float64(i-runStart) / rx.SampleRate})
 			runStart = i
 			level = newLevel
 		}
 	}
-	if level {
-		highs = append(highs, float64(len(env)-runStart)/rx.SampleRate)
+	runs = append(runs, run{level, float64(len(env)-runStart) / rx.SampleRate})
+	// Debounce: a multipath notch can dip the envelope below threshold for
+	// a fraction of a pulse width mid-carrier, splitting one PIE high into
+	// two and shifting every subsequent interval. The MCU timer decoder
+	// ignores sub-PW/2 glitches, so merge short lows flanked by highs back
+	// into their neighbours before measuring durations.
+	minDur := rx.PIE.PW / 2
+	for i := 1; i < len(runs)-1; i++ {
+		if !runs[i].level && runs[i].dur < minDur && runs[i-1].level && runs[i+1].level {
+			runs[i].level = true
+		}
+	}
+	// Coalesce: after debouncing, contiguous high runs belong to the same
+	// pulse — walk the run list summing them into single durations.
+	var highs []float64
+	acc := 0.0
+	inHigh := false
+	for _, r := range runs {
+		if r.level {
+			acc += r.dur
+			inHigh = true
+			continue
+		}
+		if inHigh {
+			highs = append(highs, acc)
+			acc, inHigh = 0, false
+		}
+	}
+	if inHigh {
+		highs = append(highs, acc)
 	}
 	if len(highs) == 0 {
 		return nil, ErrNoEdges
 	}
 	// Discard leading/trailing fragments shorter than half a PW.
-	minDur := rx.PIE.PW / 2
 	var filtered []float64
 	for _, d := range highs {
 		if d >= minDur {
@@ -211,4 +244,33 @@ func percentileRange(x []float64, pLo, pHi float64) (lo, hi float64) {
 		return i
 	}
 	return sorted[idx(pLo)], sorted[idx(pHi)]
+}
+
+// movingMean returns the centred moving average of x over a window of w
+// samples (clamped to the slice), via prefix sums.
+func movingMean(x []float64, w int) []float64 {
+	if w < 1 {
+		w = 1
+	}
+	if w > len(x) {
+		w = len(x)
+	}
+	pre := make([]float64, len(x)+1)
+	for i, v := range x {
+		pre[i+1] = pre[i] + v
+	}
+	out := make([]float64, len(x))
+	for i := range x {
+		lo := i - w/2
+		if lo < 0 {
+			lo = 0
+		}
+		hi := lo + w
+		if hi > len(x) {
+			hi = len(x)
+			lo = hi - w
+		}
+		out[i] = (pre[hi] - pre[lo]) / float64(hi-lo)
+	}
+	return out
 }

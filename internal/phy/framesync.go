@@ -40,14 +40,7 @@ func (rx *ReaderRX) Synchronize(signal []float64, searchLimit int) (int, error) 
 	if err != nil {
 		return 0, err
 	}
-	bw := rx.Bitrate*2 + rx.GuardBand
-	bb := dsp.DownConvert(signal, rx.SampleRate, fc, bw)
-	mag := dsp.Magnitude(bb)
-	mean := dsp.Mean(mag)
-	ac := make([]float64, len(mag))
-	for i, v := range mag {
-		ac[i] = v - mean
-	}
+	ac := rx.basebandAC(signal, fc)
 	half := rx.SampleRate / (2 * rx.Bitrate)
 	if half < 1 {
 		return 0, errors.New("phy: bitrate too high for the sample rate")

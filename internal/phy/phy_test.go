@@ -3,6 +3,7 @@ package phy
 import (
 	"bytes"
 	"math"
+	"sort"
 	"testing"
 
 	"ecocapsule/internal/channel"
@@ -285,11 +286,11 @@ func TestDownlinkThroughChannelOOKDegrades(t *testing.T) {
 		Name: "block-15cm", Shape: geometry.Box, Material: material.UHPC(),
 		Length: 0.15, Height: 0.15, Thickness: 0.15, SurfaceLossDB: 0.4,
 	}
-	mk := func() *channel.Channel {
+	mk := func(destX float64) *channel.Channel {
 		ch, err := channel.New(channel.Config{
 			Structure:   block,
 			Source:      geometry.Vec3{X: 0.01, Y: 0.075, Z: 0},
-			Destination: geometry.Vec3{X: 0.09, Y: 0.075, Z: 0.075},
+			Destination: geometry.Vec3{X: destX, Y: 0.075, Z: 0.075},
 			PrismAngle:  units.Deg2Rad(60),
 			Seed:        9,
 		})
@@ -310,23 +311,38 @@ func TestDownlinkThroughChannelOOKDegrades(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fskRX := mk().Transmit(fskWave)
-	ookRX := mk().Transmit(ookWave)
-	// Measure the second symbol's low edge (clear of startup transients).
+	// Sweep the receiver across the block and compare the MEDIAN residual:
+	// at any single position the multipath phase alignment can favour
+	// either scheme (a deep fade at 230 kHz flatters OOK, one at 180 kHz
+	// punishes FSK), and a single fade outlier would likewise skew a mean.
+	// The median captures the typical position, where FSK's suppressed low
+	// tone must beat OOK's ring tail — the Fig. 20 effect at waveform level.
 	pie := coding.DefaultPIE()
 	symStart := int((pie.HighZero + pie.PW) * fs)
 	lowStart := symStart + int(pie.HighZero*fs)
 	lowEnd := lowStart + int(pie.PW*fs)
-	if lowEnd > len(fskRX) || lowEnd > len(ookRX) {
-		t.Fatal("waveforms too short")
+	var fskRes, ookRes []float64
+	for x := 0.04; x < 0.145; x += 0.01 {
+		fskRX := mk(x).Transmit(fskWave)
+		ookRX := mk(x).Transmit(ookWave)
+		if lowEnd > len(fskRX) || lowEnd > len(ookRX) {
+			t.Fatal("waveforms too short")
+		}
+		// Normalise by each waveform's high-edge level.
+		fskHigh := dsp.RMS(fskRX[symStart : symStart+int(pie.HighZero*fs)])
+		ookHigh := dsp.RMS(ookRX[symStart : symStart+int(pie.HighZero*fs)])
+		fskRes = append(fskRes, dsp.RMS(fskRX[lowStart:lowEnd])/fskHigh)
+		ookRes = append(ookRes, dsp.RMS(ookRX[lowStart:lowEnd])/ookHigh)
 	}
-	// Normalise by each waveform's high-edge level.
-	fskHigh := dsp.RMS(fskRX[symStart : symStart+int(pie.HighZero*fs)])
-	ookHigh := dsp.RMS(ookRX[symStart : symStart+int(pie.HighZero*fs)])
-	fskLow := dsp.RMS(fskRX[lowStart:lowEnd]) / fskHigh
-	ookLow := dsp.RMS(ookRX[lowStart:lowEnd]) / ookHigh
+	median := func(x []float64) float64 {
+		s := append([]float64(nil), x...)
+		sort.Float64s(s)
+		return s[len(s)/2]
+	}
+	fskLow := median(fskRes)
+	ookLow := median(ookRes)
 	if fskLow >= ookLow {
-		t.Errorf("FSK relative low-edge residual (%.3f) must stay below OOK's (%.3f)", fskLow, ookLow)
+		t.Errorf("median FSK relative low-edge residual (%.3f) must stay below OOK's (%.3f)", fskLow, ookLow)
 	}
 }
 

@@ -119,6 +119,79 @@ func (rx *ReaderRX) EstimateCarrier(signal []float64) (float64, error) {
 	return f, nil
 }
 
+// basebandAC is the shared receive front-end of Synchronize and
+// Demodulate: down-convert around fc, coherently suppress the CBW
+// self-interference, and reduce the complex baseband to the real waveform
+// carrying the backscatter amplitude steps.
+//
+// The leakage folds to a complex DC term after down-conversion, so
+// subtracting the complex mean removes it regardless of its phase. The
+// residual rides along the backscatter channel's phase axis; projecting
+// onto that principal axis (2ψ = arg Σ r²) recovers the full modulation
+// depth even when the channel phase is in quadrature with the leakage —
+// the case where the old envelope detector (|bb| − mean) lost the signal.
+// The projection's sign ambiguity is anchored to the envelope detector so
+// polarity-sensitive callers see the legacy orientation.
+func (rx *ReaderRX) basebandAC(signal []float64, fc float64) []float64 {
+	bw := rx.Bitrate*2 + rx.GuardBand
+	bb := dsp.DownConvert(signal, rx.SampleRate, fc, bw)
+	if len(bb) == 0 {
+		return nil
+	}
+	// The leakage is not perfectly stationary over the capture (it stops
+	// when the interrogating carrier does, while the multipath tail rings
+	// on), so a global mean would leave a step that hijacks the principal
+	// axis. A moving baseline a few bit-periods wide tracks the leakage
+	// without following the half-symbol modulation.
+	w := int(4 * rx.SampleRate / rx.Bitrate)
+	if w < 1 {
+		w = 1
+	}
+	if w > len(bb) {
+		w = len(bb)
+	}
+	pre := make([]complex128, len(bb)+1)
+	for i, v := range bb {
+		pre[i+1] = pre[i] + v
+	}
+	res := make([]complex128, len(bb))
+	for i := range bb {
+		lo := i - w/2
+		if lo < 0 {
+			lo = 0
+		}
+		hi := lo + w
+		if hi > len(bb) {
+			hi = len(bb)
+			lo = hi - w
+		}
+		base := (pre[hi] - pre[lo]) / complex(float64(hi-lo), 0)
+		res[i] = bb[i] - base
+	}
+	var sr, si float64
+	for _, r := range res {
+		re, im := real(r), imag(r)
+		sr += re*re - im*im
+		si += 2 * re * im
+	}
+	psi := 0.5 * math.Atan2(si, sr)
+	cp, sp := math.Cos(psi), math.Sin(psi)
+	mag := dsp.Magnitude(bb)
+	magMean := dsp.Mean(mag)
+	ac := make([]float64, len(bb))
+	var anchor float64
+	for i, r := range res {
+		ac[i] = real(r)*cp + imag(r)*sp
+		anchor += ac[i] * (mag[i] - magMean)
+	}
+	if anchor < 0 {
+		for i := range ac {
+			ac[i] = -ac[i]
+		}
+	}
+	return ac
+}
+
 // Demodulate recovers the FM0 bit stream from a raw reader capture that
 // contains nBits bits starting at sample offset start.
 func (rx *ReaderRX) Demodulate(signal []float64, start, nBits int) ([]byte, error) {
@@ -129,18 +202,7 @@ func (rx *ReaderRX) Demodulate(signal []float64, start, nBits int) ([]byte, erro
 	if err != nil {
 		return nil, err
 	}
-	// Down-convert with a bandwidth wide enough for the FM0 sidebands but
-	// narrow enough to reject adjacent interference.
-	bw := rx.Bitrate*2 + rx.GuardBand
-	bb := dsp.DownConvert(signal, rx.SampleRate, fc, bw)
-	mag := dsp.Magnitude(bb)
-	// Remove the DC term contributed by the CBW leakage: the backscatter
-	// information rides as amplitude steps around that pedestal.
-	mean := dsp.Mean(mag)
-	ac := make([]float64, len(mag))
-	for i, v := range mag {
-		ac[i] = v - mean
-	}
+	ac := rx.basebandAC(signal, fc)
 	// Integrate-and-dump per half-symbol (the matched filter for
 	// rectangular halves).
 	halfSamples := rx.SampleRate / (2 * rx.Bitrate)

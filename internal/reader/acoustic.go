@@ -108,12 +108,8 @@ func (r *Reader) AcousticReadSensor(handle uint16, st sensors.SensorType, cfg Ac
 	}
 
 	// 3. The backscatter traverses the concrete channel while the raw CBW
-	// leaks straight into the RX PZT.
-	leak := make([]float64, len(incident))
-	for i := range leak {
-		leak[i] = cfg.LeakageGain * incident[i]
-	}
-	capture := ch.TransmitWithLeakage(bs, leak)
+	// leaks straight into the RX PZT at the configured coupling gain.
+	capture := ch.TransmitWithLeakageGain(bs, incident, cfg.LeakageGain)
 	// Normalise the capture so the decode chain sees a healthy amplitude
 	// regardless of absolute path gain (the reader's AGC).
 	if peak := dsp.MaxAbs(capture); peak > 0 {

@@ -184,13 +184,24 @@ func (r *Reader) Charge(duration float64) int {
 	if steps < 1 {
 		steps = 1
 	}
+	// The delivered amplitude is a property of the channel, not of the
+	// step: hoist it out of the step loop (the per-step lookup dominated
+	// the charge cost in profiles).
+	amps := make([]float64, len(r.nodes))
+	for i, n := range r.nodes {
+		vin, err := r.nodeAmplitudeLocked(n.Handle())
+		if err != nil {
+			amps[i] = -1
+			continue
+		}
+		amps[i] = vin
+	}
 	for s := 0; s < steps; s++ {
-		for _, n := range r.nodes {
-			vin, err := r.nodeAmplitudeLocked(n.Handle())
-			if err != nil {
+		for i, n := range r.nodes {
+			if amps[i] < 0 {
 				continue
 			}
-			n.Excite(vin, r.cfg.CarrierHz, cs, dt)
+			n.Excite(amps[i], r.cfg.CarrierHz, cs, dt)
 		}
 	}
 	up := 0
@@ -208,13 +219,13 @@ func (r *Reader) Charge(duration float64) int {
 	return up
 }
 
-// broadcastLocked delivers a packet to every powered node through the
-// fault layer and collects replies, plus the number of replies that
-// arrived corrupted (CRC failure). Caller holds the lock.
-func (r *Reader) broadcastLocked(p protocol.Packet) ([]*protocol.UplinkFrame, int) {
+// broadcastLocked delivers a packet to the given nodes through the fault
+// layer and collects replies, plus the number of replies that arrived
+// corrupted (CRC failure). Caller holds the lock.
+func (r *Reader) broadcastLocked(p protocol.Packet, nodes []*node.Node) ([]*protocol.UplinkFrame, int) {
 	var replies []*protocol.UplinkFrame
 	corrupted := 0
-	for _, n := range r.nodes {
+	for _, n := range nodes {
 		up, bad, _ := r.deliverLocked(p, n)
 		if bad {
 			corrupted++
@@ -243,6 +254,34 @@ type InventoryResult struct {
 func (r *Reader) Inventory(maxRounds int) InventoryResult {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.inventoryLocked(maxRounds, r.nodes)
+}
+
+// InventorySubset runs the same slotted-ALOHA arbitration, but solicits
+// only the capsules whose handles are listed — the fleet's TDMA partition,
+// where each station arbitrates the capsules it serves best so stations
+// can inventory concurrently without touching each other's capsules. A nil
+// handle list is the full inventory. Unknown handles are ignored.
+func (r *Reader) InventorySubset(maxRounds int, handles []uint16) InventoryResult {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if handles == nil {
+		return r.inventoryLocked(maxRounds, r.nodes)
+	}
+	want := make(map[uint16]bool, len(handles))
+	for _, h := range handles {
+		want[h] = true
+	}
+	var subset []*node.Node
+	for _, n := range r.nodes {
+		if want[n.Handle()] {
+			subset = append(subset, n)
+		}
+	}
+	return r.inventoryLocked(maxRounds, subset)
+}
+
+func (r *Reader) inventoryLocked(maxRounds int, nodes []*node.Node) InventoryResult {
 	mInventories.Inc()
 	var invSpan *telemetry.Span
 	if r.tracer != nil {
@@ -272,7 +311,7 @@ func (r *Reader) Inventory(maxRounds int) InventoryResult {
 			if roundSpan != nil {
 				r.span = roundSpan.Child("slot").Attr("n", slot).Attr("cmd", p.Cmd.String())
 			}
-			replies, corrupted := r.broadcastLocked(p)
+			replies, corrupted := r.broadcastLocked(p, nodes)
 			// A slot that produced only CRC garbage is re-solicited with
 			// bounded exponential backoff: a NAK returns the replying
 			// capsules to arbitration, and a QueryRep draws their
@@ -285,8 +324,8 @@ func (r *Reader) Inventory(maxRounds int) InventoryResult {
 				r.faultStats.Backoff += delay
 				mRetries.Inc()
 				mBackoffSeconds.Add(delay.Seconds())
-				r.broadcastLocked(protocol.Packet{Cmd: protocol.CmdNak, Target: protocol.Broadcast})
-				replies, corrupted = r.broadcastLocked(protocol.Packet{Cmd: protocol.CmdQueryRep, Target: protocol.Broadcast})
+				r.broadcastLocked(protocol.Packet{Cmd: protocol.CmdNak, Target: protocol.Broadcast}, nodes)
+				replies, corrupted = r.broadcastLocked(protocol.Packet{Cmd: protocol.CmdQueryRep, Target: protocol.Broadcast}, nodes)
 			}
 			res.Corrupted += corrupted
 			switch len(replies) {
@@ -304,7 +343,7 @@ func (r *Reader) Inventory(maxRounds int) InventoryResult {
 				}
 				r.endSlotSpan("single")
 				// Ack singulates; the node leaves the round.
-				r.broadcastLocked(protocol.Packet{Cmd: protocol.CmdAck, Target: h})
+				r.broadcastLocked(protocol.Packet{Cmd: protocol.CmdAck, Target: h}, nodes)
 			default:
 				outcome.Collisions++
 				res.Collisions++
@@ -313,14 +352,14 @@ func (r *Reader) Inventory(maxRounds int) InventoryResult {
 				// Collided nodes stay replying; sleep them back to
 				// standby so the next round redraws their slots.
 				for _, reply := range replies {
-					r.broadcastLocked(protocol.Packet{Cmd: protocol.CmdSleep, Target: reply.Handle})
+					r.broadcastLocked(protocol.Packet{Cmd: protocol.CmdSleep, Target: reply.Handle}, nodes)
 				}
 			}
 			r.span = nil
 		}
 		res.Empties += outcome.Empties
 		powered := 0
-		for _, n := range r.nodes {
+		for _, n := range nodes {
 			if n.PoweredUp() {
 				powered++
 			}

@@ -138,4 +138,12 @@ go test -run='^$' -fuzz='^FuzzDecodePIE$' -fuzztime="$FUZZTIME" ./internal/codin
 go test -run='^$' -fuzz='^FuzzReadFrame$' -fuzztime="$FUZZTIME" ./internal/shmwire
 stage_done
 
+# Bench smoke: regenerate the hot-path micro-benchmarks and gate the
+# channel transmit against the committed BENCH_5.json baseline (>20%
+# slower fails: the convolution crossover or the transmit path broke).
+stage "bench smoke (ecobench -json vs BENCH_5.json)"
+go run ./cmd/ecobench -json -baseline BENCH_5.json > BENCH_5.json.new
+mv BENCH_5.json.new /tmp/ecobench_bench_last.json
+stage_done
+
 echo "verify.sh: all gates passed"
