@@ -1,10 +1,12 @@
 package main
 
 // The -json bench mode: three micro-benchmarks over the stack's hot paths,
-// emitted as machine-readable JSON so CI can pin performance the way the
-// golden files pin behaviour. The committed BENCH_5.json at the repository
-// root is the reference; verify.sh re-runs the suite and fails the gate
-// when the channel transmit regresses more than the tolerance against it.
+// measured at GOMAXPROCS=1 and at NumCPU, emitted as machine-readable JSON
+// so CI can pin performance the way the golden files pin behaviour. The
+// committed BENCH_6.json at the repository root is the reference;
+// verify.sh re-runs the suite and fails the gate when the channel
+// transmit, the uplink round decode or the fleet survey regresses more
+// than the tolerance against the matching-GOMAXPROCS baseline run.
 
 import (
 	"encoding/json"
@@ -28,10 +30,17 @@ type benchEntry struct {
 	Iters   int     `json:"iters"`
 }
 
-// benchReport is the BENCH_5.json document.
-type benchReport struct {
+// benchRun is one GOMAXPROCS setting's worth of measurements.
+type benchRun struct {
 	GoMaxProcs int          `json:"gomaxprocs"`
 	Benchmarks []benchEntry `json:"benchmarks"`
+}
+
+// benchReport is the BENCH_6.json document: the same suite at
+// GOMAXPROCS=1 (serial reference, stable across hosts) and at NumCPU
+// (what the conc.For fan-out actually buys).
+type benchReport struct {
+	Runs []benchRun `json:"runs"`
 }
 
 // The bench names double as the baseline-comparison keys.
@@ -41,20 +50,25 @@ const (
 	benchSurvey   = "fleet_survey"
 )
 
-// transmitRegressionTolerance is how much slower than the committed
-// baseline the channel transmit may measure before the gate fails; the
-// slack absorbs host-to-host jitter without letting a real regression
-// (the crossover picking the wrong convolution path, say) slide through.
-const transmitRegressionTolerance = 1.20
+// gatedBenches are compared against the committed baseline; any of them
+// regressing fails the gate, not just the transmit.
+var gatedBenches = []string{benchTransmit, benchDecode, benchSurvey}
+
+// regressionTolerance is how much slower than the committed baseline a
+// gated benchmark may measure before the gate fails; the slack absorbs
+// host-to-host jitter without letting a real regression (the crossover
+// picking the wrong convolution path, a survey fan-out serialising) slide
+// through.
+const regressionTolerance = 1.20
 
 func runBench(result *testing.BenchmarkResult, fn func(b *testing.B)) benchEntry {
 	*result = testing.Benchmark(fn)
 	return benchEntry{NsPerOp: float64(result.NsPerOp()), Iters: result.N}
 }
 
-// runBenchSuite measures the three hot paths and assembles the report.
-func runBenchSuite() (benchReport, error) {
-	rep := benchReport{GoMaxProcs: runtime.GOMAXPROCS(0)}
+// runBenchSuite measures the three hot paths at the current GOMAXPROCS.
+func runBenchSuite() (benchRun, error) {
+	rep := benchRun{GoMaxProcs: runtime.GOMAXPROCS(0)}
 
 	// Hot path 1: 10 ms of carrier through the multipath wall channel —
 	// the kernel under every acoustic exchange (FFT overlap-add engine).
@@ -131,9 +145,9 @@ func runBenchSuite() (benchReport, error) {
 	return rep, nil
 }
 
-// nsPerOp finds a benchmark in a report (-1 when absent).
-func (rep benchReport) nsPerOp(name string) float64 {
-	for _, b := range rep.Benchmarks {
+// nsPerOp finds a benchmark in a run (-1 when absent).
+func (r benchRun) nsPerOp(name string) float64 {
+	for _, b := range r.Benchmarks {
 		if b.Name == name {
 			return b.NsPerOp
 		}
@@ -141,11 +155,76 @@ func (rep benchReport) nsPerOp(name string) float64 {
 	return -1
 }
 
-// benchMain runs the suite, writes JSON to stdout and, when baselinePath
-// names a committed report, enforces the transmit regression gate.
-// Returns the process exit code.
+// runAt finds the run measured at a GOMAXPROCS setting, or nil.
+func (rep benchReport) runAt(procs int) *benchRun {
+	for i := range rep.Runs {
+		if rep.Runs[i].GoMaxProcs == procs {
+			return &rep.Runs[i]
+		}
+	}
+	return nil
+}
+
+// runBenchMatrix measures the suite at GOMAXPROCS=1 and, when the host
+// has more cores, again at NumCPU, restoring the caller's setting.
+func runBenchMatrix() (benchReport, error) {
+	var rep benchReport
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	procsSettings := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		procsSettings = append(procsSettings, n)
+	}
+	for _, procs := range procsSettings {
+		runtime.GOMAXPROCS(procs)
+		run, err := runBenchSuite()
+		if err != nil {
+			return rep, err
+		}
+		rep.Runs = append(rep.Runs, run)
+	}
+	return rep, nil
+}
+
+// gateAgainst compares every gated benchmark of every run against the
+// baseline run measured at the same GOMAXPROCS (runs with no matching
+// baseline — a different host core count — are reported and skipped).
+// Returns the number of regressions.
+func gateAgainst(rep, base benchReport) int {
+	failures := 0
+	for _, run := range rep.Runs {
+		baseRun := base.runAt(run.GoMaxProcs)
+		if baseRun == nil {
+			fmt.Fprintf(os.Stderr, "ecobench: baseline has no gomaxprocs=%d run (different host?); skipping that comparison\n",
+				run.GoMaxProcs)
+			continue
+		}
+		for _, name := range gatedBenches {
+			want, got := baseRun.nsPerOp(name), run.nsPerOp(name)
+			if want <= 0 || got <= 0 {
+				fmt.Fprintf(os.Stderr, "ecobench: baseline or run missing %s at gomaxprocs=%d\n", name, run.GoMaxProcs)
+				failures++
+				continue
+			}
+			if got > want*regressionTolerance {
+				fmt.Fprintf(os.Stderr,
+					"ecobench: %s (gomaxprocs=%d) regressed: %.0f ns/op vs baseline %.0f ns/op (>%.0f%% over)\n",
+					name, run.GoMaxProcs, got, want, (regressionTolerance-1)*100)
+				failures++
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "ecobench: %s (gomaxprocs=%d) %.0f ns/op within %.0f%% of baseline %.0f ns/op\n",
+				name, run.GoMaxProcs, got, (regressionTolerance-1)*100, want)
+		}
+	}
+	return failures
+}
+
+// benchMain runs the suite matrix, writes JSON to stdout and, when
+// baselinePath names a committed report, enforces the regression gate on
+// every gated benchmark. Returns the process exit code.
 func benchMain(baselinePath string) int {
-	rep, err := runBenchSuite()
+	rep, err := runBenchMatrix()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ecobench: %v\n", err)
 		return 1
@@ -169,18 +248,12 @@ func benchMain(baselinePath string) int {
 		fmt.Fprintf(os.Stderr, "ecobench: baseline %s: %v\n", baselinePath, err)
 		return 1
 	}
-	want, got := base.nsPerOp(benchTransmit), rep.nsPerOp(benchTransmit)
-	if want <= 0 || got <= 0 {
-		fmt.Fprintf(os.Stderr, "ecobench: baseline or run missing %s\n", benchTransmit)
+	if len(base.Runs) == 0 {
+		fmt.Fprintf(os.Stderr, "ecobench: baseline %s has no runs (pre-BENCH_6 schema?)\n", baselinePath)
 		return 1
 	}
-	if got > want*transmitRegressionTolerance {
-		fmt.Fprintf(os.Stderr,
-			"ecobench: %s regressed: %.0f ns/op vs baseline %.0f ns/op (>%.0f%% over)\n",
-			benchTransmit, got, want, (transmitRegressionTolerance-1)*100)
+	if gateAgainst(rep, base) > 0 {
 		return 1
 	}
-	fmt.Fprintf(os.Stderr, "ecobench: %s %.0f ns/op within %.0f%% of baseline %.0f ns/op\n",
-		benchTransmit, got, (transmitRegressionTolerance-1)*100, want)
 	return 0
 }

@@ -218,5 +218,8 @@ func All() []*Analyzer {
 		FloatCmp,
 		MetricName,
 		Determinism,
+		GuardedBy,
+		ClosureCapture,
+		AtomicMix,
 	}
 }

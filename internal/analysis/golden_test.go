@@ -145,6 +145,9 @@ func TestGolden(t *testing.T) {
 		{"floatcmp", analysis.FloatCmp},
 		{"metricname", analysis.MetricName},
 		{"determinism", analysis.Determinism},
+		{"guardedby", analysis.GuardedBy},
+		{"closurecapture", analysis.ClosureCapture},
+		{"atomicmix", analysis.AtomicMix},
 		{"suppress", analysis.UnitSafety},
 	}
 	for _, c := range cases {

@@ -1,0 +1,261 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the interprocedural half of the concurrency-safety
+// suite: per-function lock-set summaries ("this method acquires f.mu",
+// "this helper must be called with f.mu held") exported as object facts
+// so that the guardedby analyzer can resolve guarded accesses through
+// helper calls — including helpers in other packages — without
+// re-walking their bodies.
+//
+// Summary entries are *receiver-relative* guard tokens: "mu" names the
+// receiver's write lock and "mu:r" its read lock. A call site maps them
+// back into the caller's frame through the callee's receiver
+// expression: f.markDeadLocked() with a RequiresHeld of ["mu"] demands
+// the key "f.mu" in the caller's held set.
+
+// LockFact is the exported per-function lock-set summary.
+type LockFact struct {
+	// Acquires lists receiver-relative locks the function holds on every
+	// return path without releasing (lock-wrapper helpers).
+	Acquires []string `json:"acquires,omitempty"`
+	// Releases lists receiver-relative locks the function releases
+	// without having acquired them itself (unlock-wrapper helpers).
+	Releases []string `json:"releases,omitempty"`
+	// RequiresHeld lists receiver-relative locks the caller must hold
+	// around the call ("mu" demands the write lock, "mu:r" is satisfied
+	// by either half of an RWMutex).
+	RequiresHeld []string `json:"requiresHeld,omitempty"`
+}
+
+// AFact marks LockFact as a fact.
+func (*LockFact) AFact() {}
+
+// readTokenSuffix marks the read half of an RWMutex in relative guard
+// tokens ("mu:r") — see LockFact.
+const readTokenSuffix = ":r"
+
+// readKeySuffix marks the read half of an RWMutex in absolute held-set
+// keys ("f.mu (read)") — shared with the locksafety CFG pass.
+const readKeySuffix = " (read)"
+
+// relToken builds a receiver-relative guard token.
+func relToken(guard string, read bool) string {
+	if read {
+		return guard + readTokenSuffix
+	}
+	return guard
+}
+
+// splitToken decomposes a relative token into guard name and read flag.
+func splitToken(tok string) (guard string, read bool) {
+	if g, ok := strings.CutSuffix(tok, readTokenSuffix); ok {
+		return g, true
+	}
+	return tok, false
+}
+
+// heldKey builds the absolute held-set key for base expression b and
+// guard field g ("f.mu", "f.mu (read)"). It matches the key scheme of
+// syncLockMethod so that directly-observed Lock calls and fact-mapped
+// helper calls land in the same namespace.
+func heldKey(base, guard string, read bool) string {
+	k := base + "." + guard
+	if read {
+		k += readKeySuffix
+	}
+	return k
+}
+
+// tokenToKey maps a receiver-relative token into the caller's frame.
+func tokenToKey(base, tok string) string {
+	g, read := splitToken(tok)
+	return heldKey(base, g, read)
+}
+
+// sortedTokens renders a token set as a sorted slice (stable facts and
+// stable diagnostics).
+func sortedTokens(set map[string]bool) []string {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// describeToken renders a relative token for a diagnostic, prefixed
+// with the call-site base expression: ("f", "mu") -> "f.mu.Lock()",
+// ("f", "mu:r") -> "f.mu.RLock()".
+func describeToken(base, tok string) string {
+	g, read := splitToken(tok)
+	if read {
+		return base + "." + g + ".RLock()"
+	}
+	return base + "." + g + ".Lock()"
+}
+
+// heldSatisfies reports whether the held-set keys satisfy a need for
+// base.guard: a write need requires the write key; a read need is
+// satisfied by either half.
+func heldSatisfies(held map[string]bool, base, guard string, read bool) bool {
+	if held[heldKey(base, guard, false)] {
+		return true
+	}
+	return read && held[heldKey(base, guard, true)]
+}
+
+// receiverOf returns the receiver variable and its printed name for a
+// method declaration, or nil for plain functions and methods with an
+// anonymous receiver.
+func receiverOf(pass *Pass, fn *ast.FuncDecl) (*types.Var, string) {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return nil, ""
+	}
+	name := fn.Recv.List[0].Names[0]
+	if name.Name == "_" {
+		return nil, ""
+	}
+	v, _ := pass.Info.Defs[name].(*types.Var)
+	if v == nil {
+		return nil, ""
+	}
+	return v, name.Name
+}
+
+// callTarget resolves a call to (callee, base expression) where base is
+// the printed receiver of a method call ("f" for f.markDead(...)).
+// Plain function calls return base == "".
+func callTarget(pass *Pass, call *ast.CallExpr) (*types.Func, string) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.Info.Uses[fun].(*types.Func)
+		return fn, ""
+	case *ast.SelectorExpr:
+		fn, _ := pass.Info.Uses[fun.Sel].(*types.Func)
+		if fn == nil {
+			return nil, ""
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return fn, types.ExprString(fun.X)
+		}
+		return fn, "" // package-qualified plain function
+	}
+	return nil, ""
+}
+
+// RequiresHeldDirective marks a function that must be entered with the
+// named receiver locks held:
+//
+//	//ecolint:requiresheld mu
+//
+// placed in the function's doc comment. Functions whose name ends in
+// "Locked" carry the same contract implicitly, with the required guards
+// inferred from the guarded fields they touch.
+const RequiresHeldDirective = "//ecolint:requiresheld"
+
+// requiresHeldArgs parses the directive out of a function's doc
+// comment, returning the named guards and whether a directive was
+// present at all (an argument-less directive means "infer").
+func requiresHeldArgs(fn *ast.FuncDecl) ([]string, bool) {
+	if fn.Doc == nil {
+		return nil, false
+	}
+	for _, c := range fn.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if !strings.HasPrefix(text, RequiresHeldDirective) {
+			continue
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(text, RequiresHeldDirective))
+		return strings.Fields(rest), true
+	}
+	return nil, false
+}
+
+// lockEvent is one held-set mutation observed while simulating a CFG
+// node in source order: a direct sync.(RW)Mutex call, or the summary
+// effect of a call into a function with a LockFact.
+type lockEvent struct {
+	pos     token.Pos
+	acquire []string // absolute keys entering the held set
+	release []string // absolute keys leaving the held set
+}
+
+// nodeLockEvents collects the lock events of one CFG node in position
+// order. Function literals are skipped (they run later, if at all);
+// deferred unlocks are skipped too — unlike the leak check, the
+// guarded-access simulation must treat `defer mu.Unlock()` as holding
+// the lock until the function returns.
+func nodeLockEvents(pass *Pass, n ast.Node, facts func(fn *types.Func) *LockFact) []lockEvent {
+	var events []lockEvent
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			if op, pos, ok := syncLockMethod(pass, x); ok {
+				ev := lockEvent{pos: pos}
+				if op.acquire {
+					ev.acquire = []string{op.key}
+				} else {
+					ev.release = []string{op.key}
+				}
+				events = append(events, ev)
+				return true
+			}
+			callee, base := callTarget(pass, x)
+			if callee == nil || base == "" || facts == nil {
+				return true
+			}
+			if lf := facts(callee); lf != nil && (len(lf.Acquires) > 0 || len(lf.Releases) > 0) {
+				ev := lockEvent{pos: x.Pos()}
+				for _, tok := range lf.Acquires {
+					ev.acquire = append(ev.acquire, tokenToKey(base, tok))
+				}
+				for _, tok := range lf.Releases {
+					ev.release = append(ev.release, tokenToKey(base, tok))
+				}
+				events = append(events, ev)
+			}
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	return events
+}
+
+// deferReleasedKeys collects the absolute keys a function body releases
+// through defer statements (directly or via a deferred literal).
+func deferReleasedKeys(pass *Pass, body *ast.BlockStmt) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(body, func(x ast.Node) bool {
+		d, ok := x.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if op, _, ok := syncLockMethod(pass, d.Call); ok && !op.acquire {
+			out[op.key] = true
+		} else if lit, isLit := ast.Unparen(d.Call.Fun).(*ast.FuncLit); isLit {
+			ast.Inspect(lit.Body, func(y ast.Node) bool {
+				if call, isCall := y.(*ast.CallExpr); isCall {
+					if op, _, ok := syncLockMethod(pass, call); ok && !op.acquire {
+						out[op.key] = true
+					}
+				}
+				return true
+			})
+		}
+		return false
+	})
+	return out
+}

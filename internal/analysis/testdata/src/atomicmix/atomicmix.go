@@ -1,0 +1,108 @@
+// Package atomicmix is the golden fixture for the mixed-access
+// detector: any variable or field touched through sync/atomic must be
+// touched through sync/atomic everywhere, or the memory model promises
+// nothing about either access.
+package atomicmix
+
+import "sync/atomic"
+
+type stats struct {
+	hits   int64
+	misses int64
+	ready  uint32
+	clean  int64 // only ever accessed atomically
+	plain  int64 // never accessed atomically
+}
+
+func (s *stats) incHit()  { atomic.AddInt64(&s.hits, 1) }
+func (s *stats) incMiss() { atomic.AddInt64(&s.misses, 1) }
+func (s *stats) markUp()  { atomic.StoreUint32(&s.ready, 1) }
+
+// --- positive cases -------------------------------------------------
+
+// readPlain loads an atomically-written counter with a plain read.
+func (s *stats) readPlain() int64 {
+	return s.hits // want `s\.hits is accessed atomically .* but read/written plainly here`
+}
+
+// resetPlain stores over atomic state with a plain write.
+func (s *stats) resetPlain() {
+	s.hits = 0   // want `s\.hits is accessed atomically .* but read/written plainly here`
+	s.misses = 0 // want `s\.misses is accessed atomically .* but read/written plainly here`
+}
+
+// bumpPlain mixes ++ with atomic.AddInt64 on the same field.
+func (s *stats) bumpPlain() {
+	s.hits++ // want `s\.hits is accessed atomically .* but read/written plainly here`
+}
+
+// checkFlag polls the atomic flag without atomic.LoadUint32.
+func (s *stats) checkFlag() bool {
+	return s.ready == 1 // want `s\.ready is accessed atomically .* but read/written plainly here`
+}
+
+// ratio reads both counters plainly in one expression.
+func (s *stats) ratio() float64 {
+	return float64(s.hits) / // want `s\.hits is accessed atomically .* but read/written plainly here`
+		float64(s.misses+1) // want `s\.misses is accessed atomically .* but read/written plainly here`
+}
+
+// Package-level mixing.
+var total int64
+
+func addTotal(n int64) { atomic.AddInt64(&total, n) }
+
+// snapshotTotal reads the package counter plainly.
+func snapshotTotal() int64 {
+	return total // want `total is accessed atomically .* but read/written plainly here`
+}
+
+// zeroTotal writes it plainly.
+func zeroTotal() {
+	total = 0 // want `total is accessed atomically .* but read/written plainly here`
+}
+
+// Sharded counters: the slice is atomic-land once any slot is.
+var shards []uint64
+
+func incShard(i int) { atomic.AddUint64(&shards[i], 1) }
+
+// sumShards walks the slots with plain loads.
+func sumShards() uint64 {
+	var sum uint64
+	for i := range shards { // want `shards is accessed atomically .* but read/written plainly here`
+		sum += shards[i] // want `shards is accessed atomically .* but read/written plainly here`
+	}
+	return sum
+}
+
+// --- negative cases -------------------------------------------------
+
+// allAtomic keeps every access on the atomic side.
+func (s *stats) allAtomic() int64 {
+	atomic.AddInt64(&s.clean, 1)
+	return atomic.LoadInt64(&s.clean) // ok: atomic everywhere
+}
+
+// neverAtomic never enters atomic-land at all.
+func (s *stats) neverAtomic() int64 {
+	s.plain++
+	return s.plain // ok: plain everywhere
+}
+
+// construct initialises via a composite literal: the value is
+// unpublished while it is being built.
+func construct() *stats {
+	return &stats{hits: 0, misses: 0} // ok: composite-literal keys are not accesses
+}
+
+// swapFlag uses the atomic API for the read-modify-write.
+func (s *stats) swapFlag() bool {
+	return atomic.CompareAndSwapUint32(&s.ready, 0, 1) // ok: atomic CAS
+}
+
+// suppressed documents a deliberate relaxed read.
+func (s *stats) suppressed() int64 {
+	//ecolint:ignore atomicmix monotonic counter, stale read acceptable in the stats dump
+	return s.hits // ok: suppressed with a reason
+}

@@ -1,0 +1,11 @@
+// Package conc is a fixture stub mirroring the repository's bounded
+// fork-join primitive; the closurecapture analyzer recognises For by
+// its "internal/conc" import-path suffix.
+package conc
+
+// For runs fn(i) for every i in [0, n) on worker goroutines.
+func For(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}

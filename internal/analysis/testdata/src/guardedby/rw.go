@@ -1,0 +1,73 @@
+package guardedby
+
+import "sync"
+
+// gauge pins the RWMutex half of the contract: reads are satisfied by
+// either half of the lock, writes demand the write half.
+type gauge struct {
+	mu sync.RWMutex
+	//ecolint:guardedby mu
+	val float64
+}
+
+// --- positive cases -------------------------------------------------
+
+// readBare holds neither half.
+func (g *gauge) readBare() float64 {
+	return g.val // want `guarded field g\.val is read without holding g\.mu or g\.mu\.RLock\(\)`
+}
+
+// writeUnderRLock upgrades illegally: RLock does not license writes.
+func (g *gauge) writeUnderRLock() {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.val++ // want `guarded field g\.val is written while holding only g\.mu\.RLock\(\); writes need g\.mu\.Lock\(\)`
+}
+
+// writeBare holds nothing at all.
+func (g *gauge) writeBare(v float64) {
+	g.val = v // want `guarded field g\.val is written without holding g\.mu`
+}
+
+// readAfterRUnlock re-reads once the read half is gone.
+func (g *gauge) readAfterRUnlock() float64 {
+	g.mu.RLock()
+	v := g.val
+	g.mu.RUnlock()
+	return v + g.val // want `guarded field g\.val is read without holding g\.mu or g\.mu\.RLock\(\)`
+}
+
+// --- negative cases -------------------------------------------------
+
+// readUnderRLock is the cheap read path.
+func (g *gauge) readUnderRLock() float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.val // ok: read lock satisfies reads
+}
+
+// readUnderLock is stronger than needed but legal.
+func (g *gauge) readUnderLock() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.val // ok: write lock satisfies reads too
+}
+
+// writeUnderLock is the canonical write path.
+func (g *gauge) writeUnderLock(v float64) {
+	g.mu.Lock()
+	g.val = v // ok
+	g.mu.Unlock()
+}
+
+// setLocked moves the write obligation to the call site.
+func (g *gauge) setLocked(v float64) {
+	g.val = v // ok: requires-held helper
+}
+
+// bump wraps setLocked under the write half.
+func (g *gauge) bump() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.setLocked(g.val + 1) // ok: write lock held at the call
+}

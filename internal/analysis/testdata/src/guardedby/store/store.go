@@ -1,0 +1,42 @@
+// Package store is the cross-package half of the guardedby fixture:
+// its annotated struct exports a GuardedByFact and its helpers export
+// LockFacts, so the parent package's accesses and call sites are
+// checked across the package boundary.
+package store
+
+import "sync"
+
+// Store is a shared map with an exported guarded field.
+type Store struct {
+	mu sync.Mutex
+	//ecolint:guardedby mu
+	Data map[string]int
+}
+
+// New builds an unpublished Store; the constructor-local writes are
+// exempt from guarding.
+func New() *Store {
+	s := &Store{}
+	s.Data = map[string]int{} // ok: s is not published yet
+	return s
+}
+
+// GetLocked reads Data under the caller's lock; the requirement is
+// inferred from the Locked suffix and exported as a fact.
+func (s *Store) GetLocked(k string) int {
+	return s.Data[k] // ok: requires-held helper, checked at call sites
+}
+
+// Put takes the lock itself, defer-style.
+func (s *Store) Put(k string, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Data[k] = v // ok: defer holds mu to the return
+}
+
+// Get wraps GetLocked correctly.
+func (s *Store) Get(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.GetLocked(k) // ok: lock held at the call
+}

@@ -1,0 +1,36 @@
+package guardedby
+
+import "guardedby/store"
+
+// Cross-package checking: store.Store's annotation and helper contracts
+// arrive here as facts, not as re-analyzed source.
+
+// useStoreBare reads the exported guarded field with nothing held.
+func useStoreBare(s *store.Store) int {
+	return s.Data["k"] // want `guarded field s\.Data is read without holding s\.mu`
+}
+
+// useStoreWriteBare stores into the guarded map bare.
+func useStoreWriteBare(s *store.Store) {
+	s.Data["k"] = 1 // want `guarded field s\.Data is written without holding s\.mu`
+}
+
+// useHelperBare calls the requires-held helper bare.
+func useHelperBare(s *store.Store) int {
+	return s.GetLocked("k") // want `call to GetLocked requires s\.mu\.Lock\(\) held`
+}
+
+// useAccessors goes through the locking API and stays quiet.
+func useAccessors(s *store.Store) int {
+	s.Put("k", 1)
+	return s.Get("k") // ok: accessor methods own the locking
+}
+
+// buildLocal constructs its own store; unpublished writes are exempt.
+func buildLocal() *store.Store {
+	s := store.New()
+	_ = s
+	local := &store.Store{}
+	local.Data = map[string]int{} // ok: unpublished constructor-local value
+	return local
+}

@@ -1,0 +1,67 @@
+package cfg
+
+import "sync"
+
+// The RWMutex half of the CFG leak check: the read and write halves are
+// tracked as distinct locks, so an RUnlock does not pay off a Lock and
+// vice versa.
+
+type index struct {
+	rw    sync.RWMutex
+	byKey map[string]int
+}
+
+// earlyReturnRLockLeak returns on the miss path with the read half held.
+func (ix *index) earlyReturnRLockLeak(key string) int {
+	ix.rw.RLock()
+	v, ok := ix.byKey[key]
+	if !ok {
+		return -1 // want `ix.rw.RLock\(\) locked at line \d+ is still held on this return path`
+	}
+	ix.rw.RUnlock()
+	return v
+}
+
+// doubleEarlyReturn leaks on both of two early paths.
+func (ix *index) doubleEarlyReturn(key string) int {
+	ix.rw.RLock()
+	if ix.byKey == nil {
+		return 0 // want `ix.rw.RLock\(\) locked at line \d+ is still held on this return path`
+	}
+	v, ok := ix.byKey[key]
+	if !ok {
+		return -1 // want `ix.rw.RLock\(\) locked at line \d+ is still held on this return path`
+	}
+	ix.rw.RUnlock()
+	return v
+}
+
+// unlockWrongHalf pays the read half off with the write-half Unlock;
+// the RLock stays held.
+func (ix *index) unlockWrongHalf(key string) int {
+	ix.rw.RLock()
+	v := ix.byKey[key]
+	ix.rw.Unlock()
+	return v // want `ix.rw.RLock\(\) locked at line \d+ is still held on this return path`
+}
+
+// deferRUnlock is the canonical safe read path.
+func (ix *index) deferRUnlock(key string) int {
+	ix.rw.RLock()
+	defer ix.rw.RUnlock()
+	return ix.byKey[key] // ok: deferred RUnlock pays the read half off
+}
+
+// branchesBalanced unlocks the right half on every path.
+func (ix *index) branchesBalanced(key string, upgrade bool) int {
+	if upgrade {
+		ix.rw.Lock()
+		ix.byKey[key]++
+		ix.rw.Unlock()
+		return ix.byKey[key]
+	}
+	ix.rw.RLock()
+	v := ix.byKey[key]
+	ix.rw.RUnlock()
+	return v // ok: each branch releases what it took
+}

@@ -1,10 +1,29 @@
 // Package conc provides the bounded fork-join primitive the fleet and link
 // layers use to spread independent work items over the available cores.
-// Callers own determinism: workers pull indices from a shared atomic
-// counter, so fn must write results into per-index slots (never append to a
-// shared slice) and must not care about execution order. Merging those
-// slots afterwards in index order reproduces the serial result byte for
-// byte.
+//
+// # Determinism contract
+//
+// Callers own determinism. Workers pull indices from a shared atomic
+// counter, so the assignment of indices to goroutines — and the order in
+// which bodies run — is scheduler-dependent and changes run to run. What
+// the primitive guarantees is exactly this:
+//
+//   - fn(i) is called exactly once for every i in [0, n), never for any
+//     other i, and For returns only after every call has finished;
+//   - a body must write its result into a per-index slot (out[i] = ...),
+//     never append to or mutate shared state, and must not care about
+//     execution order;
+//   - merging the slots afterwards in index order then reproduces the
+//     serial result byte for byte, at any GOMAXPROCS, including the
+//     workers <= 1 inline path.
+//
+// The closurecapture analyzer (internal/analysis) enforces the slot
+// discipline statically: bodies that capture loop variables or mutate
+// captured shared state without a lock are build failures.
+//
+// A panic inside a body is re-raised on the caller's goroutine after the
+// remaining workers drain, so a fan-out never deadlocks on a dead worker
+// and the failure surfaces where the For call is.
 package conc
 
 import (
@@ -13,11 +32,18 @@ import (
 	"sync/atomic"
 )
 
+// bodyPanic wraps a panic value recovered on a worker so the re-raise
+// distinguishes "fn panicked" from an unrelated runtime fault.
+type bodyPanic struct{ v any }
+
 // For runs fn(i) for every i in [0, n), using up to min(n, GOMAXPROCS)
 // goroutines, and returns when all calls have finished. fn is responsible
 // for its own synchronisation on any shared state; the intended pattern is
 // one result slot per index. n <= 1 runs inline on the caller's goroutine,
 // so tight loops pay nothing for the generality.
+//
+// If fn panics, For waits for the other workers to finish and then
+// re-panics with the first recovered value on the calling goroutine.
 func For(n int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -33,14 +59,20 @@ func For(n int, fn func(i int)) {
 		return
 	}
 	var next atomic.Int64
+	var firstPanic atomic.Pointer[bodyPanic]
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					firstPanic.CompareAndSwap(nil, &bodyPanic{v: r})
+				}
+			}()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n {
+				if i >= n || firstPanic.Load() != nil {
 					return
 				}
 				fn(i)
@@ -48,4 +80,7 @@ func For(n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+	if p := firstPanic.Load(); p != nil {
+		panic(p.v)
+	}
 }

@@ -20,6 +20,7 @@ func TestForVisitsEveryIndexOnce(t *testing.T) {
 
 func TestForNegativeCount(t *testing.T) {
 	called := false
+	//ecolint:ignore closurecapture the test asserts this body never runs; n < 0 cannot fan out
 	For(-3, func(int) { called = true })
 	if called {
 		t.Error("fn must not run for negative n")
@@ -60,4 +61,57 @@ func TestForBoundedWorkers(t *testing.T) {
 	if peak.Load() > limit {
 		t.Errorf("peak concurrency %d exceeds GOMAXPROCS %d", peak.Load(), limit)
 	}
+}
+
+func TestForZeroItems(t *testing.T) {
+	called := false
+	//ecolint:ignore closurecapture the test asserts this body never runs; n = 0 cannot fan out
+	For(0, func(int) { called = true })
+	if called {
+		t.Error("fn must not run for n = 0")
+	}
+}
+
+func TestForMoreWorkersThanItems(t *testing.T) {
+	// GOMAXPROCS almost certainly exceeds 2 here; the pool must clamp to
+	// n and still visit every index exactly once.
+	for _, n := range []int{2, 3} {
+		visits := make([]atomic.Int32, n)
+		For(n, func(i int) { visits[i].Add(1) })
+		for i := range visits {
+			if got := visits[i].Load(); got != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, got)
+			}
+		}
+	}
+}
+
+func TestForPanicPropagates(t *testing.T) {
+	// A panicking body must surface on the caller's goroutine, not crash
+	// the process or deadlock the join.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic in body was swallowed")
+		}
+		if r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	For(64, func(i int) {
+		if i == 7 {
+			panic("boom")
+		}
+	})
+	t.Fatal("For returned instead of panicking")
+}
+
+func TestForPanicInline(t *testing.T) {
+	// The n == 1 inline path panics straight through too.
+	defer func() {
+		if r := recover(); r != "inline" {
+			t.Fatalf("recovered %v, want inline", r)
+		}
+	}()
+	For(1, func(int) { panic("inline") })
 }

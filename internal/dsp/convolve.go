@@ -36,7 +36,8 @@ type Convolver struct {
 	gains   []float64
 	kernLen int // last offset + 1 (dense kernel length); 0 for empty kernels
 
-	mu    sync.Mutex
+	mu sync.Mutex
+	//ecolint:guardedby mu
 	plans map[int]*fftPlan // keyed by padded FFT length N
 }
 

@@ -107,12 +107,17 @@ type Stats struct {
 // draws in a deterministic order, which the simulation's fixed
 // station/capsule iteration order provides.
 type Injector struct {
-	mu    sync.Mutex
-	plan  Plan
-	rng   *rand.Rand
-	dead  map[int]bool
+	mu   sync.Mutex
+	plan Plan
+	//ecolint:guardedby mu
+	rng *rand.Rand
+	//ecolint:guardedby mu
+	dead map[int]bool
+	//ecolint:guardedby mu
 	muted map[uint16]bool
+	//ecolint:guardedby mu
 	stuck map[uint16]bool
+	//ecolint:guardedby mu
 	stats Stats
 }
 

@@ -15,9 +15,11 @@ var ErrInjectedDrop = errors.New("faultinject: injected connection drop")
 // ErrInjectedDrop. Wrap a net.Conn (or an in-memory pipe in tests) to
 // exercise the shmwire deadline and reconnect paths.
 type FlakyRW struct {
-	mu         sync.Mutex
-	rw         io.ReadWriter
-	readsLeft  int // -1 = unlimited
+	mu sync.Mutex
+	rw io.ReadWriter
+	//ecolint:guardedby mu
+	readsLeft int // -1 = unlimited
+	//ecolint:guardedby mu
 	writesLeft int // -1 = unlimited
 }
 

@@ -13,8 +13,9 @@ import (
 // capsule's real sensor (node.AttachSensor replaces by type) to test that
 // trend analysis flags the freeze.
 type StuckSensor struct {
-	mu     sync.Mutex
-	inner  sensors.Sensor
+	mu    sync.Mutex
+	inner sensors.Sensor
+	//ecolint:guardedby mu
 	frozen *sensors.Reading
 }
 

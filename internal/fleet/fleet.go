@@ -52,16 +52,20 @@ type Fleet struct {
 	// reroute counter take the lock.
 	mu sync.Mutex
 	// alive[i] reports whether station i is operational.
+	//ecolint:guardedby mu
 	alive []bool
 	// best maps each capsule handle to the index of the alive station that
 	// delivers the highest PZT amplitude.
+	//ecolint:guardedby mu
 	best map[uint16]int
 	// reroutedReads counts successful reads served by a fallback station.
+	//ecolint:guardedby mu
 	reroutedReads int
 	// faultsOn records that a frame-fault hook is installed. Injectors
 	// consume one shared seeded RNG, so the fleet falls back to its serial
 	// TDMA schedule to keep fault draws — and golden traces —
 	// reproducible.
+	//ecolint:guardedby mu
 	faultsOn bool
 }
 

@@ -37,9 +37,12 @@ var ErrClientClosed = errors.New("shmwire: reconnecting client closed")
 type ReconnectingClient struct {
 	cfg ReconnectConfig
 
-	mu         sync.Mutex
-	cl         *Client
-	closed     bool
+	mu sync.Mutex
+	//ecolint:guardedby mu
+	cl *Client
+	//ecolint:guardedby mu
+	closed bool
+	//ecolint:guardedby mu
 	reconnects int
 }
 

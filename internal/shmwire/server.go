@@ -13,11 +13,14 @@ import (
 // callback supplies the frames; the server fans them out, dropping slow
 // subscribers rather than blocking the feed (monitoring data is perishable).
 type Server struct {
-	mu        sync.Mutex
-	ln        net.Listener
-	subs      map[int]*subscriber
+	mu sync.Mutex
+	ln net.Listener
+	//ecolint:guardedby mu
+	subs map[int]*subscriber
+	//ecolint:guardedby mu
 	nextSubID int
-	closed    bool
+	//ecolint:guardedby mu
+	closed bool
 	wg        sync.WaitGroup
 	logf      func(format string, args ...any)
 	// writeTimeout bounds each frame write so one wedged subscriber socket

@@ -138,7 +138,8 @@ type family struct {
 	labelNames  []string
 	upperBounds []float64 // histogram only
 
-	mu     sync.RWMutex
+	mu sync.RWMutex
+	//ecolint:guardedby mu
 	series map[string]*series
 }
 

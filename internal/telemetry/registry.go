@@ -14,7 +14,8 @@ import (
 // Registry holds metric families and renders them. The zero value is not
 // usable; call NewRegistry (or use the package Default).
 type Registry struct {
-	mu       sync.RWMutex
+	mu sync.RWMutex
+	//ecolint:guardedby mu
 	families map[string]*family
 }
 

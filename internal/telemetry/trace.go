@@ -14,8 +14,10 @@ import (
 // durations would make goldens flaky — so spans carry their measurements as
 // explicit attributes instead.
 type Tracer struct {
-	mu    sync.Mutex
-	rng   *rand.Rand
+	mu sync.Mutex
+	//ecolint:guardedby mu
+	rng *rand.Rand
+	//ecolint:guardedby mu
 	roots []*Span
 }
 

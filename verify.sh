@@ -11,7 +11,10 @@
 # must come back from .ecolint-cache/ at least 3x faster than the cold
 # run, which gates the cache actually working, not just existing.
 #
-# Each stage reports its wall-clock seconds as "[stage NNs]".
+# Each stage reports its wall-clock seconds as "[stage NNs]". A failing
+# command aborts the script immediately (set -e) and the EXIT trap names
+# the stage that died, so a mid-stage failure can never masquerade as a
+# later stage's timing noise.
 #
 # Usage:
 #   ./verify.sh          full gate (including the fuzz smoke)
@@ -30,14 +33,30 @@ now_ms() {
 }
 
 STAGE_T0=0
+CURRENT_STAGE=""
+VERIFY_DONE=0
+on_exit() {
+	_rc=$?
+	if [ "$VERIFY_DONE" != 1 ]; then
+		if [ -n "$CURRENT_STAGE" ]; then
+			echo "verify.sh: FAILED in stage \"$CURRENT_STAGE\" (exit $_rc)" >&2
+		else
+			echo "verify.sh: FAILED before the first stage (exit $_rc)" >&2
+		fi
+	fi
+}
+trap on_exit EXIT
+
 stage() {
 	STAGE_T0="$(now_ms)"
+	CURRENT_STAGE="$*"
 	echo "== $*"
 }
 stage_done() {
 	_t1="$(now_ms)"
 	_dt=$(( _t1 - STAGE_T0 ))
 	echo "   [stage $(( _dt / 1000 )).$(printf %03d $(( _dt % 1000 )))s]"
+	CURRENT_STAGE=""
 }
 
 stage "go build ./..."
@@ -48,9 +67,10 @@ stage "go vet ./..."
 go vet ./...
 stage_done
 
-# ecolint over everything, test files included, against a fresh cache.
-# The full analyzer suite (determinism and the CFG lock checks included)
-# gates the tree; any finding fails the build.
+# ecolint over everything, test files included, against a fresh cache:
+# self-cleanliness is a hard gate. The full analyzer suite — the CFG lock
+# checks plus the concurrency-safety analyzers (guardedby, closurecapture,
+# atomicmix) — gates the tree; any finding fails the build.
 ECOLINT_CACHE=".ecolint-cache"
 stage "ecolint -include-tests ./... (cold cache)"
 rm -rf "$ECOLINT_CACHE"
@@ -75,6 +95,7 @@ if [ "$SHORT" = 1 ]; then
 	stage "go test -short ./..."
 	go test -short ./...
 	stage_done
+	VERIFY_DONE=1
 	echo "verify.sh: short gates passed (fuzz smoke and race detector skipped)"
 	exit 0
 fi
@@ -138,12 +159,15 @@ go test -run='^$' -fuzz='^FuzzDecodePIE$' -fuzztime="$FUZZTIME" ./internal/codin
 go test -run='^$' -fuzz='^FuzzReadFrame$' -fuzztime="$FUZZTIME" ./internal/shmwire
 stage_done
 
-# Bench smoke: regenerate the hot-path micro-benchmarks and gate the
-# channel transmit against the committed BENCH_5.json baseline (>20%
-# slower fails: the convolution crossover or the transmit path broke).
-stage "bench smoke (ecobench -json vs BENCH_5.json)"
-go run ./cmd/ecobench -json -baseline BENCH_5.json > BENCH_5.json.new
-mv BENCH_5.json.new /tmp/ecobench_bench_last.json
+# Bench smoke: regenerate the hot-path micro-benchmark matrix and gate
+# the channel transmit, uplink round decode and fleet survey against the
+# committed BENCH_6.json baseline at matching GOMAXPROCS (>20% slower
+# fails: the convolution crossover, the decode path or the survey fan-out
+# broke).
+stage "bench smoke (ecobench -json vs BENCH_6.json)"
+go run ./cmd/ecobench -json -baseline BENCH_6.json > BENCH_6.json.new
+mv BENCH_6.json.new /tmp/ecobench_bench_last.json
 stage_done
 
+VERIFY_DONE=1
 echo "verify.sh: all gates passed"
