@@ -1,12 +1,15 @@
 package main
 
-// The -json bench mode: three micro-benchmarks over the stack's hot paths,
+// The -json bench mode: micro-benchmarks over the stack's hot paths,
 // measured at GOMAXPROCS=1 and at NumCPU, emitted as machine-readable JSON
 // so CI can pin performance the way the golden files pin behaviour. The
-// committed BENCH_6.json at the repository root is the reference;
+// committed BENCH_7.json at the repository root is the reference;
 // verify.sh re-runs the suite and fails the gate when the channel
-// transmit, the uplink round decode or the fleet survey regresses more
-// than the tolerance against the matching-GOMAXPROCS baseline run.
+// transmit, the uplink round decode, the fleet survey or the cold/warm
+// link-cache decode pair regresses more than the tolerance against the
+// matching-GOMAXPROCS baseline run. The cold/warm pair additionally gates
+// the cache itself: a warm lookup that is not at least 2× faster than the
+// cold build means the per-link channel cache stopped doing its job.
 
 import (
 	"encoding/json"
@@ -45,14 +48,22 @@ type benchReport struct {
 
 // The bench names double as the baseline-comparison keys.
 const (
-	benchTransmit = "channel_transmit_10ms"
-	benchDecode   = "uplink_round_decode"
-	benchSurvey   = "fleet_survey"
+	benchTransmit  = "channel_transmit_10ms"
+	benchDecode    = "uplink_round_decode"
+	benchSurvey    = "fleet_survey"
+	benchRoundCold = "uplink_round_cold"
+	benchRoundWarm = "uplink_round_warm"
 )
 
 // gatedBenches are compared against the committed baseline; any of them
 // regressing fails the gate, not just the transmit.
-var gatedBenches = []string{benchTransmit, benchDecode, benchSurvey}
+var gatedBenches = []string{benchTransmit, benchDecode, benchSurvey, benchRoundCold, benchRoundWarm}
+
+// warmSpeedup is the minimum cold/warm ratio the link-cache pair must
+// show: a warm lookup re-uses the image-source expansion and the
+// frequency-domain convolver, so it has to be at least this much faster
+// than a cold build of the same link.
+const warmSpeedup = 2.0
 
 // regressionTolerance is how much slower than the committed baseline a
 // gated benchmark may measure before the gate fails; the slack absorbs
@@ -124,6 +135,78 @@ func runBenchSuite() (benchRun, error) {
 		}
 	})
 	e.Name = benchDecode
+	rep.Benchmarks = append(rep.Benchmarks, e)
+
+	// Hot paths 2a/2b: one round's reader-side work behind the per-link
+	// channel cache. Cold pays the whole link bring-up a cacheless reader
+	// repeats every round — the image-source expansion plus the
+	// frequency-domain kernel spectra (Prime) of a survey-grade order-8
+	// response — before decoding its slot; warm replays the same link from
+	// one shared cache, whose entry already holds the arrivals and the
+	// primed convolver, and goes straight to the slot decode. The gap is
+	// exactly what the cache amortises for a reader polling a fixed fleet.
+	linkCfg := channel.Config{
+		Structure:   geometry.CommonWall(),
+		Source:      geometry.Vec3{X: 0.1, Y: 10, Z: 0},
+		Destination: geometry.Vec3{X: 2.0, Y: 10, Z: 0.1},
+		PrismAngle:  units.Deg2Rad(60),
+		Seed:        5,
+		MaxOrder:    8,
+	}
+	round, err := channel.New(linkCfg)
+	if err != nil {
+		return rep, fmt.Errorf("bench round link: %w", err)
+	}
+	// The slot window: the frame plus a 16 ms guard, leakage summed in, as
+	// the batched reader demodulator sees it (the reverb tail beyond the
+	// slot belongs to the next slot's guard, not to this decode).
+	y := round.Transmit(bs)
+	slotLen := len(bs) + 16000
+	if slotLen > len(y) {
+		slotLen = len(y)
+	}
+	slot := make([]float64, slotLen)
+	copy(slot, y[:slotLen])
+	for i := 0; i < len(carrier) && i < slotLen; i++ {
+		slot[i] += 0.4 * carrier[i]
+	}
+	if _, err := rx.DemodulateFrame(slot, len(bits)); err != nil {
+		return rep, fmt.Errorf("bench round decode sanity: %w", err)
+	}
+	e = runBench(&r, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cold, err := channel.NewCache().Channel(linkCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cold.Prime(len(bs))
+			if _, err := rx.DemodulateFrame(slot, len(bits)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	e.Name = benchRoundCold
+	rep.Benchmarks = append(rep.Benchmarks, e)
+
+	cc := channel.NewCache()
+	if warm, err := cc.Channel(linkCfg); err != nil {
+		return rep, fmt.Errorf("bench cache warmup: %w", err)
+	} else {
+		warm.Prime(len(bs))
+	}
+	e = runBench(&r, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			warm, err := cc.Channel(linkCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			warm.Prime(len(bs))
+			if _, err := rx.DemodulateFrame(slot, len(bits)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	e.Name = benchRoundWarm
 	rep.Benchmarks = append(rep.Benchmarks, e)
 
 	// Hot path 3: the demo-fleet survey — charge, inventory-grade reads
@@ -220,6 +303,31 @@ func gateAgainst(rep, base benchReport) int {
 	return failures
 }
 
+// gateColdWarm enforces the intra-run cache contract: in every run, the
+// warm cached decode must be at least warmSpeedup× faster than the cold
+// build-and-decode of the same link. Returns the number of violations.
+func gateColdWarm(rep benchReport) int {
+	failures := 0
+	for _, run := range rep.Runs {
+		cold, warm := run.nsPerOp(benchRoundCold), run.nsPerOp(benchRoundWarm)
+		if cold <= 0 || warm <= 0 {
+			fmt.Fprintf(os.Stderr, "ecobench: run at gomaxprocs=%d is missing the cold/warm pair\n", run.GoMaxProcs)
+			failures++
+			continue
+		}
+		if warm*warmSpeedup > cold {
+			fmt.Fprintf(os.Stderr,
+				"ecobench: link cache not earning its keep at gomaxprocs=%d: warm %.0f ns/op vs cold %.0f ns/op (< %.1f× speedup)\n",
+				run.GoMaxProcs, warm, cold, warmSpeedup)
+			failures++
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "ecobench: warm decode %.1f× faster than cold at gomaxprocs=%d\n",
+			cold/warm, run.GoMaxProcs)
+	}
+	return failures
+}
+
 // benchMain runs the suite matrix, writes JSON to stdout and, when
 // baselinePath names a committed report, enforces the regression gate on
 // every gated benchmark. Returns the process exit code.
@@ -235,6 +343,9 @@ func benchMain(baselinePath string) int {
 		return 1
 	}
 	fmt.Println(string(out))
+	if gateColdWarm(rep) > 0 {
+		return 1
+	}
 	if baselinePath == "" {
 		return 0
 	}

@@ -1,0 +1,248 @@
+package channel
+
+// Per-link channel cache. Building a Channel is dominated by the
+// image-source expansion of the multipath impulse response and, on first
+// Transmit, the FFT plan + kernel spectrum of the overlap-add convolver.
+// None of that state depends on the noise seed, the noise floor, or the
+// leakage gain — only on the link geometry (structure dimensions and
+// material, endpoints, prism) and the carrier/sample rate. A Cache keys on
+// exactly that tuple, so a reader re-deploying a fleet, re-surveying the
+// same structure, or running repeated decode rounds pays the expansion
+// once per distinct link.
+//
+// Keying & invalidation contract:
+//
+//   - Keys are VALUE-derived snapshots: structure name, shape, dimensions,
+//     surface loss, a material fingerprint (name + density + wave speeds +
+//     attenuation + resonance), both endpoints, sample rate, carrier,
+//     prism angle, prism fingerprint, and reflection order. Mutating the
+//     geometry (resizing the structure, moving an endpoint, changing the
+//     carrier) therefore changes the key and naturally misses — a stale
+//     entry can never be returned for the new geometry.
+//   - Entries are immutable once published. Channels built from an entry
+//     share its arrival slice and convolver; AddScatterers on such a
+//     channel copies-on-write (the sibling channels keep the clean
+//     response) and explicitly invalidates the entry, because scatterer
+//     state is channel-local and the cached clean response no longer
+//     represents this link.
+//   - Invalidate / InvalidateStructure drop entries eagerly for callers
+//     that mutate structures in place (the value key already protects
+//     correctness; eager dropping reclaims the memory).
+//
+// Per-channel mutable state (the deterministic noise source, the
+// impairment hook) is never shared: every Channel gets its own.
+
+import (
+	"sync"
+
+	"ecocapsule/internal/dsp"
+	"ecocapsule/internal/geometry"
+	"ecocapsule/internal/material"
+	"ecocapsule/internal/units"
+)
+
+// matKey fingerprints a material by the parameters the channel response
+// actually consumes. Two materials agreeing on all of them produce the
+// same impulse response and may share entries.
+type matKey struct {
+	name               string
+	density, vp, vs    float64
+	attenuation        float64
+	resonantFrequency  float64
+	compressiveStrenth float64
+}
+
+func matKeyOf(m *material.Material) matKey {
+	if m == nil {
+		return matKey{}
+	}
+	return matKey{
+		name:               m.Name,
+		density:            m.Density,
+		vp:                 m.VP(),
+		vs:                 m.VS(),
+		attenuation:        m.AttenuationDBPerMeter,
+		resonantFrequency:  m.ResonantFrequency,
+		compressiveStrenth: m.CompressiveStrength,
+	}
+}
+
+// cacheKey is the value-derived identity of one link's clean response.
+type cacheKey struct {
+	structName                string
+	shape                     geometry.Shape
+	length, height, thickness float64
+	diameter, surfaceLossDB   float64
+	mat                       matKey
+	src, dst                  geometry.Vec3
+	fs, fc, prismAngle        float64
+	prism                     matKey
+	maxOrder                  int
+}
+
+// keyOf snapshots a normalised config into its cache key.
+func keyOf(cfg Config) cacheKey {
+	s := cfg.Structure
+	return cacheKey{
+		structName:    s.Name,
+		shape:         s.Shape,
+		length:        s.Length,
+		height:        s.Height,
+		thickness:     s.Thickness,
+		diameter:      s.Diameter,
+		surfaceLossDB: s.SurfaceLossDB,
+		mat:           matKeyOf(s.Material),
+		src:           cfg.Source,
+		dst:           cfg.Destination,
+		fs:            cfg.SampleRate,
+		fc:            cfg.CarrierFrequency,
+		prismAngle:    cfg.PrismAngle,
+		prism:         matKeyOf(cfg.Prism),
+		maxOrder:      cfg.MaxOrder,
+	}
+}
+
+// normalize applies New's defaulting rules so cache keys are canonical.
+func normalize(cfg Config) Config {
+	if cfg.SampleRate == 0 {
+		cfg.SampleRate = 1 * units.MHz
+	}
+	if cfg.CarrierFrequency == 0 {
+		cfg.CarrierFrequency = 230 * units.KHz
+	}
+	if cfg.Prism == nil {
+		cfg.Prism = material.PLA()
+	}
+	return cfg
+}
+
+// cacheEntry is the immutable shared state of one link.
+type cacheEntry struct {
+	arrivals []geometry.Arrival // sorted clean response; never mutated
+	conv     *dsp.Convolver     // safe for concurrent use, plans self-cache
+	resGain  float64
+}
+
+// CacheStats reports cache effectiveness.
+type CacheStats struct {
+	Hits, Misses uint64
+	Entries      int
+}
+
+// Cache shares the expensive per-link channel state across Channel
+// instances. Safe for concurrent use.
+type Cache struct {
+	mu sync.Mutex
+	//ecolint:guardedby mu
+	entries map[cacheKey]*cacheEntry
+	//ecolint:guardedby mu
+	hits uint64
+	//ecolint:guardedby mu
+	misses uint64
+}
+
+// NewCache returns an empty link cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[cacheKey]*cacheEntry)}
+}
+
+// Channel returns a channel for cfg, reusing the cached impulse response
+// and convolver when the link was built before. Warm channels are
+// byte-identical in behaviour to freshly built ones (same arrivals, same
+// convolution engine, own noise source) — guarded by cache_test.go.
+func (cc *Cache) Channel(cfg Config) (*Channel, error) {
+	cfg = normalize(cfg)
+	if cfg.Structure == nil {
+		return New(cfg) // let New produce the canonical error
+	}
+	key := keyOf(cfg)
+	cc.mu.Lock()
+	e := cc.entries[key]
+	if e != nil {
+		cc.hits++
+	} else {
+		cc.misses++
+	}
+	cc.mu.Unlock()
+	if e != nil {
+		c := &Channel{
+			cfg:      cfg,
+			arrivals: e.arrivals,
+			noise:    dsp.NewNoiseSource(cfg.Seed),
+			resGain:  e.resGain,
+			conv:     e.conv,
+			shared:   true,
+			cache:    cc,
+			key:      key,
+		}
+		mLinks.Inc()
+		mPathGain.Observe(c.PathGain())
+		return c, nil
+	}
+	c, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cc.mu.Lock()
+	cc.entries[key] = &cacheEntry{arrivals: c.arrivals, conv: c.conv, resGain: c.resGain}
+	cc.mu.Unlock()
+	c.shared = true
+	c.cache = cc
+	c.key = key
+	return c, nil
+}
+
+// Invalidate drops the entry for the given link config (normalised the
+// same way Channel normalises it). A no-op when the link is not cached.
+func (cc *Cache) Invalidate(cfg Config) {
+	cfg = normalize(cfg)
+	if cfg.Structure == nil {
+		return
+	}
+	cc.invalidateKey(keyOf(cfg))
+}
+
+// InvalidateStructure drops every cached link hosted by the named
+// structure — the bulk invalidation for in-place geometry edits.
+func (cc *Cache) InvalidateStructure(s *geometry.Structure) {
+	if s == nil {
+		return
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	for k := range cc.entries {
+		if k.structName == s.Name {
+			delete(cc.entries, k)
+		}
+	}
+}
+
+func (cc *Cache) invalidateKey(key cacheKey) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	delete(cc.entries, key)
+}
+
+// Stats returns hit/miss counters and the live entry count.
+func (cc *Cache) Stats() CacheStats {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return CacheStats{Hits: cc.hits, Misses: cc.misses, Entries: len(cc.entries)}
+}
+
+// detach severs a channel from its shared cache entry before a local
+// mutation (AddScatterers): the arrival list is copied so sibling channels
+// keep the clean cached response, and the entry is invalidated because the
+// mutation signals this link's scatterer state diverged from the clean
+// geometry the cache describes.
+func (c *Channel) detach() {
+	if !c.shared {
+		return
+	}
+	c.arrivals = append([]geometry.Arrival(nil), c.arrivals...)
+	c.shared = false
+	if c.cache != nil {
+		c.cache.invalidateKey(c.key)
+		c.cache = nil
+	}
+}

@@ -1,0 +1,302 @@
+package channel
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"ecocapsule/internal/dsp"
+	"ecocapsule/internal/geometry"
+	"ecocapsule/internal/units"
+)
+
+func cacheCfg() Config {
+	return Config{
+		Structure:   geometry.CommonWall(),
+		Source:      geometry.Vec3{X: 0.1, Y: 10, Z: 0},
+		Destination: geometry.Vec3{X: 1.6, Y: 10, Z: 0.1},
+		PrismAngle:  units.Deg2Rad(60),
+		Seed:        3,
+	}
+}
+
+func testBurst(n int, seed int64) []float64 {
+	src := dsp.NewNoiseSource(seed)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = src.Gaussian(1)
+	}
+	return x
+}
+
+// TestCacheWarmMatchesColdByteIdentical is the cache-correctness anchor: a
+// channel built through a warm cache must transmit byte-identical
+// waveforms to both a cold-cache build and a plain New build of the same
+// link (same arrivals, same convolution engine, same noise stream).
+func TestCacheWarmMatchesColdByteIdentical(t *testing.T) {
+	cfg := cacheCfg()
+	x := testBurst(20000, 9)
+
+	plain, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := NewCache()
+	cold, err := cc.Channel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := cc.Channel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cc.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats after cold+warm = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+
+	yPlain := plain.Transmit(x)
+	yCold := cold.Transmit(x)
+	yWarm := warm.Transmit(x)
+	if len(yWarm) != len(yCold) || len(yWarm) != len(yPlain) {
+		t.Fatalf("output lengths differ: plain %d cold %d warm %d",
+			len(yPlain), len(yCold), len(yWarm))
+	}
+	for i := range yWarm {
+		//ecolint:ignore floatcmp byte-identical replay is the cache contract under test
+		if yWarm[i] != yCold[i] || yWarm[i] != yPlain[i] {
+			t.Fatalf("sample %d: plain %g cold %g warm %g — not byte-identical",
+				i, yPlain[i], yCold[i], yWarm[i])
+		}
+	}
+	//ecolint:ignore floatcmp shared-entry gains must replay exactly, not approximately
+	if warm.PathGain() != plain.PathGain() || warm.ResonanceGain() != plain.ResonanceGain() {
+		t.Error("warm channel derived gains differ from plain build")
+	}
+}
+
+// TestCacheMissesOnGeometryChange: mutating the structure's geometry or the
+// link parameters must change the value-derived key, so the stale entry is
+// never reused.
+func TestCacheMissesOnGeometryChange(t *testing.T) {
+	cc := NewCache()
+	base := cacheCfg()
+	if _, err := cc.Channel(base); err != nil {
+		t.Fatal(err)
+	}
+
+	moved := base
+	moved.Destination.X += 0.5
+	chMoved, err := cc.Channel(moved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := New(moved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	//ecolint:ignore floatcmp a cache miss rebuilds the same arrivals, so the gain is exact
+	if chMoved.PathGain() != want.PathGain() {
+		t.Errorf("moved-destination channel path gain %g, want fresh build's %g",
+			chMoved.PathGain(), want.PathGain())
+	}
+
+	// In-place structure mutation: the snapshot key must miss.
+	thick := base
+	thick.Structure = geometry.CommonWall()
+	if _, err := cc.Channel(thick); err != nil {
+		t.Fatal(err)
+	}
+	before := cc.Stats()
+	thick.Structure.Thickness *= 2
+	chThick, err := cc.Channel(thick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := cc.Stats()
+	if after.Misses != before.Misses+1 {
+		t.Fatalf("thickness mutation hit the cache (stats %+v → %+v)", before, after)
+	}
+	fresh, err := New(thick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	//ecolint:ignore floatcmp a cache miss rebuilds the same arrivals, so the gain is exact
+	if chThick.PathGain() != fresh.PathGain() {
+		t.Error("mutated-geometry channel does not match a fresh build")
+	}
+}
+
+// TestCacheScattererInvalidation is the stale-cache test: AddScatterers on
+// a cache-backed channel must (a) leave sibling channels sharing the entry
+// byte-identical to a clean build, and (b) invalidate the entry so the
+// next lookup rebuilds. If either the copy-on-write or the invalidation
+// were dropped, this test fails.
+func TestCacheScattererInvalidation(t *testing.T) {
+	cfg := cacheCfg()
+	x := testBurst(8000, 4)
+	cc := NewCache()
+	a, err := cc.Channel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cc.Channel(cfg) // sibling sharing the same entry
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	objs := []Scatterer{{Kind: Rebar, Position: geometry.Vec3{X: 0.8, Y: 10.02, Z: 0.05}, Size: 0.025}}
+	withScatter, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withScatter.AddScatterers(objs)
+	a.AddScatterers(objs)
+
+	// (a) The mutated channel behaves like a fresh build with scatterers...
+	ya, yw := a.Transmit(x), withScatter.Transmit(x)
+	for i := range ya {
+		//ecolint:ignore floatcmp copy-on-write must reproduce the fresh build exactly
+		if ya[i] != yw[i] {
+			t.Fatalf("scattered channel sample %d: %g vs fresh %g", i, ya[i], yw[i])
+		}
+	}
+	// ...while the sibling still matches the clean response exactly.
+	yb, yc := b.Transmit(x), clean.Transmit(x)
+	for i := range yb {
+		//ecolint:ignore floatcmp the sibling must stay bit-exact to the clean response
+		if yb[i] != yc[i] {
+			t.Fatalf("sibling was polluted by AddScatterers: sample %d %g vs clean %g",
+				i, yb[i], yc[i])
+		}
+	}
+	if len(a.Arrivals()) == len(b.Arrivals()) {
+		t.Fatal("AddScatterers added no arrivals; stale-cache test is vacuous")
+	}
+
+	// (b) The entry was invalidated: the next lookup is a miss.
+	before := cc.Stats()
+	if before.Entries != 0 {
+		t.Fatalf("entry survived AddScatterers: %+v", before)
+	}
+	if _, err := cc.Channel(cfg); err != nil {
+		t.Fatal(err)
+	}
+	after := cc.Stats()
+	if after.Misses != before.Misses+1 {
+		t.Fatalf("lookup after invalidation was not a miss: %+v → %+v", before, after)
+	}
+}
+
+// TestCacheExplicitInvalidation covers the eager Invalidate APIs.
+func TestCacheExplicitInvalidation(t *testing.T) {
+	cc := NewCache()
+	cfg := cacheCfg()
+	if _, err := cc.Channel(cfg); err != nil {
+		t.Fatal(err)
+	}
+	other := cfg
+	other.Destination.X += 1
+	if _, err := cc.Channel(other); err != nil {
+		t.Fatal(err)
+	}
+	if st := cc.Stats(); st.Entries != 2 {
+		t.Fatalf("expected 2 entries, got %+v", st)
+	}
+	cc.Invalidate(cfg)
+	if st := cc.Stats(); st.Entries != 1 {
+		t.Fatalf("Invalidate removed wrong count: %+v", st)
+	}
+	cc.InvalidateStructure(cfg.Structure)
+	if st := cc.Stats(); st.Entries != 0 {
+		t.Fatalf("InvalidateStructure left entries: %+v", st)
+	}
+	// No-ops must not panic.
+	cc.Invalidate(Config{})
+	cc.InvalidateStructure(nil)
+}
+
+// TestCacheConcurrentRounds exercises a shared cache (and the shared
+// convolver inside one entry) from concurrent goroutines — meaningful
+// under -race. Every goroutine must see exactly the clean response.
+func TestCacheConcurrentRounds(t *testing.T) {
+	cfg := cacheCfg()
+	x := testBurst(12000, 5)
+	clean, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := clean.Transmit(x)
+	cc := NewCache()
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				ch, err := cc.Channel(cfg)
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				got := ch.Transmit(x)
+				for i := range got {
+					//ecolint:ignore floatcmp concurrent replays must be bit-exact
+					if got[i] != want[i] {
+						errs <- "cached transmit diverged from clean build"
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	st := cc.Stats()
+	if st.Hits+st.Misses != workers*3 || st.Entries != 1 {
+		t.Fatalf("stats %+v, want %d lookups over 1 entry", st, workers*3)
+	}
+}
+
+// TestCacheSeedIndependence: the key must exclude per-channel state (seed,
+// noise floor, leakage) so differently seeded channels share one entry but
+// draw independent noise.
+func TestCacheSeedIndependence(t *testing.T) {
+	cc := NewCache()
+	cfgA := cacheCfg()
+	cfgA.NoiseFloor = 1e-3
+	cfgB := cfgA
+	cfgB.Seed = 99
+	a, err := cc.Channel(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cc.Channel(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cc.Stats(); st.Entries != 1 || st.Hits != 1 {
+		t.Fatalf("seed change must not change the key: %+v", st)
+	}
+	x := testBurst(4000, 6)
+	ya, yb := a.Transmit(x), b.Transmit(x)
+	same := true
+	for i := range ya {
+		if math.Abs(ya[i]-yb[i]) > 1e-15 {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical noise — noise source is shared")
+	}
+}

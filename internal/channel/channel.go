@@ -66,6 +66,12 @@ type Channel struct {
 	resGain  float64 // material resonance gain at the carrier (0..1)
 	imp      Impairment
 	conv     *dsp.Convolver // tapped-delay line over arrivals (raw gains)
+
+	// Cache-backed channels share arrivals and conv with their cache
+	// entry; detach() copies-on-write before any local mutation.
+	shared bool
+	cache  *Cache
+	key    cacheKey
 }
 
 // Impairment is the injectable acoustic-fade hook. Each Transmit draws one
@@ -91,16 +97,8 @@ func New(cfg Config) (*Channel, error) {
 	if cfg.Structure == nil {
 		return nil, errors.New("channel: nil structure")
 	}
-	if cfg.SampleRate == 0 {
-		cfg.SampleRate = 1 * units.MHz
-	}
-	if cfg.CarrierFrequency == 0 {
-		cfg.CarrierFrequency = 230 * units.KHz
-	}
+	cfg = normalize(cfg)
 	prism := cfg.Prism
-	if prism == nil {
-		prism = material.PLA()
-	}
 
 	var pFrac, sFrac, couple float64
 	if cfg.PrismAngle == 0 {
@@ -202,6 +200,12 @@ func (c *Channel) PathGain() float64 {
 
 // DelaySpread returns the RMS delay spread of the response in seconds.
 func (c *Channel) DelaySpread() float64 { return geometry.DelaySpread(c.arrivals) }
+
+// Prime precomputes the frequency-domain convolution state an n-sample
+// Transmit will use. Cache-backed channels share this state through their
+// entry, so priming one link once makes every warm lookup's first Transmit
+// run on cached spectra.
+func (c *Channel) Prime(n int) { c.conv.Prime(n) }
 
 // rebuildConvolver snapshots the arrival list into the sparse FFT/direct
 // convolution engine. Tap offsets are rounded to the nearest sample, so an

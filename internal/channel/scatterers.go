@@ -77,6 +77,9 @@ func (c *Channel) AddScatterers(objs []Scatterer) {
 	if len(objs) == 0 {
 		return
 	}
+	// Scatterer state is channel-local: leave any shared cache entry (and
+	// the sibling channels reading it) untouched, and invalidate it.
+	c.detach()
 	m := c.cfg.Structure.Material
 	speed := m.VS()
 	shear := true

@@ -3,6 +3,7 @@ package coding
 import (
 	"errors"
 	"math"
+	"sync"
 )
 
 // FM0 (bi-phase space) coding for the uplink (§3.4): the level always
@@ -60,19 +61,40 @@ func FM0DecodeML(halves []float64) []byte {
 	if n == 0 {
 		return nil
 	}
+	return FM0DecodeMLAppend(make([]byte, 0, n), halves)
+}
+
+type fm0Node struct {
+	cost float64
+	prev int8 // previous state
+	bit  byte
+}
+
+// fm0TrellisPool recycles the Viterbi trellis between decodes so the warm
+// decode path allocates nothing.
+var fm0TrellisPool = sync.Pool{New: func() any { return new([][2]fm0Node) }}
+
+// FM0DecodeMLAppend is FM0DecodeML appending into dst: the trellis comes
+// from a pool, so when dst has spare capacity for the decoded bits the call
+// performs zero steady-state allocations. The decoded bits are byte-for-byte
+// identical to FM0DecodeML's.
+func FM0DecodeMLAppend(dst []byte, halves []float64) []byte {
+	n := len(halves) / 2
+	if n == 0 {
+		return dst
+	}
 	const (
 		statePos = 0 // next symbol starts at +1
 		stateNeg = 1 // next symbol starts at −1
 	)
-	type node struct {
-		cost float64
-		prev int8 // previous state
-		bit  byte
+	tp := fm0TrellisPool.Get().(*[][2]fm0Node)
+	if cap(*tp) < n+1 {
+		*tp = make([][2]fm0Node, n+1)
 	}
 	// trellis[i][s] is the best path ending before symbol i in state s.
-	trellis := make([][2]node, n+1)
-	trellis[0][statePos] = node{cost: 0}
-	trellis[0][stateNeg] = node{cost: 0}
+	trellis := (*tp)[:n+1]
+	trellis[0][statePos] = fm0Node{cost: 0}
+	trellis[0][stateNeg] = fm0Node{cost: 0}
 	inf := math.Inf(1)
 	for i := 1; i <= n; i++ {
 		trellis[i][0].cost = inf
@@ -100,7 +122,7 @@ func FM0DecodeML(halves []float64) []byte {
 				cost := base + sq(a-l) + sq(b+l)
 				next := s
 				if cost < trellis[i+1][next].cost {
-					trellis[i+1][next] = node{cost: cost, prev: int8(s), bit: 0}
+					trellis[i+1][next] = fm0Node{cost: cost, prev: int8(s), bit: 0}
 				}
 			}
 			// Bit 1: halves are (l, l); next level = −l → state flips.
@@ -108,7 +130,7 @@ func FM0DecodeML(halves []float64) []byte {
 				cost := base + sq(a-l) + sq(b-l)
 				next := 1 - s
 				if cost < trellis[i+1][next].cost {
-					trellis[i+1][next] = node{cost: cost, prev: int8(s), bit: 1}
+					trellis[i+1][next] = fm0Node{cost: cost, prev: int8(s), bit: 1}
 				}
 			}
 		}
@@ -118,12 +140,19 @@ func FM0DecodeML(halves []float64) []byte {
 	if trellis[n][stateNeg].cost < trellis[n][statePos].cost {
 		s = stateNeg
 	}
-	bits := make([]byte, n)
+	base := len(dst)
+	if cap(dst)-base < n {
+		nd := make([]byte, base, base+n)
+		copy(nd, dst)
+		dst = nd
+	}
+	dst = dst[:base+n]
 	for i := n; i > 0; i-- {
-		bits[i-1] = trellis[i][s].bit
+		dst[base+i-1] = trellis[i][s].bit
 		s = int(trellis[i][s].prev)
 	}
-	return bits
+	fm0TrellisPool.Put(tp)
+	return dst
 }
 
 func sq(x float64) float64 { return x * x }

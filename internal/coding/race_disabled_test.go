@@ -1,0 +1,5 @@
+//go:build !race
+
+package coding
+
+const raceEnabled = false

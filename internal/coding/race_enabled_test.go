@@ -1,0 +1,8 @@
+//go:build race
+
+package coding
+
+// raceEnabled reports that this binary carries the race detector's
+// instrumentation, whose allocation overhead (notably around sync.Pool)
+// makes zero-allocation assertions meaningless.
+const raceEnabled = true

@@ -18,7 +18,6 @@ package dsp
 
 import (
 	"math"
-	"math/bits"
 	"sync"
 )
 
@@ -103,6 +102,20 @@ func (c *Convolver) Apply(x []float64) []float64 {
 	return out
 }
 
+// Prime builds (if absent) the cached FFT plan and kernel spectrum an
+// n-sample input will use, without convolving anything. A caller that knows
+// its upcoming block length — a reader laying out a TDMA round, a cache
+// warming a link entry — can pay the spectrum precompute once, up front;
+// the matching ApplyTo then runs entirely on cached state. Inputs the cost
+// model would route to the direct path are a no-op.
+func (c *Convolver) Prime(n int) {
+	if n <= 0 || len(c.offsets) == 0 || !c.fftFaster(n) {
+		return
+	}
+	N, _ := c.blockPlan(n)
+	c.plan(N)
+}
+
 // ApplyDirect forces the sparse direct path (exported for equivalence tests
 // and the crossover guard).
 func (c *Convolver) ApplyDirect(x []float64) []float64 {
@@ -145,18 +158,11 @@ func (c *Convolver) blockPlan(n int) (N, B int) {
 	if want > 3*L {
 		want = 3 * L
 	}
-	N = nextPow2(want + L - 1)
+	N = NextPow2(want + L - 1)
 	if N < 64 {
 		N = 64
 	}
 	return N, N - L + 1
-}
-
-func nextPow2(n int) int {
-	if n <= 1 {
-		return 1
-	}
-	return 1 << bits.Len(uint(n-1))
 }
 
 // applyDirect is the sparse tapped-delay-line loop.
@@ -170,21 +176,19 @@ func (c *Convolver) applyDirect(out, x []float64) {
 	}
 }
 
-// fftPlan caches everything one padded length needs: the twiddle tables,
+// fftPlan caches everything one padded length needs: the shared real-FFT
+// plan (twiddles + untangling roots, from the package-level RFFT cache),
 // the kernel spectrum, and a pool of scratch buffers.
 type fftPlan struct {
-	n  int          // padded FFT length (power of two)
-	m  int          // n/2: complex FFT size for the real-packed transform
-	tw []complex128 // m/2 twiddles for the size-m complex FFT
-	wN []complex128 // e^{-2πik/n}, k = 0..m: real-FFT untangling roots
-	h  []complex128 // kernel spectrum, bins 0..m
+	rp *RFFTPlan    // shared transform plan for padded length N
+	h  []complex128 // kernel spectrum, bins 0..N/2
 	// pool of *convScratch
 	pool sync.Pool
 }
 
 type convScratch struct {
-	z  []complex128 // m-point complex work buffer
-	xs []complex128 // m+1 spectrum bins
+	xs    []complex128 // N/2+1 spectrum bins
+	block []float64    // N-sample time-domain block
 }
 
 // plan returns (building if needed) the cached plan for padded length N.
@@ -194,46 +198,36 @@ func (c *Convolver) plan(N int) *fftPlan {
 	if p, ok := c.plans[N]; ok {
 		return p
 	}
-	m := N / 2
-	p := &fftPlan{n: N, m: m}
-	p.tw = make([]complex128, m/2)
-	for k := range p.tw {
-		s, cs := math.Sincos(-2 * math.Pi * float64(k) / float64(m))
-		p.tw[k] = complex(cs, s)
-	}
-	p.wN = make([]complex128, m+1)
-	for k := range p.wN {
-		s, cs := math.Sincos(-2 * math.Pi * float64(k) / float64(N))
-		p.wN[k] = complex(cs, s)
-	}
+	rp := PlanRFFT(N)
+	p := &fftPlan{rp: rp}
 	p.pool.New = func() any {
 		return &convScratch{
-			z:  make([]complex128, m),
-			xs: make([]complex128, m+1),
+			xs:    make([]complex128, rp.HalfLen()),
+			block: make([]float64, N),
 		}
 	}
 	// Kernel spectrum: dense kernel, real-packed forward transform.
-	sc := p.pool.Get().(*convScratch)
 	dense := make([]float64, N)
 	for t, off := range c.offsets {
 		dense[off] += c.gains[t]
 	}
-	p.h = make([]complex128, m+1)
-	rfftForward(p, sc, dense, p.h)
-	p.pool.Put(sc)
+	p.h = make([]complex128, rp.HalfLen())
+	rp.Transform(p.h, dense)
 	c.plans[N] = p
 	return p
 }
 
 // applyFFT is the overlap-add path: split x into B-sample blocks, convolve
 // each against the cached kernel spectrum, and add the N-long block results
-// (clipped to the true output support) into out.
+// (clipped to the true output support) into out. Warm calls (plan built,
+// pool populated) allocate nothing.
 func (c *Convolver) applyFFT(out, x []float64) {
 	N, B := c.blockPlan(len(x))
 	p := c.plan(N)
 	sc := p.pool.Get().(*convScratch)
 	defer p.pool.Put(sc)
-	block := make([]float64, N)
+	block := sc.block
+	m := N / 2
 	outLen := c.OutLen(len(x))
 	for start := 0; start < len(x); start += B {
 		end := start + B
@@ -244,11 +238,11 @@ func (c *Convolver) applyFFT(out, x []float64) {
 		for i := nb; i < N; i++ {
 			block[i] = 0
 		}
-		rfftForward(p, sc, block, sc.xs)
-		for k := 0; k <= p.m; k++ {
+		p.rp.Transform(sc.xs, block)
+		for k := 0; k <= m; k++ {
 			sc.xs[k] *= p.h[k]
 		}
-		rfftInverse(p, sc, sc.xs, block)
+		p.rp.Inverse(block, sc.xs)
 		// The block's true support is [start, start+nb+L-1); anything
 		// beyond is FFT roundoff of an exact zero.
 		lim := nb + c.kernLen - 1
@@ -259,43 +253,6 @@ func (c *Convolver) applyFFT(out, x []float64) {
 		for i := range dst {
 			dst[i] += block[i]
 		}
-	}
-}
-
-// rfftForward computes bins 0..m of the N-point DFT of the real signal
-// x (len N) via one m-point complex FFT: z[j] = x[2j] + i·x[2j+1] is
-// transformed, then the even/odd spectra are untangled with the N-th roots.
-// The spectrum above m follows by Hermitian symmetry and is never stored.
-func rfftForward(p *fftPlan, sc *convScratch, x []float64, spec []complex128) {
-	m := p.m
-	for j := 0; j < m; j++ {
-		sc.z[j] = complex(x[2*j], x[2*j+1])
-	}
-	fftTab(sc.z, p.tw)
-	for k := 0; k <= m; k++ {
-		zk := sc.z[k%m]
-		zr := cconj(sc.z[(m-k)%m])
-		even := (zk + zr) * 0.5
-		odd := mulNegI(zk-zr) * 0.5
-		spec[k] = even + p.wN[k]*odd
-	}
-}
-
-// rfftInverse inverts bins 0..m (Hermitian-extended to N) back to the real
-// signal y (len N) through one m-point inverse FFT.
-func rfftInverse(p *fftPlan, sc *convScratch, spec []complex128, y []float64) {
-	m := p.m
-	for k := 0; k < m; k++ {
-		yk := spec[k]
-		ykm := cconj(spec[m-k]) // spec[k+m] of the full N spectrum
-		even := (yk + ykm) * 0.5
-		odd := (yk - ykm) * 0.5 * cconj(p.wN[k])
-		sc.z[k] = even + mulI(odd)
-	}
-	ifftTab(sc.z, p.tw)
-	for j := 0; j < m; j++ {
-		y[2*j] = real(sc.z[j])
-		y[2*j+1] = imag(sc.z[j])
 	}
 }
 

@@ -144,6 +144,65 @@ func TestConvolverEdgeCases(t *testing.T) {
 	}
 }
 
+// TestConvolverPrime: Prime builds exactly the plan the matching ApplyTo
+// uses — the primed call allocates no new plan and its output is unchanged —
+// and degenerate or direct-path inputs are a no-op.
+func TestConvolverPrime(t *testing.T) {
+	src := NewNoiseSource(0x97)
+	offs, gains := randomKernel(src, 200, 3000)
+	n := 5000
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = src.Gaussian(1)
+	}
+
+	plain := NewSparseConvolver(offs, gains)
+	want := plain.Apply(x)
+
+	primed := NewSparseConvolver(offs, gains)
+	if !primed.fftFaster(n) {
+		t.Fatalf("test shape (n=%d taps=%d) must route to the FFT path", n, len(offs))
+	}
+	primed.Prime(n)
+	N, _ := primed.blockPlan(n)
+	primed.mu.Lock()
+	if _, ok := primed.plans[N]; !ok {
+		t.Fatalf("Prime(%d) did not build the plan for N=%d", n, N)
+	}
+	plans := len(primed.plans)
+	primed.mu.Unlock()
+
+	got := primed.Apply(x)
+	if len(got) != len(want) {
+		t.Fatalf("primed output length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if d := math.Abs(got[i] - want[i]); d > 1e-9 {
+			t.Fatalf("primed output diverges at %d by %g", i, d)
+		}
+	}
+	primed.mu.Lock()
+	after := len(primed.plans)
+	primed.mu.Unlock()
+	if after != plans {
+		t.Errorf("Apply after Prime built %d extra plans; Prime must cover the call", after-plans)
+	}
+
+	// Degenerate inputs: no plan may appear, no panic.
+	for _, bad := range []int{0, -3} {
+		primed.Prime(bad)
+	}
+	tiny := NewSparseConvolver([]int{0, 1}, []float64{1, 1})
+	tiny.Prime(8) // 2 taps on 8 samples: direct path wins, Prime is a no-op
+	tiny.mu.Lock()
+	if len(tiny.plans) != 0 {
+		t.Errorf("direct-path Prime built %d plans", len(tiny.plans))
+	}
+	tiny.mu.Unlock()
+	empty := NewSparseConvolver(nil, nil)
+	empty.Prime(100)
+}
+
 // TestConvolverPanicsOnBadKernel pins the constructor contract.
 func TestConvolverPanicsOnBadKernel(t *testing.T) {
 	mustPanic := func(name string, fn func()) {

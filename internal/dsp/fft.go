@@ -7,6 +7,7 @@ package dsp
 
 import (
 	"math"
+	"math/bits"
 	"math/cmplx"
 )
 
@@ -66,34 +67,38 @@ func IFFT(x []complex128) {
 	}
 }
 
-// NextPow2 returns the smallest power of two >= n (and at least 1).
+// NextPow2 returns the smallest power of two >= n, and at least 1: the
+// degenerate inputs n <= 1 (empty buffers, single samples, and any
+// nonsensical negative length) all map to 1 rather than looping or
+// overflowing, so plan caches always see a valid power-of-two key.
 func NextPow2(n int) int {
-	p := 1
-	for p < n {
-		p <<= 1
+	if n <= 1 {
+		return 1
 	}
-	return p
+	return 1 << bits.Len(uint(n-1))
 }
 
 // Spectrum computes the single-sided magnitude spectrum of the real signal
 // x sampled at rate fs. It zero-pads x to the next power of two and returns
-// parallel slices of frequencies (Hz) and linear magnitudes.
+// parallel slices of frequencies (Hz) and linear magnitudes. The transform
+// runs on the packed real-input FFT (half the butterfly work of the old
+// complex-embedded path; equal within 1e-9, guarded by tests).
 func Spectrum(x []float64, fs float64) (freqs, mags []float64) {
 	if len(x) == 0 {
 		return nil, nil
 	}
 	n := NextPow2(len(x))
-	buf := make([]complex128, n)
-	for i, v := range x {
-		buf[i] = complex(v, 0)
-	}
-	FFT(buf)
+	p := PlanRFFT(n)
+	buf := make([]float64, n)
+	copy(buf, x)
+	spec := make([]complex128, p.HalfLen())
+	p.Transform(spec, buf)
 	half := n/2 + 1
 	freqs = make([]float64, half)
 	mags = make([]float64, half)
 	for i := 0; i < half; i++ {
 		freqs[i] = float64(i) * fs / float64(n)
-		mags[i] = cmplx.Abs(buf[i]) / float64(len(x))
+		mags[i] = cmplx.Abs(spec[i]) / float64(len(x))
 		if i != 0 && i != n/2 {
 			mags[i] *= 2 // fold the negative frequencies
 		}

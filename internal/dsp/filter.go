@@ -173,6 +173,39 @@ func DownConvert(x []float64, fs, fc, bw float64) []complex128 {
 	return ConvolveComplex(mixed, h)
 }
 
+// MixDown fills dst[i] = x[i]·e^{-i·2π·fc/fs·i} — the mixing stage of
+// DownConvert without the low-pass — using a phase recurrence re-anchored
+// with an exact Sincos every few hundred samples, so it matches the
+// per-sample Sincos of the reference within ~1e-13 while running an order
+// of magnitude faster. len(dst) must be >= len(x). Allocation-free.
+func MixDown(dst []complex128, x []float64, fs, fc float64) {
+	if len(x) == 0 {
+		return
+	}
+	if len(dst) < len(x) {
+		panic("dsp: MixDown output buffer too short")
+	}
+	w := 2 * math.Pi * fc / fs
+	sw, cw := math.Sincos(-w)
+	step := complex(cw, sw)
+	// Re-anchor the oscillator on an exact Sincos each chunk: the chunked
+	// recurrence drift stays below ~len(chunk)·ulp, far inside the 1e-9
+	// equivalence budget.
+	const chunk = 256
+	for base := 0; base < len(x); base += chunk {
+		end := base + chunk
+		if end > len(x) {
+			end = len(x)
+		}
+		s, c := math.Sincos(w * float64(base))
+		osc := complex(c, -s)
+		for i := base; i < end; i++ {
+			dst[i] = complex(x[i], 0) * osc
+			osc *= step
+		}
+	}
+}
+
 // Magnitude returns |x| element-wise.
 func Magnitude(x []complex128) []float64 {
 	y := make([]float64, len(x))

@@ -1,0 +1,189 @@
+package dsp
+
+import (
+	"math/cmplx"
+	"testing"
+)
+
+// rfftLengths covers every power of two the stack uses, including the
+// degenerate 1 and 2.
+var rfftLengths = []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 8192}
+
+// TestRFFTMatchesFFTPropertyBattery is the seeded randomized equivalence
+// battery of the fast real-input path: over 200 cases across all supported
+// power-of-two lengths, the packed half-spectrum must match the
+// complex-embedded FFT bin for bin within 1e-9, and IRFFT must invert RFFT
+// back to the input within 1e-9 (the IFFT normalisation contract).
+func TestRFFTMatchesFFTPropertyBattery(t *testing.T) {
+	const casesPerLength = 20 // 13 lengths × 20 = 260 cases
+	cases := 0
+	for _, n := range rfftLengths {
+		for rep := 0; rep < casesPerLength; rep++ {
+			seed := int64(1000*n + rep)
+			src := NewNoiseSource(seed)
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = src.Gaussian(1)
+			}
+
+			// Reference: full complex FFT of the embedded real signal.
+			ref := make([]complex128, n)
+			for i, v := range x {
+				ref[i] = complex(v, 0)
+			}
+			FFT(ref)
+
+			spec := RFFT(x)
+			if len(spec) != n/2+1 {
+				t.Fatalf("n=%d: RFFT returned %d bins, want %d", n, len(spec), n/2+1)
+			}
+			for k := range spec {
+				if d := cmplx.Abs(spec[k] - ref[k]); d > 1e-9 {
+					t.Fatalf("n=%d seed=%d bin %d: RFFT %v vs FFT %v (|Δ|=%g)",
+						n, seed, k, spec[k], ref[k], d)
+				}
+			}
+
+			// Round trip through the packed inverse.
+			back := IRFFT(spec)
+			if len(back) != n {
+				t.Fatalf("n=%d: IRFFT returned %d samples", n, len(back))
+			}
+			for i := range back {
+				if d := back[i] - x[i]; d > 1e-9 || d < -1e-9 {
+					t.Fatalf("n=%d seed=%d sample %d: IRFFT %g vs input %g",
+						n, seed, i, back[i], x[i])
+				}
+			}
+			cases++
+		}
+	}
+	if cases < 200 {
+		t.Fatalf("battery ran only %d cases, want >= 200", cases)
+	}
+}
+
+// TestRFFTMatchesIFFTInverse checks IRFFT against the complex IFFT on a
+// Hermitian spectrum: synthesise a random real signal's spectrum, invert
+// both ways, compare within 1e-9.
+func TestRFFTMatchesIFFTInverse(t *testing.T) {
+	for _, n := range rfftLengths {
+		src := NewNoiseSource(int64(n))
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = src.Gaussian(1)
+		}
+		full := make([]complex128, n)
+		for i, v := range x {
+			full[i] = complex(v, 0)
+		}
+		FFT(full)
+		spec := make([]complex128, n/2+1)
+		copy(spec, full[:n/2+1])
+
+		IFFT(full)
+		got := IRFFT(spec)
+		for i := range got {
+			if d := cmplx.Abs(complex(got[i], 0) - full[i]); d > 1e-9 {
+				t.Fatalf("n=%d sample %d: IRFFT %g vs IFFT %v", n, i, got[i], full[i])
+			}
+		}
+	}
+}
+
+func TestRFFTDegenerateLengths(t *testing.T) {
+	if got := RFFT(nil); got != nil {
+		t.Errorf("RFFT(nil) = %v, want nil", got)
+	}
+	if got := IRFFT(nil); got != nil {
+		t.Errorf("IRFFT(nil) = %v, want nil", got)
+	}
+	// n = 1: the single bin is the sample.
+	spec := RFFT([]float64{3.5})
+	if len(spec) != 1 || spec[0] != complex(3.5, 0) {
+		t.Errorf("RFFT([3.5]) = %v", spec)
+	}
+	if back := IRFFT(spec); len(back) != 1 || back[0] != 3.5 {
+		t.Errorf("IRFFT round trip of n=1 = %v", back)
+	}
+	// n = 2: DC and Nyquist bins.
+	spec = RFFT([]float64{1, 2})
+	if len(spec) != 2 {
+		t.Fatalf("RFFT n=2 returned %d bins", len(spec))
+	}
+	if cmplx.Abs(spec[0]-3) > 1e-12 || cmplx.Abs(spec[1]-(-1)) > 1e-12 {
+		t.Errorf("RFFT([1,2]) = %v, want [3, -1]", spec)
+	}
+}
+
+func TestRFFTPanicsOnNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-power-of-two length")
+		}
+	}()
+	RFFT(make([]float64, 12))
+}
+
+func TestPlanRFFTPanicsOnBadLength(t *testing.T) {
+	for _, n := range []int{0, -1, 3, 12} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PlanRFFT(%d): expected panic", n)
+				}
+			}()
+			PlanRFFT(n)
+		}()
+	}
+}
+
+// TestRFFTPlanTransformZeroAlloc pins the warm-plan transform and inverse
+// at zero steady-state allocations — the property the decode hot path's
+// per-op cost budget depends on.
+func TestRFFTPlanTransformZeroAlloc(t *testing.T) {
+	const n = 1024
+	p := PlanRFFT(n)
+	src := NewNoiseSource(9)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = src.Gaussian(1)
+	}
+	spec := make([]complex128, p.HalfLen())
+	y := make([]float64, n)
+	p.Transform(spec, x) // warm the scratch pool
+	p.Inverse(y, spec)
+	if allocs := testing.AllocsPerRun(50, func() {
+		p.Transform(spec, x)
+		p.Inverse(y, spec)
+	}); allocs != 0 {
+		t.Errorf("warm RFFT transform+inverse allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+func BenchmarkRFFTvsFFT(b *testing.B) {
+	const n = 32768
+	src := NewNoiseSource(3)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = src.Gaussian(1)
+	}
+	b.Run("rfft", func(b *testing.B) {
+		p := PlanRFFT(n)
+		spec := make([]complex128, p.HalfLen())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Transform(spec, x)
+		}
+	})
+	b.Run("fft", func(b *testing.B) {
+		buf := make([]complex128, n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j, v := range x {
+				buf[j] = complex(v, 0)
+			}
+			FFT(buf)
+		}
+	})
+}

@@ -30,12 +30,13 @@ func pilotTemplate() []float64 {
 // ErrNoSync is returned when the pilot cannot be located.
 var ErrNoSync = errors.New("phy: pilot correlation found no frame start")
 
-// Synchronize locates the start sample of a pilot-prefixed FM0 frame in a
-// raw pass-band capture. It down-converts around the estimated carrier,
-// strips the CBW pedestal, and slides the pilot template over the
+// SynchronizeReference locates the start sample of a pilot-prefixed FM0
+// frame in a raw pass-band capture. It down-converts around the estimated
+// carrier, strips the CBW pedestal, and slides the pilot template over the
 // magnitude baseband. searchLimit bounds the candidate start (samples);
-// zero means half the capture.
-func (rx *ReaderRX) Synchronize(signal []float64, searchLimit int) (int, error) {
+// zero means half the capture. This is the original implementation, kept
+// as the slow reference the fast Synchronize is equivalence-tested against.
+func (rx *ReaderRX) SynchronizeReference(signal []float64, searchLimit int) (int, error) {
 	fc, err := rx.EstimateCarrier(signal)
 	if err != nil {
 		return 0, err
@@ -132,18 +133,19 @@ func pilotCosine(ac []float64, tmpl []float64, start int, half float64) float64 
 	return dot / (math.Sqrt(vv) * math.Sqrt(float64(len(tmpl))))
 }
 
-// DemodulateFrame synchronises on the pilot and decodes nBits payload bits
-// that follow it, returning the payload (pilot stripped).
-func (rx *ReaderRX) DemodulateFrame(signal []float64, nBits int) ([]byte, error) {
-	start, err := rx.Synchronize(signal, 0)
+// DemodulateFrameReference synchronises on the pilot and decodes nBits
+// payload bits that follow it, returning the payload (pilot stripped). It
+// composes the two reference stages — so the receive front-end runs twice,
+// once per stage — and is retained (without telemetry) as the slow
+// reference for the fast DemodulateFrame's equivalence battery.
+func (rx *ReaderRX) DemodulateFrameReference(signal []float64, nBits int) ([]byte, error) {
+	start, err := rx.SynchronizeReference(signal, 0)
 	if err != nil {
-		mFrameDemods.With(demodNoSync).Inc()
 		return nil, err
 	}
 	total := len(PilotBits) + nBits
-	bits, err := rx.Demodulate(signal, start, total)
+	bits, err := rx.DemodulateReference(signal, start, total)
 	if err != nil {
-		mFrameDemods.With(demodError).Inc()
 		return nil, err
 	}
 	// Validate the pilot decoded correctly (tolerate one bit slip).
@@ -154,10 +156,8 @@ func (rx *ReaderRX) DemodulateFrame(signal []float64, nBits int) ([]byte, error)
 		}
 	}
 	if errs > len(PilotBits)/3 {
-		mFrameDemods.With(demodNoSync).Inc()
 		return nil, ErrNoSync
 	}
-	mFrameDemods.With(demodOK).Inc()
 	return bits[len(PilotBits):], nil
 }
 

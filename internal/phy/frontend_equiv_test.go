@@ -1,0 +1,324 @@
+package phy
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"ecocapsule/internal/dsp"
+	"ecocapsule/internal/waveform"
+)
+
+// The fast decode path (shared front-end + prefix-sum matched filtering +
+// FFT FIR) must be indistinguishable from the retained reference chain:
+// identical sync offsets, bit-identical decoded symbols, and a projected
+// baseband within 1e-9 per sample. The battery here draws seeded random
+// payloads, frame offsets and noise levels at a reduced sample rate so the
+// O(n·taps) reference stays affordable across 200+ cases.
+
+// equivRX returns a reader chain at a reduced rate (250 kS/s, 60 kHz
+// carrier) so reference decodes stay cheap in the battery.
+func equivRX() *ReaderRX {
+	return &ReaderRX{
+		SampleRate:    250e3,
+		CarrierHint:   60e3,
+		CarrierSearch: 10e3,
+		Bitrate:       1000,
+		GuardBand:     500,
+	}
+}
+
+// buildCaptureAt renders a leakage-pedestal capture at an arbitrary sample
+// rate and carrier: silent lead-in, then a pilot-prefixed FM0 frame.
+func buildCaptureAt(t *testing.T, fsHz, fcHz float64, payload []byte, leadS, noiseSigma float64, seed int64) []float64 {
+	t.Helper()
+	syn := waveform.NewSynth(fsHz)
+	btx := NewBackscatterTX(fsHz)
+	bits := PrependPilot(payload)
+	frameDur := float64(len(bits)) / btx.Bitrate
+	total := leadS + frameDur + 2e-3
+	carrier := syn.CBW(fcHz, 1.0, total)
+	bs, err := btx.Modulate(bits, syn.CBW(fcHz, 1.0, frameDur+1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := make([]float64, len(carrier))
+	lead := syn.Samples(leadS)
+	for i := range rx {
+		rx[i] = 0.4 * carrier[i]
+		if j := i - lead; j >= 0 && j < len(bs) {
+			rx[i] += bs[j]
+		}
+	}
+	if noiseSigma > 0 {
+		dsp.NewNoiseSource(seed).AddAWGN(rx, noiseSigma)
+	}
+	return rx
+}
+
+// TestFastDecodeMatchesReferenceBattery is the tentpole equivalence guard:
+// 200+ seeded randomized captures, each decoded by both chains, asserting
+// identical sync offsets and bit-identical payloads.
+func TestFastDecodeMatchesReferenceBattery(t *testing.T) {
+	cases := 210
+	if testing.Short() {
+		cases = 40
+	}
+	rng := dsp.NewNoiseSource(7)
+	ran := 0
+	for trial := 0; trial < cases; trial++ {
+		nBits := 4 + trial%13
+		payload := make([]byte, nBits)
+		for i := range payload {
+			if rng.Gaussian(1) > 0 {
+				payload[i] = 1
+			}
+		}
+		lead := 1e-3 + math.Abs(rng.Gaussian(1))*1.5e-3
+		sigma := []float64{0, 0.005, 0.02, 0.05}[trial%4]
+		capture := buildCaptureAt(t, 250e3, 60e3, payload, lead, sigma, int64(trial))
+		rx := equivRX()
+
+		refStart, refSyncErr := rx.SynchronizeReference(capture, 0)
+		gotStart, gotSyncErr := rx.Synchronize(capture, 0)
+		if (refSyncErr == nil) != (gotSyncErr == nil) || gotStart != refStart {
+			t.Fatalf("trial %d: sync fast (%d, %v) != reference (%d, %v)",
+				trial, gotStart, gotSyncErr, refStart, refSyncErr)
+		}
+
+		refBits, refErr := rx.DemodulateFrameReference(capture, nBits)
+		gotBits, gotErr := rx.DemodulateFrame(capture, nBits)
+		if (refErr == nil) != (gotErr == nil) {
+			t.Fatalf("trial %d: frame err fast %v != reference %v", trial, gotErr, refErr)
+		}
+		if !bytes.Equal(gotBits, refBits) {
+			t.Fatalf("trial %d: payload fast %v != reference %v", trial, gotBits, refBits)
+		}
+		if refSyncErr == nil {
+			ran++
+		}
+
+		if refSyncErr == nil {
+			// Direct Demodulate at an explicit offset must agree too.
+			refRaw, e1 := rx.DemodulateReference(capture, refStart, nBits)
+			gotRaw, e2 := rx.Demodulate(capture, refStart, nBits)
+			if (e1 == nil) != (e2 == nil) || !bytes.Equal(gotRaw, refRaw) {
+				t.Fatalf("trial %d: Demodulate fast (%v,%v) != reference (%v,%v)",
+					trial, gotRaw, e2, refRaw, e1)
+			}
+		}
+	}
+	// The battery is only meaningful if most captures actually synchronise.
+	if ran < cases/2 {
+		t.Fatalf("only %d/%d captures synchronised; battery too weak", ran, cases)
+	}
+}
+
+// TestFastBasebandWithin1e9 pins the per-sample 1e-9 bound between the fast
+// front-end's projected baseband and the reference basebandAC.
+func TestFastBasebandWithin1e9(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		capture := buildCaptureAt(t, 250e3, 60e3, []byte{1, 0, 1, 1, 0, 0, 1, 0}, 2e-3, 0.02, seed)
+		rx := equivRX()
+		fcRef, err := rx.EstimateCarrier(capture)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := rx.basebandAC(capture, fcRef)
+
+		sc := &feScratch{}
+		fcFast, err := rx.frontEnd(sc, capture)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fcFast != fcRef {
+			t.Fatalf("seed %d: carrier fast %g != reference %g", seed, fcFast, fcRef)
+		}
+		got := sc.ac[:sc.n]
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: ac length %d vs %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if d := math.Abs(got[i] - want[i]); d > 1e-9 {
+				t.Fatalf("seed %d sample %d: fast %g vs reference %g (|Δ|=%g)",
+					seed, i, got[i], want[i], d)
+			}
+		}
+	}
+}
+
+// TestFastDecodeMatchesReferenceFullRate runs a handful of cases at the
+// real 1 MS/s / 230 kHz operating point so the battery's reduced rate
+// can't mask a rate-dependent divergence.
+func TestFastDecodeMatchesReferenceFullRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-rate reference decode is slow")
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		payload := []byte{1, 0, 0, 1, 1, 0, 1, 0}
+		capture := buildCaptureAt(t, fs, 230e3, payload, 2e-3, 0.01, seed)
+		rx := NewReaderRX(fs)
+		refBits, refErr := rx.DemodulateFrameReference(capture, len(payload))
+		gotBits, gotErr := rx.DemodulateFrame(capture, len(payload))
+		if (refErr == nil) != (gotErr == nil) || !bytes.Equal(gotBits, refBits) {
+			t.Fatalf("seed %d: fast (%v,%v) != reference (%v,%v)",
+				seed, gotBits, gotErr, refBits, refErr)
+		}
+		if refErr != nil {
+			t.Fatalf("seed %d: full-rate reference failed to decode: %v", seed, refErr)
+		}
+	}
+}
+
+// TestDemodulateSlotsMatchesPerSlotReference builds a multi-slot TDMA round
+// capture and checks the batched decode against the per-slot reference —
+// DemodulateFrameReference over each slot's sub-capture — bit for bit.
+func TestDemodulateSlotsMatchesPerSlotReference(t *testing.T) {
+	const (
+		fsHz   = 250e3
+		fcHz   = 60e3
+		nSlots = 4
+		nBits  = 8
+	)
+	rng := dsp.NewNoiseSource(99)
+	for round := 0; round < 6; round++ {
+		syn := waveform.NewSynth(fsHz)
+		btx := NewBackscatterTX(fsHz)
+		frameBits := len(PilotBits) + nBits
+		frameDur := float64(frameBits) / btx.Bitrate
+		slotDur := frameDur + 6e-3
+		slotLen := syn.Samples(slotDur)
+		capture := make([]float64, nSlots*slotLen)
+		carrier := syn.CBW(fcHz, 1.0, float64(nSlots)*slotDur)
+		for i := range capture {
+			capture[i] = 0.4 * carrier[i]
+		}
+		payloads := make([][]byte, nSlots)
+		slots := make([]Slot, nSlots)
+		for s := 0; s < nSlots; s++ {
+			payloads[s] = make([]byte, nBits)
+			for i := range payloads[s] {
+				if rng.Gaussian(1) > 0 {
+					payloads[s][i] = 1
+				}
+			}
+			bs, err := btx.Modulate(PrependPilot(payloads[s]), syn.CBW(fcHz, 1.0, frameDur+1e-3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			lead := syn.Samples(1e-3 + float64(s%3)*0.7e-3)
+			base := s*slotLen + lead
+			for i, v := range bs {
+				capture[base+i] += v
+			}
+			slots[s] = Slot{Start: s * slotLen, Len: slotLen, NBits: nBits}
+		}
+		dsp.NewNoiseSource(int64(round)).AddAWGN(capture, 0.01)
+
+		rx := equivRX()
+		got := rx.DemodulateSlots(capture, slots)
+		if len(got) != nSlots {
+			t.Fatalf("round %d: %d results for %d slots", round, len(got), nSlots)
+		}
+		for s, sl := range slots {
+			want, refErr := rx.DemodulateFrameReference(capture[sl.Start:sl.Start+sl.Len], nBits)
+			if refErr != nil {
+				t.Fatalf("round %d slot %d: reference decode failed: %v", round, s, refErr)
+			}
+			if got[s].Err != nil {
+				t.Fatalf("round %d slot %d: batched decode failed: %v", round, s, got[s].Err)
+			}
+			if !bytes.Equal(got[s].Bits, want) {
+				t.Fatalf("round %d slot %d: batched %v != per-slot reference %v",
+					round, s, got[s].Bits, want)
+			}
+			if !bytes.Equal(want, payloads[s]) {
+				t.Fatalf("round %d slot %d: reference %v != transmitted %v",
+					round, s, want, payloads[s])
+			}
+		}
+	}
+}
+
+// TestDemodulateSlotsRejectsBadWindows pins the slot-window validation.
+func TestDemodulateSlotsRejectsBadWindows(t *testing.T) {
+	capture := buildCaptureAt(t, 250e3, 60e3, []byte{1, 0, 1, 0}, 1e-3, 0, 1)
+	rx := equivRX()
+	out := rx.DemodulateSlots(capture, []Slot{
+		{Start: -1, Len: 100, NBits: 4},
+		{Start: 0, Len: len(capture) + 1, NBits: 4},
+		{Start: 50, Len: 0, NBits: 4},
+	})
+	for i, r := range out {
+		if r.Err == nil {
+			t.Errorf("slot %d: expected window error", i)
+		}
+	}
+	if out := rx.DemodulateSlots(capture, nil); len(out) != 0 {
+		t.Errorf("nil slots returned %d results", len(out))
+	}
+}
+
+// TestDemodulateFrameIntoZeroAlloc pins the warm full-frame decode — the
+// bench-gated uplink_round_decode hot path — at zero steady-state
+// allocations when the caller supplies payload capacity.
+func TestDemodulateFrameIntoZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation defeats sync.Pool reuse; allocation counts are meaningless")
+	}
+	payload := []byte{1, 0, 0, 1, 1, 0, 1, 0}
+	capture := buildCaptureAt(t, 250e3, 60e3, payload, 2e-3, 0.01, 3)
+	rx := equivRX()
+	dst := make([]byte, 0, len(payload))
+	var err error
+	dst, err = rx.DemodulateFrameInto(dst[:0], capture, len(payload)) // warm pools
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, payload) {
+		t.Fatalf("decoded %v, want %v", dst, payload)
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		if dst, err = rx.DemodulateFrameInto(dst[:0], capture, len(payload)); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("warm DemodulateFrameInto allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestConcurrentDecodeSharedReader exercises the shared plan caches and
+// scratch pools from concurrent goroutines (meaningful under -race): every
+// goroutine must reproduce the single-threaded decode exactly.
+func TestConcurrentDecodeSharedReader(t *testing.T) {
+	payload := []byte{1, 1, 0, 1, 0, 0, 1, 0}
+	capture := buildCaptureAt(t, 250e3, 60e3, payload, 2e-3, 0.02, 5)
+	rx := equivRX()
+	want, err := rx.DemodulateFrame(capture, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := 0; i < 5; i++ {
+				got, err := rx.DemodulateFrame(capture, len(payload))
+				if err != nil {
+					errc <- err
+					return
+				}
+				if !bytes.Equal(got, want) {
+					errc <- ErrNoSync
+					return
+				}
+			}
+			errc <- nil
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errc; err != nil {
+			t.Fatalf("worker failed: %v", err)
+		}
+	}
+}

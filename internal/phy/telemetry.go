@@ -16,3 +16,11 @@ const (
 	demodNoSync = "no_sync"
 	demodError  = "error"
 )
+
+// Pre-resolved frame-demodulation counters: CounterVec.With allocates its
+// handle, so the decode hot path increments these instead.
+var (
+	cDemodOK     = mFrameDemods.With(demodOK)
+	cDemodNoSync = mFrameDemods.With(demodNoSync)
+	cDemodError  = mFrameDemods.With(demodError)
+)

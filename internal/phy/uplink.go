@@ -192,9 +192,13 @@ func (rx *ReaderRX) basebandAC(signal []float64, fc float64) []float64 {
 	return ac
 }
 
-// Demodulate recovers the FM0 bit stream from a raw reader capture that
-// contains nBits bits starting at sample offset start.
-func (rx *ReaderRX) Demodulate(signal []float64, start, nBits int) ([]byte, error) {
+// DemodulateReference recovers the FM0 bit stream from a raw reader capture
+// that contains nBits bits starting at sample offset start. It is the
+// original per-call implementation — every stage recomputed from scratch,
+// per-sample Sincos mixing, direct O(n·taps) filtering — retained verbatim
+// as the slow reference the fast path (Demodulate) is equivalence-tested
+// against.
+func (rx *ReaderRX) DemodulateReference(signal []float64, start, nBits int) ([]byte, error) {
 	if nBits <= 0 {
 		return nil, errors.New("phy: nBits must be positive")
 	}

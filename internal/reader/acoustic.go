@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 
+	"ecocapsule/internal/channel"
 	"ecocapsule/internal/coding"
 	"ecocapsule/internal/dsp"
+	"ecocapsule/internal/node"
 	"ecocapsule/internal/phy"
 	"ecocapsule/internal/protocol"
 	"ecocapsule/internal/sensors"
@@ -129,7 +131,13 @@ func (r *Reader) AcousticReadSensor(handle uint16, st sensors.SensorType, cfg Ac
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrAcousticDecode, err)
 	}
-	frame := coding.BitsToBytes(gotBits)
+	return parseUplinkBits(gotBits, handle)
+}
+
+// parseUplinkBits reframes decoded payload bits, validates the sender, and
+// decodes the sensor values.
+func parseUplinkBits(bits []byte, handle uint16) ([]float64, error) {
+	frame := coding.BitsToBytes(bits)
 	parsed, err := protocol.UnmarshalUplink(frame)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrAcousticDecode, err)
@@ -140,3 +148,160 @@ func (r *Reader) AcousticReadSensor(handle uint16, st sensors.SensorType, cfg Ac
 	}
 	return sensors.Decode(sensors.SensorType(parsed.Kind), parsed.Data)
 }
+
+// acousticSlotGuard is the inter-slot margin of a batched round beyond the
+// link's own reverberation tail: the 1 ms lead-in before each frame plus
+// settling headroom. The tail itself is measured per link from the channel's
+// last arrival — concrete links disperse over tens of milliseconds, and a
+// slot that clips the tail both leaks ISI into the next slot and starves
+// the receiver's window statistics of the energy the per-node path sees.
+const acousticSlotGuard = 8e-3
+
+// AcousticReadResult is one node's outcome of a batched acoustic round.
+type AcousticReadResult struct {
+	Handle uint16
+	Values []float64
+	Err    error
+}
+
+// AcousticReadRound reads the same sensor from several nodes in one
+// waveform-level TDMA round (§3.4): every node backscatters its frame in
+// its own time slot against one continuous incident carrier, the reader
+// captures the entire round — backscatter, multipath tails, and CBW
+// leakage summed — and decodes all slots through one batched front-end
+// pass (phy.DemodulateSlots), instead of re-running carrier estimation and
+// down-conversion per node. Results are positionally aligned with handles.
+func (r *Reader) AcousticReadRound(handles []uint16, st sensors.SensorType, cfg AcousticConfig) []AcousticReadResult {
+	out := make([]AcousticReadResult, len(handles))
+	if len(handles) == 0 {
+		return out
+	}
+	if cfg.SampleRate == 0 {
+		cfg = DefaultAcousticConfig()
+	}
+
+	type slotPlan struct {
+		result  int    // index into out
+		payload []byte // framed uplink bits (no pilot)
+		bits    []byte // pilot ‖ payload
+	}
+	var plans []slotPlan
+
+	r.mu.Lock()
+	for i, h := range handles {
+		out[i].Handle = h
+		var target *node.Node
+		for _, n := range r.nodes {
+			if n.Handle() == h {
+				target = n
+				break
+			}
+		}
+		if target == nil || r.chans[h] == nil {
+			out[i].Err = fmt.Errorf("reader: unknown node %#04x", h)
+			continue
+		}
+		up, err := target.HandleDownlink(protocol.Packet{
+			Cmd: protocol.CmdReadSensor, Target: h, Payload: []byte{byte(st)},
+		}, r.env(target.Position()))
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		if up == nil {
+			out[i].Err = errors.New("reader: node stayed silent")
+			continue
+		}
+		payload := up.Bits()
+		plans = append(plans, slotPlan{result: i, payload: payload, bits: phy.PrependPilot(payload)})
+	}
+	chans := make(map[uint16]*channelRef, len(plans))
+	for _, p := range plans {
+		h := handles[p.result]
+		chans[h] = &channelRef{ch: r.chans[h]}
+	}
+	r.mu.Unlock()
+	if len(plans) == 0 {
+		return out
+	}
+
+	// Lay the slots out back to back: each slot holds its frame plus that
+	// link's full reverberation tail (last image-source arrival) plus the
+	// fixed guard margin, so no slot clips its own multipath or smears into
+	// the next node's window.
+	syn := waveform.NewSynth(cfg.SampleRate)
+	btx := phy.NewBackscatterTX(cfg.SampleRate)
+	btx.Bitrate = cfg.UplinkBitrate
+	lead := syn.Samples(1e-3)
+	slots := make([]phy.Slot, len(plans))
+	total := 0
+	for s, p := range plans {
+		frameDur := float64(len(p.bits)) / btx.Bitrate
+		tail := 0.0
+		if arr := chans[handles[p.result]].ch.Arrivals(); len(arr) > 0 {
+			tail = arr[len(arr)-1].Delay
+		}
+		slots[s] = phy.Slot{
+			Start: total,
+			Len:   syn.Samples(frameDur + tail + acousticSlotGuard),
+			NBits: len(p.payload),
+		}
+		total += slots[s].Len
+	}
+
+	// One incident carrier spans the round; the CBW leakage couples into
+	// the RX across the whole capture, exactly as in the single-node path.
+	incident := syn.CBW(230e3, 1.0, float64(total)/cfg.SampleRate+2e-3)
+	capture := make([]float64, total)
+	if cfg.LeakageGain > 0 {
+		for i := range capture {
+			capture[i] = cfg.LeakageGain * incident[i]
+		}
+	}
+	seed := int64(7)
+	for s, p := range plans {
+		h := handles[p.result]
+		seed = seed*31 + int64(h)
+		bs, err := btx.Modulate(p.bits, incident[slots[s].Start+lead:])
+		if err != nil {
+			out[p.result].Err = fmt.Errorf("%w: %v", ErrAcousticDecode, err)
+			continue
+		}
+		y := chans[h].ch.Transmit(bs)
+		base := slots[s].Start + lead
+		for i, v := range y {
+			if base+i >= len(capture) {
+				break
+			}
+			capture[base+i] += v
+		}
+	}
+	// Round-wide AGC and capture noise, as in the single-node path.
+	if peak := dsp.MaxAbs(capture); peak > 0 {
+		scale := 1.0 / peak
+		for i := range capture {
+			capture[i] *= scale
+		}
+	}
+	if cfg.NoiseSigma > 0 {
+		dsp.NewNoiseSource(seed).AddAWGN(capture, cfg.NoiseSigma)
+	}
+
+	rrx := phy.NewReaderRX(cfg.SampleRate)
+	rrx.Bitrate = cfg.UplinkBitrate
+	decoded := rrx.DemodulateSlots(capture, slots)
+	for s, p := range plans {
+		if out[p.result].Err != nil {
+			continue
+		}
+		if decoded[s].Err != nil {
+			out[p.result].Err = fmt.Errorf("%w: %v", ErrAcousticDecode, decoded[s].Err)
+			continue
+		}
+		out[p.result].Values, out[p.result].Err = parseUplinkBits(decoded[s].Bits, handles[p.result])
+	}
+	return out
+}
+
+// channelRef lets the round hold channels outside the reader lock.
+type channelRef struct{ ch *channel.Channel }

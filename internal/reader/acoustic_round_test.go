@@ -1,0 +1,150 @@
+package reader
+
+import (
+	"math"
+	"testing"
+
+	"ecocapsule/internal/channel"
+	"ecocapsule/internal/geometry"
+	"ecocapsule/internal/sensors"
+)
+
+// TestAcousticReadRoundMatchesPerNodeReads: every slot of the batched TDMA
+// round must decode a CRC-valid frame from the right node — bit integrity
+// is enforced by the protocol CRC, so a corrupted slot cannot pass — and
+// the recovered values must agree with the per-node reference reads up to
+// the node's sensor measurement noise (each read is a fresh physical
+// sample, so exact equality is not expected).
+func TestAcousticReadRoundMatchesPerNodeReads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full acoustic pipeline integration case; run without -short to exercise it")
+	}
+	r, err := New(wallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetEnvironment(func(pos geometry.Vec3) sensors.Environment {
+		return sensors.Environment{TemperatureC: 20 + 5*pos.X, RelativeHumidity: 60}
+	})
+	// Positions sit on reliable links: this wall has standing-wave fades at
+	// ~0.2 m pitch (x=1.1 or 1.3 would land in one — the §3.5 fine-tuning
+	// motivation), and the round must be tested where the per-node reference
+	// itself decodes.
+	handles := []uint16{0x41, 0x42, 0x43}
+	for i, h := range handles {
+		deployNode(t, r, h, 0.8+0.2*float64(i))
+	}
+	if up := r.Charge(0.3); up != len(handles) {
+		t.Fatalf("%d/%d nodes powered up", up, len(handles))
+	}
+	cfg := DefaultAcousticConfig()
+
+	want := make([][]float64, len(handles))
+	for i, h := range handles {
+		vals, err := r.AcousticReadSensor(h, sensors.TypeTempHumidity, cfg)
+		if err != nil {
+			t.Fatalf("per-node read %#04x: %v", h, err)
+		}
+		want[i] = vals
+	}
+
+	got := r.AcousticReadRound(handles, sensors.TypeTempHumidity, cfg)
+	if len(got) != len(handles) {
+		t.Fatalf("round returned %d results for %d handles", len(got), len(handles))
+	}
+	for i, res := range got {
+		if res.Err != nil {
+			t.Fatalf("slot %d (%#04x): %v", i, res.Handle, res.Err)
+		}
+		if res.Handle != handles[i] {
+			t.Errorf("slot %d handle %#04x, want %#04x", i, res.Handle, handles[i])
+		}
+		if len(res.Values) != len(want[i]) {
+			t.Fatalf("slot %d values %v, want %v", i, res.Values, want[i])
+		}
+		// Two reads of the same sensor differ by its measurement noise:
+		// σ=0.15 °C and σ=1.0 %RH per sample. A 6σ band on the difference
+		// still catches any decode that returned another node's frame.
+		tol := []float64{1.5, 8.5}
+		for j := range res.Values {
+			if math.Abs(res.Values[j]-want[i][j]) > tol[j] {
+				t.Errorf("slot %d value %d: batched %g vs per-node %g",
+					i, j, res.Values[j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestAcousticReadRoundUnknownNode: unknown handles fail per-slot without
+// poisoning the rest of the round.
+func TestAcousticReadRoundUnknownNode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full acoustic pipeline integration case; run without -short to exercise it")
+	}
+	r, err := New(wallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deployNode(t, r, 0x51, 1.0)
+	r.Charge(0.3)
+	got := r.AcousticReadRound([]uint16{0x51, 0x99}, sensors.TypeTempHumidity, DefaultAcousticConfig())
+	if got[0].Err != nil {
+		t.Errorf("known node failed: %v", got[0].Err)
+	}
+	if got[1].Err == nil {
+		t.Error("unknown node should error")
+	}
+	if out := r.AcousticReadRound(nil, sensors.TypeTempHumidity, DefaultAcousticConfig()); len(out) != 0 {
+		t.Errorf("empty round returned %d results", len(out))
+	}
+}
+
+// TestReaderSharedLinkCache: deployments through a shared cache hit on
+// repeated identical links and produce identical channel behaviour.
+func TestReaderSharedLinkCache(t *testing.T) {
+	cache := channel.NewCache()
+	r1, err := NewWithLinkCache(wallConfig(), cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deployNode(t, r1, 0x61, 1.2)
+	st := cache.Stats()
+	if st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("first deploy stats %+v, want 1 miss / 1 entry", st)
+	}
+
+	// A second reader on the same structure re-deploys the same link: hit.
+	r2, err := NewWithLinkCache(wallConfig(), cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deployNode(t, r2, 0x61, 1.2)
+	st = cache.Stats()
+	if st.Hits != 1 || st.Entries != 1 {
+		t.Fatalf("re-deploy stats %+v, want 1 hit / 1 entry", st)
+	}
+
+	a1, err := r1.NodeAmplitude(0x61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := r2.NodeAmplitude(0x61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Errorf("cached link amplitude %g != fresh %g", a2, a1)
+	}
+	if r1.LinkCache() != cache || r2.LinkCache() != cache {
+		t.Error("LinkCache accessor does not return the shared cache")
+	}
+
+	// A private-cache reader still works and owns a distinct cache.
+	r3, err := New(wallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.LinkCache() == cache {
+		t.Error("New must allocate a private cache")
+	}
+}

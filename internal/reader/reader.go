@@ -74,10 +74,25 @@ type Reader struct {
 	// current parent for frame deliveries (only mutated under mu).
 	tracer *telemetry.Tracer
 	span   *telemetry.Span
+
+	// links shares the expensive per-link channel state (impulse
+	// responses + convolution plans) across deployments. The reader owns
+	// its lifetime: one cache per reader by default, shareable across
+	// readers of the same structure through NewWithLinkCache.
+	links *channel.Cache
 }
 
-// New validates the configuration and returns a Reader.
+// New validates the configuration and returns a Reader with its own link
+// cache.
 func New(cfg Config) (*Reader, error) {
+	return NewWithLinkCache(cfg, nil)
+}
+
+// NewWithLinkCache is New with an explicit channel cache, letting several
+// readers (or successive deployments) of the same structure share the
+// per-link impulse responses and convolution plans. A nil cache allocates
+// a private one.
+func NewWithLinkCache(cfg Config, cache *channel.Cache) (*Reader, error) {
 	if cfg.Structure == nil {
 		return nil, errors.New("reader: nil structure")
 	}
@@ -94,14 +109,22 @@ func New(cfg Config) (*Reader, error) {
 	if cfg.CarrierHz == 0 {
 		cfg.CarrierHz = 230 * units.KHz
 	}
+	if cache == nil {
+		cache = channel.NewCache()
+	}
 	return &Reader{
 		cfg:                     cfg,
 		chans:                   make(map[uint16]*channel.Channel),
 		env:                     func(geometry.Vec3) sensors.Environment { return sensors.Environment{} },
 		PZTCouplingVoltsPerUnit: DefaultPZTCoupling,
 		retry:                   faultinject.DefaultBackoff(),
+		links:                   cache,
 	}, nil
 }
+
+// LinkCache exposes the reader's channel cache (for sharing with another
+// reader, inspecting Stats, or eager invalidation after structural edits).
+func (r *Reader) LinkCache() *channel.Cache { return r.links }
 
 // SetEnvironment installs the ground-truth sampler used when capsules read
 // their sensors.
@@ -121,7 +144,7 @@ func (r *Reader) Deploy(n *node.Node) error {
 		return fmt.Errorf("reader: node %#04x position %+v outside %s",
 			n.Handle(), n.Position(), r.cfg.Structure.Name)
 	}
-	ch, err := channel.New(channel.Config{
+	ch, err := r.links.Channel(channel.Config{
 		Structure:        r.cfg.Structure,
 		Source:           r.cfg.TXPosition,
 		Destination:      n.Position(),

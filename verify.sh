@@ -104,6 +104,27 @@ stage "go test -race ./..."
 go test -race ./...
 stage_done
 
+# Coverage floor over the uplink fast-path packages: the RFFT/convolver
+# cache (internal/dsp), the per-link channel cache (internal/channel) and
+# the batched round reader (internal/reader) carry equivalence batteries
+# that must actually exercise the code they guard. Any of the three
+# dipping under 75% statement coverage fails the gate.
+stage "coverage floor (dsp, channel, reader >= 75%)"
+COV_OUT="$(go test -cover ./internal/dsp ./internal/channel ./internal/reader)"
+echo "$COV_OUT" | sed 's/^/   /'
+echo "$COV_OUT" | while IFS= read -r line; do
+	pct="$(printf '%s\n' "$line" | sed -n 's/.*coverage: \([0-9]*\)\.[0-9]*% of statements.*/\1/p')"
+	if [ -z "$pct" ]; then
+		echo "verify.sh: no coverage figure in: $line"
+		exit 1
+	fi
+	if [ "$pct" -lt 75 ]; then
+		echo "verify.sh: coverage below 75% floor: $line"
+		exit 1
+	fi
+done
+stage_done
+
 # Telemetry smoke: boot shmserver with the metrics endpoint on an
 # ephemeral port, scrape /metrics and /healthz once, and require a healthy
 # spread of metric families (the self-test survey populates reader, fleet,
@@ -161,12 +182,12 @@ stage_done
 
 # Bench smoke: regenerate the hot-path micro-benchmark matrix and gate
 # the channel transmit, uplink round decode and fleet survey against the
-# committed BENCH_6.json baseline at matching GOMAXPROCS (>20% slower
+# committed BENCH_7.json baseline at matching GOMAXPROCS (>20% slower
 # fails: the convolution crossover, the decode path or the survey fan-out
 # broke).
-stage "bench smoke (ecobench -json vs BENCH_6.json)"
-go run ./cmd/ecobench -json -baseline BENCH_6.json > BENCH_6.json.new
-mv BENCH_6.json.new /tmp/ecobench_bench_last.json
+stage "bench smoke (ecobench -json vs BENCH_7.json)"
+go run ./cmd/ecobench -json -baseline BENCH_7.json > BENCH_7.json.new
+mv BENCH_7.json.new /tmp/ecobench_bench_last.json
 stage_done
 
 VERIFY_DONE=1
