@@ -3,7 +3,7 @@ package main
 // The -json bench mode: micro-benchmarks over the stack's hot paths,
 // measured at GOMAXPROCS=1 and at NumCPU, emitted as machine-readable JSON
 // so CI can pin performance the way the golden files pin behaviour. The
-// committed BENCH_7.json at the repository root is the reference;
+// committed BENCH_8.json at the repository root is the reference;
 // verify.sh re-runs the suite and fails the gate when the channel
 // transmit, the uplink round decode, the fleet survey or the cold/warm
 // link-cache decode pair regresses more than the tolerance against the
@@ -39,7 +39,7 @@ type benchRun struct {
 	Benchmarks []benchEntry `json:"benchmarks"`
 }
 
-// benchReport is the BENCH_6.json document: the same suite at
+// benchReport is the BENCH_8.json document: the same suite at
 // GOMAXPROCS=1 (serial reference, stable across hosts) and at NumCPU
 // (what the conc.For fan-out actually buys).
 type benchReport struct {

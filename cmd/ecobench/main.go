@@ -8,9 +8,9 @@
 //	ecobench -run fig12    # run one experiment by id
 //	ecobench -list         # list experiment ids
 //	ecobench -out DIR      # also write one .txt report per experiment
-//	ecobench -json         # hot-path micro-benchmarks as JSON (BENCH_7.json),
+//	ecobench -json         # hot-path micro-benchmarks as JSON (BENCH_8.json),
 //	                       # measured at GOMAXPROCS=1 and at NumCPU
-//	ecobench -json -baseline BENCH_7.json
+//	ecobench -json -baseline BENCH_8.json
 //	                       # same, and fail if the channel transmit, uplink
 //	                       # round decode or fleet survey ns/op regressed
 //	                       # >20% against the committed baseline

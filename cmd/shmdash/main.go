@@ -43,6 +43,7 @@ func main() {
 		}
 		f.Survey(0.4)
 		srv.SetTelemetry(telemetry.Default())
+		srv.SetFlightRecorder(telemetry.Flight())
 	}
 	fmt.Printf("shmdash: serving the July-2021 pilot on http://%s/ (damage %.0f%%)\n",
 		*listen, *damage*100)

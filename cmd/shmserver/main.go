@@ -18,11 +18,13 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"ecocapsule/internal/bridge"
 	"ecocapsule/internal/shm"
 	"ecocapsule/internal/shmwire"
+	"ecocapsule/internal/telemetry"
 )
 
 func main() {
@@ -105,6 +107,23 @@ func serve(addr, telemetryAddr string, speedup float64, hours, statusEvery int, 
 		fmt.Printf("shmserver: telemetry on http://%s/metrics\n", bound)
 	}
 
+	// Status broadcasts carry a trace context from a seeded tracer; the
+	// logical timestamp is the simulated hour, so subscribers can order and
+	// latency-check the feed without trusting wall clocks. The last status
+	// doubles as the snapshot replayed to late joiners.
+	tracer := telemetry.NewTracer(2021)
+	var snapMu sync.Mutex
+	var lastStatus *shmwire.Status
+	var lastTC *shmwire.TraceContext
+	srv.SetSnapshot(func() (shmwire.Status, *shmwire.TraceContext, bool) {
+		snapMu.Lock()
+		defer snapMu.Unlock()
+		if lastStatus == nil {
+			return shmwire.Status{}, nil, false
+		}
+		return *lastStatus, lastTC, true
+	})
+
 	sim := bridge.NewSim(2021)
 	th := shm.FootbridgeThresholds()
 	det := shm.NewAnomalyDetector()
@@ -146,13 +165,24 @@ func serve(addr, telemetryAddr string, speedup float64, hours, statusEvery int, 
 			})
 		}
 		if h%statusEvery == 0 {
-			srv.BroadcastStatus(shmwire.Status{
+			sp := tracer.Start("status_broadcast").Attr("sim_hour", h)
+			ctx := sp.Context()
+			tc := &shmwire.TraceContext{
+				TraceID: ctx.TraceID, SpanID: ctx.SpanID,
+				LogicalTS: uint64(h) * uint64(time.Hour),
+			}
+			st := shmwire.Status{
 				Timestamp:    ts,
 				Expected:     deployedCapsules,
 				Reporting:    uint16(deployedCapsules - len(missing)),
 				Degraded:     len(missing) > 0,
 				MissingNodes: missing,
-			})
+			}
+			snapMu.Lock()
+			lastStatus, lastTC = &st, tc
+			snapMu.Unlock()
+			srv.BroadcastStatusTraced(st, tc)
+			sp.End()
 			health.RecordStatusBroadcast(ts)
 		}
 		mSimHours.Inc()
@@ -240,6 +270,9 @@ func subscribe(addr string, n int, reconnect bool) error {
 				state, st.Reporting, st.Expected)
 			for _, h := range st.MissingNodes {
 				fmt.Printf(" missing=%#04x", h)
+			}
+			if ev.Trace != nil {
+				fmt.Printf("  trace=%016x span=%08x", ev.Trace.TraceID, ev.Trace.SpanID)
 			}
 			fmt.Println()
 		case shmwire.MsgBye:

@@ -99,6 +99,10 @@ func startTelemetry(addr string, health *healthState) (string, error) {
 		enc.SetIndent("", "  ")
 		enc.Encode(health.report())
 	})
+	mux.HandleFunc("/debug/flightrecorder", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, telemetry.Flight().Render())
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -1,0 +1,16 @@
+// Fixture for the metricname analyzer covering the observability families
+// added with the load harness: latency histograms and flight-recorder
+// counters. The package base name is "shmload", so every constant metric
+// name must start with ecocapsule_shmload_.
+package shmload
+
+import "metricname/internal/telemetry"
+
+var (
+	latency = telemetry.NewHistogram("ecocapsule_shmload_latency_seconds", "ok: quantile histogram",
+		[]float64{0.001, 0.01, 0.1})
+	rounds = telemetry.NewCounter("ecocapsule_shmload_rounds_total", "ok: convention followed")
+	stolen = telemetry.NewCounter("ecocapsule_shmwire_traced_frames_total", "another package's family") // want `metric name "ecocapsule_shmwire_traced_frames_total" claims package "shmwire"; metrics defined here must use ecocapsule_shmload_<name>`
+	dumps  = telemetry.NewCounterVec("ecocapsule_telemetry_flight_dumps_total", "telemetry's family", "reason") // want `metric name "ecocapsule_telemetry_flight_dumps_total" claims package "telemetry"; metrics defined here must use ecocapsule_shmload_<name>`
+	p99    = telemetry.NewGauge("shmload_latency_p99_seconds", "no ecocapsule prefix") // want `metric name "shmload_latency_p99_seconds" does not match ecocapsule_<pkg>_<name>`
+)

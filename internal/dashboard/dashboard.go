@@ -27,6 +27,9 @@ type Server struct {
 	month *bridge.MonthlySeries
 	// telemetry, when non-nil, backs /api/telemetry and the station panel.
 	telemetry *telemetry.Registry
+	// flight, when non-nil, backs /api/flightrecorder and the black-box
+	// panel.
+	flight *telemetry.FlightRecorder
 }
 
 // NewServer builds a dashboard over a bridge simulation.
@@ -44,6 +47,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/anomalies", s.handleAnomalies)
 	mux.HandleFunc("/api/modal", s.handleModal)
 	mux.HandleFunc("/api/telemetry", s.handleTelemetry)
+	mux.HandleFunc("/api/flightrecorder", s.handleFlight)
 	return mux
 }
 
@@ -261,6 +265,9 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	b.WriteString("<a href=\"/api/anomalies\">/api/anomalies</a> · <a href=\"/api/modal\">/api/modal</a> · <a href=\"/api/month\">/api/month</a></p>")
 	if reg := s.registry(); reg != nil {
 		b.WriteString(stationPanelHTML(reg))
+	}
+	if fr := s.flightRecorder(); fr != nil {
+		b.WriteString(flightPanelHTML(fr))
 	}
 	b.WriteString("</body></html>")
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")

@@ -2,12 +2,14 @@ package dashboard
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
 	"ecocapsule/internal/bridge"
+	"ecocapsule/internal/telemetry"
 )
 
 func testServer(t *testing.T) *httptest.Server {
@@ -199,5 +201,60 @@ func TestMonthCaching(t *testing.T) {
 		if a.Acceleration[i] != b.Acceleration[i] {
 			t.Fatal("cached month must be stable across requests")
 		}
+	}
+}
+
+func TestFlightRecorderEndpoint(t *testing.T) {
+	s := NewServer(bridge.NewSim(31))
+	fr := telemetry.NewFlightRecorder(8)
+	fr.Record("fleet", "station_killed", "station 1 down")
+	fr.Record("shmwire", "evict", "subscriber 3 overflowed")
+	fr.Dump("test incident")
+	s.SetFlightRecorder(fr)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+
+	var body struct {
+		Events []telemetry.FlightEvent `json:"events"`
+		Reason string                  `json:"last_dump_reason"`
+		Dumps  uint64                  `json:"dumps"`
+	}
+	getJSON(t, srv, "/api/flightrecorder", &body)
+	if len(body.Events) != 2 {
+		t.Fatalf("want 2 events, got %d: %+v", len(body.Events), body.Events)
+	}
+	if body.Events[0].Subsystem != "fleet" || body.Events[1].Subsystem != "shmwire" {
+		t.Fatalf("events not in subsystem order: %+v", body.Events)
+	}
+	if body.Reason != "test incident" || body.Dumps != 1 {
+		t.Fatalf("dump state: reason=%q dumps=%d", body.Reason, body.Dumps)
+	}
+
+	// The index page grows a flight-recorder panel when a recorder is set.
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	page := new(strings.Builder)
+	if _, err := io.Copy(page, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Flight recorder", "station_killed", "/api/flightrecorder"} {
+		if !strings.Contains(page.String(), want) {
+			t.Fatalf("index page missing %q", want)
+		}
+	}
+}
+
+func TestFlightRecorderEndpointDisabled(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/api/flightrecorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("want 404 without a recorder, got %d", resp.StatusCode)
 	}
 }

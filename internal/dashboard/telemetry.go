@@ -1,6 +1,7 @@
 package dashboard
 
 import (
+	"encoding/json"
 	"fmt"
 	"html"
 	"net/http"
@@ -23,6 +24,72 @@ func (s *Server) registry() *telemetry.Registry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.telemetry
+}
+
+// SetFlightRecorder attaches a black-box recorder; /api/flightrecorder and
+// the flight-recorder panel on the index page render from it. Nil (the
+// default) hides both.
+func (s *Server) SetFlightRecorder(fr *telemetry.FlightRecorder) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flight = fr
+}
+
+func (s *Server) flightRecorder() *telemetry.FlightRecorder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flight
+}
+
+// flightJSON is the /api/flightrecorder response body.
+type flightJSON struct {
+	Events []telemetry.FlightEvent `json:"events"`
+	// LastDumpReason is the trigger of the most recent automatic dump (""
+	// when none has fired).
+	LastDumpReason string `json:"last_dump_reason,omitempty"`
+	Dumps          uint64 `json:"dumps"`
+}
+
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	fr := s.flightRecorder()
+	if fr == nil {
+		http.Error(w, "flight recorder not enabled", http.StatusNotFound)
+		return
+	}
+	reason, _, dumps := fr.LastDump()
+	body := flightJSON{Events: fr.Events(), LastDumpReason: reason, Dumps: dumps}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body)
+}
+
+// flightPanelHTML renders the black-box event ring as a table, newest-last
+// within each subsystem, matching the deterministic Render() order.
+func flightPanelHTML(fr *telemetry.FlightRecorder) string {
+	var b strings.Builder
+	b.WriteString("<h2>Flight recorder</h2>")
+	events := fr.Events()
+	if len(events) == 0 {
+		b.WriteString("<p>No events recorded.</p>")
+		return b.String()
+	}
+	if reason, _, dumps := fr.LastDump(); dumps > 0 {
+		fmt.Fprintf(&b, "<p>%d dump(s); last trigger: <b>%s</b></p>", dumps, html.EscapeString(reason))
+	}
+	b.WriteString("<table border=\"1\" cellpadding=\"3\"><tr><th>subsystem</th><th>#</th><th>kind</th><th>detail</th></tr>")
+	for _, ev := range events {
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%d</td><td>%s</td><td>%s</td></tr>",
+			html.EscapeString(ev.Subsystem), ev.Seq,
+			html.EscapeString(ev.Kind), html.EscapeString(ev.Detail))
+	}
+	b.WriteString("</table>")
+	b.WriteString("<p>Raw events: <a href=\"/api/flightrecorder\">/api/flightrecorder</a></p>")
+	return b.String()
 }
 
 func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+
+	"ecocapsule/internal/telemetry"
 )
 
 // Plan is a declarative, seeded fault scenario. The zero value injects
@@ -168,9 +170,13 @@ func (in *Injector) Downlink(handle uint16, frame []byte) ([]byte, bool) {
 	if !delivered {
 		in.stats.DownlinkDropped++
 		mInjected.With(kindDownlinkDropped).Inc()
+		telemetry.RecordFlight("faultinject", "downlink_dropped",
+			fmt.Sprintf("frame to capsule 0x%04x lost in the concrete", handle))
 	} else if touched {
 		in.stats.DownlinkCorrupted++
 		mInjected.With(kindDownlinkCorrupted).Inc()
+		telemetry.RecordFlight("faultinject", "downlink_corrupted",
+			fmt.Sprintf("frame to capsule 0x%04x took bit flips", handle))
 	}
 	return out, delivered
 }
@@ -183,15 +189,21 @@ func (in *Injector) Uplink(handle uint16, frame []byte) ([]byte, bool) {
 	if in.muted[handle] {
 		in.stats.UplinkDropped++
 		mInjected.With(kindUplinkDropped).Inc()
+		telemetry.RecordFlight("faultinject", "uplink_dropped",
+			fmt.Sprintf("capsule 0x%04x is muted", handle))
 		return nil, false
 	}
 	out, delivered, touched := in.frameLocked(frame)
 	if !delivered {
 		in.stats.UplinkDropped++
 		mInjected.With(kindUplinkDropped).Inc()
+		telemetry.RecordFlight("faultinject", "uplink_dropped",
+			fmt.Sprintf("backscatter from capsule 0x%04x never reached the RX", handle))
 	} else if touched {
 		in.stats.UplinkCorrupted++
 		mInjected.With(kindUplinkCorrupted).Inc()
+		telemetry.RecordFlight("faultinject", "uplink_corrupted",
+			fmt.Sprintf("backscatter from capsule 0x%04x took bit flips", handle))
 	}
 	return out, delivered
 }
@@ -238,6 +250,8 @@ func (in *Injector) Brownout(handle uint16) bool {
 	if in.rng.Float64() < in.plan.BrownoutProb {
 		in.stats.Brownouts++
 		mInjected.With(kindBrownout).Inc()
+		telemetry.RecordFlight("faultinject", "brownout",
+			fmt.Sprintf("capsule 0x%04x lost its storage charge mid-operation", handle))
 		return true
 	}
 	return false
@@ -254,6 +268,8 @@ func (in *Injector) Attenuate() float64 {
 	if in.rng.Float64() < in.plan.FadeProb {
 		in.stats.Fades++
 		mInjected.With(kindFade).Inc()
+		telemetry.RecordFlight("faultinject", "fade",
+			fmt.Sprintf("acoustic fade, amplitude x%.2f", 1-in.plan.FadeDepth))
 		return 1 - in.plan.FadeDepth
 	}
 	return 1

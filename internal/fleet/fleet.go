@@ -29,6 +29,7 @@ import (
 	"ecocapsule/internal/node"
 	"ecocapsule/internal/reader"
 	"ecocapsule/internal/sensors"
+	"ecocapsule/internal/telemetry"
 	"ecocapsule/internal/units"
 )
 
@@ -67,6 +68,11 @@ type Fleet struct {
 	// reproducible.
 	//ecolint:guardedby mu
 	faultsOn bool
+	// tracer is the span tracer surveys attach to. Spans draw IDs from the
+	// tracer's seeded RNG, so a traced fleet also runs the serial schedule
+	// to keep span order reproducible.
+	//ecolint:guardedby mu
+	tracer *telemetry.Tracer
 }
 
 // Errors.
@@ -204,6 +210,8 @@ func (f *Fleet) KillStation(i int) {
 	f.alive[i] = false
 	mKills.Inc()
 	f.rerouteLocked()
+	telemetry.RecordFlight("fleet", "station_killed",
+		fmt.Sprintf("station %d down, %d orphans after reroute", i, len(f.nodes)-len(f.best)))
 }
 
 // ReviveStation brings a dead station back and re-routes.
@@ -216,6 +224,8 @@ func (f *Fleet) ReviveStation(i int) {
 	f.alive[i] = true
 	mRevives.Inc()
 	f.rerouteLocked()
+	telemetry.RecordFlight("fleet", "station_revived",
+		fmt.Sprintf("station %d back, %d orphans after reroute", i, len(f.nodes)-len(f.best)))
 }
 
 // StationAlive reports one station's liveness.
@@ -235,6 +245,19 @@ func (f *Fleet) SetFrameFaults(ff reader.FrameFaults) {
 	}
 	f.mu.Lock()
 	f.faultsOn = ff != nil
+	f.mu.Unlock()
+}
+
+// SetTracer installs (or, with nil, removes) a span tracer on the fleet and
+// every station reader. Spans consume the tracer's seeded RNG, so a traced
+// fleet — like a faulted one — visits capsules on the serial TDMA schedule
+// to keep span order byte-reproducible.
+func (f *Fleet) SetTracer(tr *telemetry.Tracer) {
+	for _, r := range f.readers {
+		r.SetTracer(tr)
+	}
+	f.mu.Lock()
+	f.tracer = tr
 	f.mu.Unlock()
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"ecocapsule/internal/conc"
 	"ecocapsule/internal/sensors"
+	"ecocapsule/internal/telemetry"
 	"ecocapsule/internal/units"
 )
 
@@ -102,12 +103,42 @@ func (rep SHMReport) Text() string {
 // RNG, so the fleet visits capsules serially to keep the draw order (and
 // the golden traces pinned on it) reproducible.
 func (f *Fleet) Survey(chargeDuration float64) SHMReport {
+	rep, _ := f.SurveyTraced(chargeDuration)
+	return rep
+}
+
+// SurveyTraced runs Survey under one root span. When a tracer is installed
+// (SetTracer), every reader's charge/inventory/read spans nest under the
+// returned "survey" span, so a single trace tree covers the whole fleet
+// pass; the caller may hang broadcast spans off it before it is rendered.
+// Without a tracer the span is nil and the survey is identical to Survey.
+func (f *Fleet) SurveyTraced(chargeDuration float64) (SHMReport, *telemetry.Span) {
 	before := f.FaultStats()
 	f.mu.Lock()
 	reroutedBefore := f.reroutedReads
-	faultsOn := f.faultsOn
+	serial := f.faultsOn || f.tracer != nil
+	tracer := f.tracer
 	f.mu.Unlock()
-	f.Charge(chargeDuration)
+	var sp *telemetry.Span
+	if tracer != nil {
+		sp = tracer.Start("survey")
+		for _, r := range f.readers {
+			r.SetSpanParent(sp)
+		}
+		defer func() {
+			for _, r := range f.readers {
+				r.SetSpanParent(nil)
+			}
+		}()
+	}
+	// The fleet charge drives node excitation directly (not through
+	// reader.Charge), so the survey span records the stage itself.
+	if sp != nil {
+		csp := sp.Child("charge").Attrf("duration_s", "%g", chargeDuration)
+		csp.Attr("powered", f.Charge(chargeDuration)).End()
+	} else {
+		f.Charge(chargeDuration)
+	}
 	cov := f.CoverageReport()
 	rep := SHMReport{
 		Stations:      cov.Stations,
@@ -144,7 +175,7 @@ func (f *Fleet) Survey(chargeDuration float64) SHMReport {
 		}
 		rows[k] = row
 	}
-	if faultsOn {
+	if serial {
 		for k := range nodes {
 			visit(k)
 		}
@@ -171,13 +202,25 @@ func (f *Fleet) Survey(chargeDuration float64) SHMReport {
 	rep.Degraded = len(rep.DeadStations) > 0 || len(rep.Missing) > 0 || len(rep.Orphans) > 0
 	if rep.Degraded {
 		mSurveys.With("degraded").Inc()
+		telemetry.RecordFlight("fleet", "survey_degraded",
+			fmt.Sprintf("reporting %d/%d, dead stations %d, missing %d, orphans %d",
+				rep.Reporting, rep.Expected, len(rep.DeadStations), len(rep.Missing), len(rep.Orphans)))
+		// A degraded survey is exactly the moment an operator wants the
+		// black box: dump the recent event ring through the installed sink.
+		telemetry.Flight().Dump("fleet: survey degraded")
 	} else {
 		mSurveys.With("full").Inc()
 	}
 	if rep.Expected > 0 {
 		mReportingRatio.Set(float64(rep.Reporting) / float64(rep.Expected))
 	}
-	return rep
+	if sp != nil {
+		sp.Attr("stations", rep.Stations).Attr("alive", rep.AliveStations).
+			Attr("expected", rep.Expected).Attr("reporting", rep.Reporting).
+			Attr("degraded", rep.Degraded)
+		sp.End()
+	}
+	return rep, sp
 }
 
 // nodeRef pairs a handle with its slice position for sorted traversal.

@@ -138,6 +138,8 @@ func (r *Reader) deliverLocked(p protocol.Packet, n *node.Node) (up *protocol.Up
 	if perr != nil {
 		r.faultStats.CorruptedReplies++
 		mCorrupted.Inc()
+		telemetry.RecordFlight("reader", "crc_fail",
+			"uplink frame from "+handleLabel(h)+" failed CRC")
 		if sp != nil {
 			sp.Child("decode").Attr("result", "bad_crc").End()
 		}

@@ -72,8 +72,12 @@ type Reader struct {
 
 	// tracer, when non-nil, records interrogation spans; span is the
 	// current parent for frame deliveries (only mutated under mu).
-	tracer *telemetry.Tracer
-	span   *telemetry.Span
+	// spanParent, when set, nests the reader's root spans (charge,
+	// inventory, read) under an external parent — the fleet's survey span —
+	// so one trace covers the whole pipeline.
+	tracer     *telemetry.Tracer
+	span       *telemetry.Span
+	spanParent *telemetry.Span
 
 	// links shares the expensive per-link channel state (impulse
 	// responses + convolution plans) across deployments. The reader owns
@@ -194,9 +198,9 @@ func (r *Reader) nodeAmplitudeLocked(handle uint16) (float64, error) {
 func (r *Reader) Charge(duration float64) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	var sp *telemetry.Span
-	if r.tracer != nil {
-		sp = r.tracer.Start("charge").Attrf("duration_s", "%g", duration)
+	sp := r.startSpanLocked("charge")
+	if sp != nil {
+		sp.Attrf("duration_s", "%g", duration)
 	}
 	cs := r.cfg.Structure.Material.VS()
 	if cs == 0 {
@@ -306,9 +310,9 @@ func (r *Reader) InventorySubset(maxRounds int, handles []uint16) InventoryResul
 
 func (r *Reader) inventoryLocked(maxRounds int, nodes []*node.Node) InventoryResult {
 	mInventories.Inc()
-	var invSpan *telemetry.Span
-	if r.tracer != nil {
-		invSpan = r.tracer.Start("inventory").Attr("max_rounds", maxRounds)
+	invSpan := r.startSpanLocked("inventory")
+	if invSpan != nil {
+		invSpan.Attr("max_rounds", maxRounds)
 		defer func() { r.span = nil }()
 	}
 	found := make(map[uint16]bool)
@@ -347,6 +351,8 @@ func (r *Reader) inventoryLocked(maxRounds int, nodes []*node.Node) InventoryRes
 				r.faultStats.Backoff += delay
 				mRetries.Inc()
 				mBackoffSeconds.Add(delay.Seconds())
+				telemetry.RecordFlight("reader", "backoff",
+					fmt.Sprintf("NAK re-solicitation, simulated backoff %v", delay))
 				r.broadcastLocked(protocol.Packet{Cmd: protocol.CmdNak, Target: protocol.Broadcast}, nodes)
 				replies, corrupted = r.broadcastLocked(protocol.Packet{Cmd: protocol.CmdQueryRep, Target: protocol.Broadcast}, nodes)
 			}
@@ -429,10 +435,9 @@ func (r *Reader) ReadSensor(handle uint16, st sensors.SensorType) ([]float64, er
 		mReads.With(readErr).Inc()
 		return nil, fmt.Errorf("reader: unknown node %#04x", handle)
 	}
-	var readSpan *telemetry.Span
-	if r.tracer != nil {
-		readSpan = r.tracer.Start("read").
-			Attr("capsule", handleLabel(handle)).Attr("sensor", st.String())
+	readSpan := r.startSpanLocked("read")
+	if readSpan != nil {
+		readSpan.Attr("capsule", handleLabel(handle)).Attr("sensor", st.String())
 		defer func() { r.span = nil }()
 	}
 	p := protocol.Packet{Cmd: protocol.CmdReadSensor, Target: handle, Payload: []byte{byte(st)}}
@@ -448,6 +453,8 @@ func (r *Reader) ReadSensor(handle uint16, st sensors.SensorType) ([]float64, er
 			r.faultStats.Backoff += delay
 			mRetries.Inc()
 			mBackoffSeconds.Add(delay.Seconds())
+			telemetry.RecordFlight("reader", "backoff",
+				fmt.Sprintf("read re-send %d, simulated backoff %v", a, delay))
 		}
 		if readSpan != nil {
 			r.span = readSpan.Child("attempt").Attr("n", a)

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"ecocapsule/internal/telemetry"
 )
 
 // HealthLevel grades structural health A (best) to F (imminent failure).
@@ -169,6 +171,9 @@ func (t Thresholds) Check(m Measurement) []Violation {
 	}
 	if m.PAO < t.MinPAO {
 		out = append(out, Violation{"pedestrian area occupancy", m.PAO, t.MinPAO})
+	}
+	for _, v := range out {
+		telemetry.RecordFlight("shm", "threshold_violation", v.String())
 	}
 	return out
 }

@@ -1,0 +1,154 @@
+package shmwire
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ecocapsule/internal/deploy"
+	"ecocapsule/internal/faultinject"
+	"ecocapsule/internal/fleet"
+	"ecocapsule/internal/geometry"
+	"ecocapsule/internal/node"
+	"ecocapsule/internal/sensors"
+	"ecocapsule/internal/telemetry"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// e2eTraceScenario runs the pinned end-to-end trace: a one-station fleet
+// surveys two capsules under 5 % injected frame loss, broadcasts the
+// resulting status over a real TCP shmwire session with the survey span's
+// trace context attached, and a reconnecting subscriber records the
+// remote-parented receipt. It returns the broadcaster's and the
+// subscriber's rendered span trees.
+func e2eTraceScenario(t *testing.T) (serverTree, clientTree string) {
+	t.Helper()
+	wall := geometry.CommonWall()
+	var capsules []*node.Node
+	var positions []geometry.Vec3
+	for i, x := range []float64{1.0, 2.0} {
+		pos := geometry.Vec3{X: x, Y: wall.Height / 2, Z: 0.1}
+		positions = append(positions, pos)
+		capsules = append(capsules, node.New(node.Config{
+			Handle:   uint16(0x10 + i),
+			Position: pos,
+			Seed:     int64(7 + i),
+		}))
+	}
+	plan, err := deploy.Cover(wall, positions, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := fleet.New(wall, plan, capsules, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.SetEnvironment(func(geometry.Vec3) sensors.Environment {
+		return sensors.Environment{TemperatureC: 20, RelativeHumidity: 55}
+	})
+	fl.ApplyInjector(faultinject.MustNew(faultinject.Plan{Seed: 3, FrameLossProb: 0.05}))
+	fleetTracer := telemetry.NewTracer(42)
+	fl.SetTracer(fleetTracer)
+
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.SetLogf(func(string, ...any) {})
+
+	clientTracer := telemetry.NewTracer(99)
+	rc := NewReconnectingClient(ReconnectConfig{
+		Addr:   srv.Addr().String(),
+		Name:   "golden-subscriber",
+		Tracer: clientTracer,
+	})
+	defer rc.Close()
+	if err := rc.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	for deadline := time.Now().Add(5 * time.Second); srv.Subscribers() < 1; {
+		if time.Now().After(deadline) {
+			t.Fatal("subscriber never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	rep, surveySpan := fl.SurveyTraced(0.4)
+	if surveySpan == nil {
+		t.Fatal("traced fleet returned no survey span")
+	}
+	// The broadcast rides as a child of the survey span, so the wire hop is
+	// part of the same trace the readers populated.
+	bsp := surveySpan.Child("broadcast").Attr("reporting", rep.Reporting)
+	ctx := bsp.Context()
+	tc := &TraceContext{TraceID: ctx.TraceID, SpanID: ctx.SpanID, LogicalTS: 1000}
+	srv.BroadcastStatusTraced(Status{
+		Timestamp:    time.Unix(0, 0).UTC(),
+		Expected:     uint16(rep.Expected),
+		Reporting:    uint16(rep.Reporting),
+		Degraded:     rep.Degraded,
+		MissingNodes: rep.Missing,
+	}, tc)
+	bsp.End()
+
+	for {
+		ev, err := rc.Next()
+		if err != nil {
+			t.Fatalf("subscriber stream died before the status arrived: %v", err)
+		}
+		if ev.Type == MsgStatus {
+			if ev.Trace == nil {
+				t.Fatal("status frame lost its trace context on the wire")
+			}
+			if ev.Trace.TraceID != ctx.TraceID || ev.Trace.SpanID != ctx.SpanID {
+				t.Fatalf("trace context corrupted: got %+v want %+v", ev.Trace, ctx)
+			}
+			break
+		}
+	}
+	return fleetTracer.Tree(), clientTracer.Tree()
+}
+
+// TestGoldenEndToEndTrace pins the full cross-process span tree — reader
+// interrogations under the fleet survey, the broadcast hop, and the
+// subscriber's remote-parented receipt — to one golden file. Same seeds,
+// byte-identical trees on both sides of the TCP session. Regenerate with:
+// go test ./internal/shmwire -run TestGoldenEndToEndTrace -update
+func TestGoldenEndToEndTrace(t *testing.T) {
+	serverTree, clientTree := e2eTraceScenario(t)
+	got := "=== server ===\n" + serverTree + "=== subscriber ===\n" + clientTree
+
+	golden := filepath.Join("testdata", "golden_e2e_trace.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("end-to-end trace diverged from golden file\n--- got\n%s--- want\n%s", got, want)
+	}
+}
+
+// TestEndToEndTraceDeterministic runs the scenario twice in one process;
+// fresh seeded tracers must reproduce both trees byte for byte.
+func TestEndToEndTraceDeterministic(t *testing.T) {
+	s1, c1 := e2eTraceScenario(t)
+	s2, c2 := e2eTraceScenario(t)
+	if s1 != s2 {
+		t.Error("same seeds, different server trees")
+	}
+	if c1 != c2 {
+		t.Error("same seeds, different subscriber trees")
+	}
+}

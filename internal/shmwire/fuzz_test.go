@@ -28,6 +28,16 @@ func FuzzReadFrame(f *testing.F) {
 	seed(MsgAlert, EncodeAlert(Alert{Timestamp: ts, Code: AlertAnomaly, Message: "spalling detected"}))
 	seed(MsgStatus, EncodeStatus(Status{Timestamp: ts, Expected: 12, Reporting: 11, Degraded: true, MissingNodes: []uint16{0x85}}))
 	seed(MsgBye, nil)
+	// A traced status frame: traced-flag bit set, 20-byte context prefix.
+	var traced bytes.Buffer
+	if err := WriteFrameTraced(&traced, MsgStatus,
+		EncodeStatus(Status{Timestamp: ts, Expected: 3, Reporting: 3}),
+		&TraceContext{TraceID: 0x0102030405060708, SpanID: 0x0A0B0C0D, LogicalTS: 42}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(traced.Bytes())
+	// A traced frame too short to hold its context header.
+	f.Add([]byte{0xEC, 0x05, Version, byte(MsgBye) | flagTraced, 0, 4, 1, 2, 3, 4})
 	// Malformed headers: bad magic, bad version, oversized length.
 	f.Add([]byte{0xFF, 0xFF, 1, 1, 0, 0})
 	f.Add([]byte{0xEC, 0x05, 99, 1, 0, 0})
@@ -55,9 +65,10 @@ func FuzzReadFrame(f *testing.F) {
 		if _, err := DecodeStatus(fr.Body); err != nil && err != ErrShortBody {
 			t.Fatalf("status decode: %v", err)
 		}
-		// An accepted frame must survive a write→read round trip unchanged.
+		// An accepted frame must survive a write→read round trip unchanged,
+		// trace context included.
 		var buf bytes.Buffer
-		if err := WriteFrame(&buf, fr.Type, fr.Body); err != nil {
+		if err := WriteFrameTraced(&buf, fr.Type, fr.Body, fr.Trace); err != nil {
 			t.Fatalf("re-encode: %v", err)
 		}
 		fr2, err := ReadFrame(&buf)
@@ -66,6 +77,9 @@ func FuzzReadFrame(f *testing.F) {
 		}
 		if fr2.Type != fr.Type || !bytes.Equal(fr2.Body, fr.Body) {
 			t.Fatal("frame round trip mismatch")
+		}
+		if (fr2.Trace == nil) != (fr.Trace == nil) || (fr.Trace != nil && *fr2.Trace != *fr.Trace) {
+			t.Fatal("trace context round trip mismatch")
 		}
 	})
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ecocapsule/internal/faultinject"
+	"ecocapsule/internal/telemetry"
 )
 
 // ReconnectConfig parameterises a self-healing subscription.
@@ -26,6 +27,10 @@ type ReconnectConfig struct {
 	Sleep func(time.Duration)
 	// Logf receives reconnect diagnostics (default: silent).
 	Logf func(format string, args ...any)
+	// Tracer, when set, records one remote-parented "receipt" span per
+	// traced event received, stitching the subscriber side under the
+	// broadcaster's trace.
+	Tracer *telemetry.Tracer
 }
 
 // ErrClientClosed is returned after Close.
@@ -88,6 +93,8 @@ func (rc *ReconnectingClient) connectLocked() error {
 	var lastErr error
 	for attempt := 0; attempt < rc.cfg.Backoff.MaxAttempts; attempt++ {
 		if attempt > 0 {
+			telemetry.RecordFlight("shmwire", "backoff",
+				fmt.Sprintf("%s redial attempt %d/%d", rc.cfg.Name, attempt+1, rc.cfg.Backoff.MaxAttempts))
 			rc.cfg.Sleep(rc.cfg.Backoff.Delay(attempt - 1))
 		}
 		cl, err := rc.cfg.Dial(rc.cfg.Addr, rc.cfg.Name)
@@ -120,6 +127,13 @@ func (rc *ReconnectingClient) Next() (Event, error) {
 		}
 		ev, err := cl.Next()
 		if err == nil {
+			if rc.cfg.Tracer != nil && ev.Trace != nil {
+				rc.cfg.Tracer.StartRemote("receipt", telemetry.SpanContext{
+					TraceID: ev.Trace.TraceID, SpanID: ev.Trace.SpanID,
+				}).Attr("type", ev.Type.String()).
+					Attr("logical_ts", ev.Trace.LogicalTS).
+					End()
+			}
 			return ev, nil
 		}
 
@@ -163,6 +177,23 @@ func (rc *ReconnectingClient) Events(stop <-chan struct{}) <-chan Event {
 		}
 	}()
 	return out
+}
+
+// Bounce drops the live session without closing the client, forcing the
+// next Connect/Next to redial from a fresh backoff schedule. Load tests
+// use it to exercise the reconnect path on demand.
+func (rc *ReconnectingClient) Bounce() {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.closed || rc.cl == nil {
+		return
+	}
+	rc.cl.Close()
+	rc.cl = nil
+	rc.reconnects++
+	mReconnects.Inc()
+	telemetry.RecordFlight("shmwire", "reconnect",
+		fmt.Sprintf("%s session bounced", rc.cfg.Name))
 }
 
 // Close tears the session down; subsequent Next calls fail fast.

@@ -2,11 +2,14 @@ package shmwire
 
 import (
 	"errors"
+	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"ecocapsule/internal/faultinject"
+	"ecocapsule/internal/telemetry"
 )
 
 func TestStatusRoundTrip(t *testing.T) {
@@ -46,6 +49,7 @@ func TestStatusEncodeTruncatesHugeMissingList(t *testing.T) {
 	for i := range missing {
 		missing[i] = uint16(i)
 	}
+	before := statusTruncatedCount()
 	body := EncodeStatus(Status{MissingNodes: missing})
 	if len(body) > MaxFrameSize {
 		t.Fatalf("status body %d bytes exceeds MaxFrameSize", len(body))
@@ -56,6 +60,50 @@ func TestStatusEncodeTruncatesHugeMissingList(t *testing.T) {
 	}
 	if len(dec.MissingNodes) != maxMissingNodes {
 		t.Errorf("decoded %d missing nodes, want the %d cap", len(dec.MissingNodes), maxMissingNodes)
+	}
+	// Regression: the cut must not be silent — the frame carries a
+	// truncation flag and the counter advances.
+	if !dec.Truncated {
+		t.Error("decoded status must carry the truncation flag")
+	}
+	if got := statusTruncatedCount(); got != before+1 {
+		t.Errorf("status_truncated counter moved %v -> %v, want +1", before, got)
+	}
+}
+
+func statusTruncatedCount() float64 { return mStatusTruncated.Value() }
+
+// TestStatusTruncationFlagContract pins the flag semantics below and above
+// the cap, including Degraded/Truncated sharing the flags byte.
+func TestStatusTruncationFlagContract(t *testing.T) {
+	before := statusTruncatedCount()
+	dec, err := DecodeStatus(EncodeStatus(Status{
+		Degraded:     true,
+		MissingNodes: []uint16{1, 2, 3},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Truncated {
+		t.Error("an uncut list must not set the truncation flag")
+	}
+	if !dec.Degraded {
+		t.Error("degraded flag lost")
+	}
+	if got := statusTruncatedCount(); got != before {
+		t.Errorf("counter moved %v -> %v on an uncut status", before, got)
+	}
+	// An explicitly pre-truncated status (e.g. re-broadcast of a decoded
+	// frame) keeps its flag without re-counting.
+	dec2, err := DecodeStatus(EncodeStatus(Status{Truncated: true, MissingNodes: []uint16{9}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec2.Truncated || dec2.Degraded {
+		t.Errorf("flag round trip: %+v", dec2)
+	}
+	if got := statusTruncatedCount(); got != before {
+		t.Errorf("counter moved on a pass-through truncated status")
 	}
 }
 
@@ -170,6 +218,150 @@ func TestReconnectingClientRidesOverServerRestart(t *testing.T) {
 	}
 	if rc.Reconnects() < 1 {
 		t.Error("reconnect counter never advanced")
+	}
+}
+
+// TestReconnectBackoffResetsAfterSuccess pins that a completed session
+// resets the redial schedule: after a healthy stretch the next outage must
+// start over at Delay(0), not continue climbing the exponential curve.
+func TestReconnectBackoffResetsAfterSuccess(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetLogf(func(string, ...any) {})
+
+	var mu sync.Mutex
+	var sleeps []time.Duration
+	fails := 2 // dials to fail before the next success
+	rc := NewReconnectingClient(ReconnectConfig{
+		Addr:    s.Addr().String(),
+		Name:    "backoff-reset",
+		Backoff: faultinject.Backoff{Base: time.Millisecond, Max: 100 * time.Millisecond, Factor: 2, MaxAttempts: 6},
+		Sleep: func(d time.Duration) {
+			mu.Lock()
+			sleeps = append(sleeps, d)
+			mu.Unlock()
+		},
+		Dial: func(addr, name string) (*Client, error) {
+			mu.Lock()
+			if fails > 0 {
+				fails--
+				mu.Unlock()
+				return nil, errors.New("synthetic dial failure")
+			}
+			mu.Unlock()
+			return Dial(addr, name)
+		},
+	})
+	defer rc.Close()
+
+	// Session 1: two failed dials, then success and a delivered frame.
+	if err := rc.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	waitForSubscribers(t, s, 1)
+	s.BroadcastAlert(Alert{Code: AlertThreshold, Message: "healthy session"})
+	if ev, err := rc.Next(); err != nil || ev.Type != MsgAlert {
+		t.Fatalf("first session event: %+v, %v", ev, err)
+	}
+
+	// Outage after the healthy session: two more failed dials.
+	mu.Lock()
+	fails = 2
+	mu.Unlock()
+	rc.Bounce()
+
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				s.BroadcastAlert(Alert{Code: AlertAnomaly, Message: "after outage"})
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	defer close(done)
+	if ev, err := rc.Next(); err != nil || ev.Type != MsgAlert {
+		t.Fatalf("post-outage event: %+v, %v", ev, err)
+	}
+
+	mu.Lock()
+	got := append([]time.Duration(nil), sleeps...)
+	mu.Unlock()
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond, time.Millisecond, 2 * time.Millisecond}
+	if len(got) != len(want) {
+		t.Fatalf("recorded sleeps %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want %v (schedule did not reset after success): %v", i, got[i], want[i], got)
+		}
+	}
+	if rc.Reconnects() < 1 {
+		t.Error("bounce must count as a reconnect")
+	}
+}
+
+// TestServerEvictsSlowConsumer wedges a subscriber that never reads its
+// socket and broadcasts past the bounded fan-out queue: the server must
+// evict it (not block the feed), count the eviction and dump the flight
+// recorder.
+func TestServerEvictsSlowConsumer(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetLogf(func(string, ...any) {})
+
+	// A raw subscriber that Hellos and then never drains its socket.
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := NewConn(conn).Hello("wedged"); err != nil {
+		t.Fatal(err)
+	}
+	waitForSubscribers(t, s, 1)
+
+	evictionsBefore := mEvictions.Value()
+	// Big frames fill the kernel socket buffers, wedging the writer
+	// goroutine; further broadcasts then overflow the 256-slot channel.
+	body := EncodeAlert(Alert{Code: AlertAnomaly, Message: string(make([]byte, 512))})
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Subscribers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow subscriber never evicted")
+		}
+		s.Broadcast(MsgAlert, body)
+	}
+	if got := mEvictions.Value(); got != evictionsBefore+1 {
+		t.Errorf("evictions counter moved %v -> %v, want +1", evictionsBefore, got)
+	}
+	reason, dump, _ := telemetry.Flight().LastDump()
+	if reason != "shmwire: subscriber evicted" {
+		t.Errorf("flight recorder dump reason %q, want the eviction incident", reason)
+	}
+	if !strings.Contains(dump, "evict") {
+		t.Errorf("incident dump does not mention the eviction:\n%s", dump)
+	}
+	// The healthy feed must still work after the eviction.
+	cl, err := Dial(s.Addr().String(), "healthy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	waitForSubscribers(t, s, 1)
+	s.BroadcastHealth(Health{Section: 'A', Level: 'A'})
+	cl.SetDeadline(time.Now().Add(2 * time.Second))
+	if ev, err := cl.Next(); err != nil || ev.Type != MsgHealth {
+		t.Fatalf("post-eviction event: %+v, %v", ev, err)
 	}
 }
 

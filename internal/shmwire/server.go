@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"ecocapsule/internal/telemetry"
 )
 
 // Server streams SHM telemetry to every connected subscriber. A Source
@@ -26,6 +28,11 @@ type Server struct {
 	// writeTimeout bounds each frame write so one wedged subscriber socket
 	// cannot pin its writer goroutine forever.
 	writeTimeout time.Duration
+	//ecolint:guardedby mu
+	// snapshot, when set, supplies the current coverage status enqueued to
+	// every subscriber right after its Hello, so late joiners see the fleet
+	// state without waiting for the next broadcast.
+	snapshot func() (Status, *TraceContext, bool)
 }
 
 // defaultWriteTimeout bounds a single subscriber frame write.
@@ -41,6 +48,7 @@ type subscriber struct {
 type outFrame struct {
 	t    MsgType
 	body []byte
+	tc   *TraceContext
 }
 
 // NewServer listens on addr (e.g. "127.0.0.1:0").
@@ -77,6 +85,15 @@ func (s *Server) SetWriteTimeout(d time.Duration) {
 	s.writeTimeout = d
 }
 
+// SetSnapshot installs the current-status callback served to each new
+// subscriber right after its Hello. The callback runs outside the server's
+// lock (it may take its own); returning ok=false skips the snapshot.
+func (s *Server) SetSnapshot(f func() (Status, *TraceContext, bool)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.snapshot = f
+}
+
 // Addr returns the bound address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
@@ -109,6 +126,18 @@ func (s *Server) handle(conn net.Conn) {
 		ch:   make(chan outFrame, 256),
 		conn: conn,
 	}
+	// Resolve the snapshot before taking s.mu for registration: the
+	// callback may grab its own locks. The slight staleness is harmless —
+	// any broadcast racing this window supersedes the snapshot anyway.
+	s.mu.Lock()
+	snapshot := s.snapshot
+	s.mu.Unlock()
+	var snapFrame *outFrame
+	if snapshot != nil {
+		if st, tc, ok := snapshot(); ok {
+			snapFrame = &outFrame{t: MsgStatus, body: EncodeStatus(st), tc: tc}
+		}
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -118,6 +147,11 @@ func (s *Server) handle(conn net.Conn) {
 	s.nextSubID++
 	sub.id = s.nextSubID
 	s.subs[sub.id] = sub
+	if snapFrame != nil {
+		// The channel is freshly made and broadcasts hold s.mu, so this
+		// enqueue into a 256-slot buffer cannot block.
+		sub.ch <- *snapFrame
+	}
 	mSubscribers.Set(float64(len(s.subs)))
 	logf := s.logf
 	s.mu.Unlock()
@@ -133,10 +167,12 @@ func (s *Server) handle(conn net.Conn) {
 		if wt > 0 {
 			conn.SetWriteDeadline(time.Now().Add(wt))
 		}
-		if err := c.Send(of.t, of.body); err != nil {
+		if err := c.SendTraced(of.t, of.body, of.tc); err != nil {
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {
 				mWriteDeadlineHits.Inc()
+				telemetry.RecordFlight("shmwire", "write_timeout",
+					fmt.Sprintf("subscriber %d (%s) frame write timed out", sub.id, sub.name))
 			}
 			break
 		}
@@ -165,12 +201,20 @@ func (s *Server) Subscribers() int {
 // Broadcast fans one frame out to every subscriber. Slow subscribers whose
 // buffers are full are disconnected (the frame is dropped for them).
 func (s *Server) Broadcast(t MsgType, body []byte) {
+	s.BroadcastTraced(t, body, nil)
+}
+
+// BroadcastTraced fans one frame out to every subscriber with an optional
+// trace context, so a receipt span on the far side can join the
+// originating trace. An eviction is an incident: the flight recorder is
+// dumped so the events leading up to the overflow survive it.
+func (s *Server) BroadcastTraced(t MsgType, body []byte, tc *TraceContext) {
 	mBroadcasts.With(t.String()).Inc()
 	s.mu.Lock()
 	var evict []int
 	for id, sub := range s.subs {
 		select {
-		case sub.ch <- outFrame{t: t, body: body}:
+		case sub.ch <- outFrame{t: t, body: body, tc: tc}:
 		default:
 			evict = append(evict, id)
 		}
@@ -180,7 +224,10 @@ func (s *Server) Broadcast(t MsgType, body []byte) {
 	for _, id := range evict {
 		logf("shmwire: evicting slow subscriber %d", id)
 		mEvictions.Inc()
+		telemetry.RecordFlight("shmwire", "evict",
+			fmt.Sprintf("subscriber %d overflowed its fan-out buffer", id))
 		s.removeSub(id)
+		telemetry.Flight().Dump("shmwire: subscriber evicted")
 	}
 }
 
@@ -202,6 +249,11 @@ func (s *Server) BroadcastAlert(a Alert) {
 // BroadcastStatus is a convenience wrapper.
 func (s *Server) BroadcastStatus(st Status) {
 	s.Broadcast(MsgStatus, EncodeStatus(st))
+}
+
+// BroadcastStatusTraced broadcasts a status frame carrying a trace context.
+func (s *Server) BroadcastStatusTraced(st Status, tc *TraceContext) {
+	s.BroadcastTraced(MsgStatus, EncodeStatus(st), tc)
 }
 
 // Close shuts the listener and every subscriber down and waits for the
@@ -252,13 +304,15 @@ func Dial(addr, name string) (*Client, error) {
 	return cl, nil
 }
 
-// Event is one decoded server message.
+// Event is one decoded server message. Trace carries the sender's trace
+// context when the frame was traced.
 type Event struct {
 	Type      MsgType
 	Telemetry *Telemetry
 	Health    *Health
 	Alert     *Alert
 	Status    *Status
+	Trace     *TraceContext
 }
 
 // Next blocks for the next event. io.EOF-wrapped errors mean the stream
@@ -268,36 +322,37 @@ func (cl *Client) Next() (Event, error) {
 	if err != nil {
 		return Event{}, err
 	}
+	ev := Event{Type: f.Type, Trace: f.Trace}
 	switch f.Type {
 	case MsgTelemetry:
 		t, err := DecodeTelemetry(f.Body)
 		if err != nil {
 			return Event{}, err
 		}
-		return Event{Type: f.Type, Telemetry: &t}, nil
+		ev.Telemetry = &t
 	case MsgHealth:
 		h, err := DecodeHealth(f.Body)
 		if err != nil {
 			return Event{}, err
 		}
-		return Event{Type: f.Type, Health: &h}, nil
+		ev.Health = &h
 	case MsgAlert:
 		a, err := DecodeAlert(f.Body)
 		if err != nil {
 			return Event{}, err
 		}
-		return Event{Type: f.Type, Alert: &a}, nil
+		ev.Alert = &a
 	case MsgStatus:
 		st, err := DecodeStatus(f.Body)
 		if err != nil {
 			return Event{}, err
 		}
-		return Event{Type: f.Type, Status: &st}, nil
+		ev.Status = &st
 	case MsgBye:
-		return Event{Type: f.Type}, nil
 	default:
 		return Event{}, fmt.Errorf("shmwire: unexpected frame %v", f.Type)
 	}
+	return ev, nil
 }
 
 // SetDeadline bounds the next Recv.

@@ -20,4 +20,8 @@ var (
 		"frames fanned out by type (counted once per broadcast)", "type")
 	mReconnects = telemetry.NewCounter("ecocapsule_shmwire_reconnects_total",
 		"client reconnect attempts by the resilient subscriber")
+	mTracedFrames = telemetry.NewCounter("ecocapsule_shmwire_traced_frames_total",
+		"frames written with a trace-context header")
+	mStatusTruncated = telemetry.NewCounter("ecocapsule_shmwire_status_truncated_total",
+		"status frames whose missing-node list was cut at the wire cap")
 )

@@ -14,6 +14,8 @@ import (
 	"io"
 	"math"
 	"time"
+
+	"ecocapsule/internal/telemetry"
 )
 
 // Protocol constants.
@@ -109,6 +111,10 @@ type Status struct {
 	Reporting uint16
 	// Degraded mirrors the fleet's coverage flag.
 	Degraded bool
+	// Truncated is set when MissingNodes was cut at the maxMissingNodes
+	// wire cap, so a receiver knows the list names only a prefix of the
+	// holes (Expected - Reporting still carries the true magnitude).
+	Truncated bool
 	// MissingNodes lists capsule handles that did not report (bounded by
 	// maxMissingNodes on the wire).
 	MissingNodes []uint16
@@ -118,30 +124,93 @@ type Status struct {
 // fits MaxFrameSize.
 const maxMissingNodes = 1024
 
-// Frame is a decoded wire frame.
+// TraceContext is the optional trace header a frame can carry across the
+// socket: enough for the receiver to stitch its own spans under the
+// sender's trace (telemetry.Tracer.StartRemote) and to measure delivery
+// latency against the sender's logical clock. LogicalTS is a logical send
+// timestamp in nanoseconds drawn from the deterministic sim clock — never
+// a wall-clock reading, so traces and latency reports stay reproducible.
+type TraceContext struct {
+	TraceID   uint64
+	SpanID    uint32
+	LogicalTS uint64
+}
+
+// traceContextSize is the wire size of an encoded TraceContext.
+const traceContextSize = 8 + 4 + 8
+
+// flagTraced marks the frame-type byte of a frame whose body is prefixed
+// with an encoded TraceContext. Message type values therefore live in the
+// low 7 bits; untraced frames from old writers parse unchanged.
+const flagTraced byte = 0x80
+
+// EncodeTraceContext appends the 20-byte wire form of tc to dst.
+func EncodeTraceContext(dst []byte, tc TraceContext) []byte {
+	var b [traceContextSize]byte
+	binary.BigEndian.PutUint64(b[0:8], tc.TraceID)
+	binary.BigEndian.PutUint32(b[8:12], tc.SpanID)
+	binary.BigEndian.PutUint64(b[12:20], tc.LogicalTS)
+	return append(dst, b[:]...)
+}
+
+// DecodeTraceContext reverses EncodeTraceContext.
+func DecodeTraceContext(b []byte) (TraceContext, error) {
+	if len(b) < traceContextSize {
+		return TraceContext{}, ErrShortBody
+	}
+	return TraceContext{
+		TraceID:   binary.BigEndian.Uint64(b[0:8]),
+		SpanID:    binary.BigEndian.Uint32(b[8:12]),
+		LogicalTS: binary.BigEndian.Uint64(b[12:20]),
+	}, nil
+}
+
+// Frame is a decoded wire frame. Trace is non-nil when the sender attached
+// a trace context.
 type Frame struct {
-	Type MsgType
-	Body []byte
+	Type  MsgType
+	Body  []byte
+	Trace *TraceContext
 }
 
 // Errors.
 var (
-	ErrBadMagic   = errors.New("shmwire: bad magic")
-	ErrBadVersion = errors.New("shmwire: unsupported version")
-	ErrTooLarge   = errors.New("shmwire: frame exceeds MaxFrameSize")
-	ErrShortBody  = errors.New("shmwire: body too short")
+	ErrBadMagic     = errors.New("shmwire: bad magic")
+	ErrBadVersion   = errors.New("shmwire: unsupported version")
+	ErrTooLarge     = errors.New("shmwire: frame exceeds MaxFrameSize")
+	ErrShortBody    = errors.New("shmwire: body too short")
+	ErrReservedType = errors.New("shmwire: message type collides with the traced flag bit")
 )
 
 // WriteFrame writes one frame: magic(2) version(1) type(1) length(2) body.
 func WriteFrame(w io.Writer, t MsgType, body []byte) error {
-	if len(body) > MaxFrameSize {
+	return WriteFrameTraced(w, t, body, nil)
+}
+
+// WriteFrameTraced writes one frame, prefixing the body with tc (when
+// non-nil) and setting the traced flag bit on the type byte. The trace
+// header counts against MaxFrameSize.
+func WriteFrameTraced(w io.Writer, t MsgType, body []byte, tc *TraceContext) error {
+	if byte(t)&flagTraced != 0 {
+		return ErrReservedType
+	}
+	n := len(body)
+	typeByte := byte(t)
+	if tc != nil {
+		n += traceContextSize
+		typeByte |= flagTraced
+	}
+	if n > MaxFrameSize {
 		return ErrTooLarge
 	}
-	hdr := make([]byte, 6)
+	hdr := make([]byte, 6, 6+traceContextSize)
 	binary.BigEndian.PutUint16(hdr[0:2], Magic)
 	hdr[2] = Version
-	hdr[3] = byte(t)
-	binary.BigEndian.PutUint16(hdr[4:6], uint16(len(body)))
+	hdr[3] = typeByte
+	binary.BigEndian.PutUint16(hdr[4:6], uint16(n))
+	if tc != nil {
+		hdr = EncodeTraceContext(hdr, *tc)
+	}
 	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
@@ -149,10 +218,14 @@ func WriteFrame(w io.Writer, t MsgType, body []byte) error {
 		return err
 	}
 	mFramesWritten.With(t.String()).Inc()
+	if tc != nil {
+		mTracedFrames.Inc()
+	}
 	return nil
 }
 
-// ReadFrame reads one frame from r.
+// ReadFrame reads one frame from r, peeling the trace-context prefix off
+// traced frames.
 func ReadFrame(r io.Reader) (Frame, error) {
 	hdr := make([]byte, 6)
 	if _, err := io.ReadFull(r, hdr); err != nil {
@@ -166,17 +239,31 @@ func ReadFrame(r io.Reader) (Frame, error) {
 		mReadErrors.Inc()
 		return Frame{}, ErrBadVersion
 	}
+	traced := hdr[3]&flagTraced != 0
 	n := int(binary.BigEndian.Uint16(hdr[4:6]))
 	if n > MaxFrameSize {
 		mReadErrors.Inc()
 		return Frame{}, ErrTooLarge
+	}
+	if traced && n < traceContextSize {
+		mReadErrors.Inc()
+		return Frame{}, ErrShortBody
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
 		mReadErrors.Inc()
 		return Frame{}, err
 	}
-	f := Frame{Type: MsgType(hdr[3]), Body: body}
+	f := Frame{Type: MsgType(hdr[3] &^ flagTraced), Body: body}
+	if traced {
+		tc, err := DecodeTraceContext(body[:traceContextSize])
+		if err != nil {
+			mReadErrors.Inc()
+			return Frame{}, err
+		}
+		f.Trace = &tc
+		f.Body = body[traceContextSize:]
+	}
 	mFramesRead.With(f.Type.String()).Inc()
 	return f, nil
 }
@@ -267,18 +354,29 @@ func DecodeAlert(b []byte) (Alert, error) {
 }
 
 // EncodeStatus serialises a coverage status. Missing handles beyond
-// maxMissingNodes are truncated (the counts still carry the magnitude).
+// maxMissingNodes are truncated, but never silently: the frame's Truncated
+// flag is set and ecocapsule_shmwire_status_truncated_total counts the cut
+// (the Expected/Reporting counts still carry the true magnitude).
 func EncodeStatus(s Status) []byte {
 	missing := s.MissingNodes
+	truncated := s.Truncated
 	if len(missing) > maxMissingNodes {
+		dropped := len(missing) - maxMissingNodes
 		missing = missing[:maxMissingNodes]
+		truncated = true
+		mStatusTruncated.Inc()
+		telemetry.RecordFlight("shmwire", "status_truncated",
+			fmt.Sprintf("missing-node list cut at %d (%d dropped)", maxMissingNodes, dropped))
 	}
 	b := make([]byte, 8+2+2+1+2+2*len(missing))
 	binary.BigEndian.PutUint64(b[0:8], uint64(s.Timestamp.UnixNano()))
 	binary.BigEndian.PutUint16(b[8:10], s.Expected)
 	binary.BigEndian.PutUint16(b[10:12], s.Reporting)
 	if s.Degraded {
-		b[12] = 1
+		b[12] |= 1
+	}
+	if truncated {
+		b[12] |= 2
 	}
 	binary.BigEndian.PutUint16(b[13:15], uint16(len(missing)))
 	for i, h := range missing {
@@ -300,7 +398,8 @@ func DecodeStatus(b []byte) (Status, error) {
 		Timestamp: time.Unix(0, int64(binary.BigEndian.Uint64(b[0:8]))).UTC(),
 		Expected:  binary.BigEndian.Uint16(b[8:10]),
 		Reporting: binary.BigEndian.Uint16(b[10:12]),
-		Degraded:  b[12] == 1,
+		Degraded:  b[12]&1 != 0,
+		Truncated: b[12]&2 != 0,
 	}
 	for i := 0; i < n; i++ {
 		s.MissingNodes = append(s.MissingNodes, binary.BigEndian.Uint16(b[15+2*i:17+2*i]))
@@ -321,7 +420,13 @@ func NewConn(rw io.ReadWriter) *Conn {
 
 // Send writes one frame and flushes.
 func (c *Conn) Send(t MsgType, body []byte) error {
-	if err := WriteFrame(c.w, t, body); err != nil {
+	return c.SendTraced(t, body, nil)
+}
+
+// SendTraced writes one frame carrying an optional trace context and
+// flushes.
+func (c *Conn) SendTraced(t MsgType, body []byte, tc *TraceContext) error {
+	if err := WriteFrameTraced(c.w, t, body, tc); err != nil {
 		return err
 	}
 	return c.w.Flush()

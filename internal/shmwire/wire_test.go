@@ -26,22 +26,80 @@ func TestFrameRoundTrip(t *testing.T) {
 }
 
 func TestFrameRoundTripProperty(t *testing.T) {
-	f := func(tp byte, body []byte) bool {
-		if len(body) > MaxFrameSize {
-			body = body[:MaxFrameSize]
+	f := func(tp byte, body []byte, traced bool, trace uint64, span uint32, ts uint64) bool {
+		tp &^= flagTraced // the high bit is the traced flag, not a type
+		if len(body) > MaxFrameSize-traceContextSize {
+			body = body[:MaxFrameSize-traceContextSize]
+		}
+		var tc *TraceContext
+		if traced {
+			tc = &TraceContext{TraceID: trace, SpanID: span, LogicalTS: ts}
 		}
 		var buf bytes.Buffer
-		if err := WriteFrame(&buf, MsgType(tp), body); err != nil {
+		if err := WriteFrameTraced(&buf, MsgType(tp), body, tc); err != nil {
 			return false
 		}
 		got, err := ReadFrame(&buf)
 		if err != nil {
 			return false
 		}
-		return got.Type == MsgType(tp) && bytes.Equal(got.Body, body)
+		if got.Type != MsgType(tp) || !bytes.Equal(got.Body, body) {
+			return false
+		}
+		if traced {
+			return got.Trace != nil && *got.Trace == *tc
+		}
+		return got.Trace == nil
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestWriteFrameRejectsReservedTypeBit(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgType(0x85), nil); !errors.Is(err, ErrReservedType) {
+		t.Errorf("type with traced bit set: %v, want ErrReservedType", err)
+	}
+}
+
+func TestTracedFrameValidation(t *testing.T) {
+	// A traced frame whose declared length cannot hold the trace header is
+	// rejected before the body decoder sees it.
+	short := []byte{0xEC, 0x05, Version, byte(MsgStatus) | flagTraced, 0, 5, 1, 2, 3, 4, 5}
+	if _, err := ReadFrame(bytes.NewReader(short)); !errors.Is(err, ErrShortBody) {
+		t.Errorf("traced frame shorter than the header: %v, want ErrShortBody", err)
+	}
+	// The trace header counts against MaxFrameSize.
+	var buf bytes.Buffer
+	tc := &TraceContext{TraceID: 1, SpanID: 2, LogicalTS: 3}
+	if err := WriteFrameTraced(&buf, MsgStatus, make([]byte, MaxFrameSize-traceContextSize+1), tc); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("traced frame over MaxFrameSize: %v, want ErrTooLarge", err)
+	}
+}
+
+// TestTracedStatusEndToEnd pins that a trace context rides a status frame
+// through Conn.SendTraced → Client-side ReadFrame untouched.
+func TestTracedStatusEndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	tc := TraceContext{TraceID: 0xDEADBEEF01020304, SpanID: 0xABCD1234, LogicalTS: 7_200_000_000_000}
+	st := Status{Timestamp: time.Unix(0, 0).UTC(), Expected: 5, Reporting: 4, Degraded: true, MissingNodes: []uint16{0x91}}
+	if err := WriteFrameTraced(&buf, MsgStatus, EncodeStatus(st), &tc); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Type != MsgStatus || fr.Trace == nil || *fr.Trace != tc {
+		t.Fatalf("frame %+v lost the trace context %+v", fr, tc)
+	}
+	dec, err := DecodeStatus(fr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Reporting != 4 || !dec.Degraded || len(dec.MissingNodes) != 1 {
+		t.Errorf("status payload corrupted under the trace prefix: %+v", dec)
 	}
 }
 

@@ -26,36 +26,67 @@ func NewTracer(seed int64) *Tracer {
 	return &Tracer{rng: rand.New(rand.NewSource(seed))}
 }
 
+// SpanContext identifies one span inside one trace — the part of a span
+// that can cross a process (or socket) boundary. A remote receiver feeds it
+// to StartRemote to stitch its own spans under the originating trace.
+type SpanContext struct {
+	TraceID uint64
+	SpanID  uint32
+}
+
 // Span is one node of a trace tree. Attributes keep insertion order so the
 // rendering is deterministic.
 type Span struct {
 	tracer *Tracer
+	trace  uint64
 	id     uint32
 	name   string
 	attrs  []attr
 	kids   []*Span
 	ended  bool
+	// remote is set on roots adopted from another process's trace via
+	// StartRemote; it names the cross-boundary parent.
+	remote *SpanContext
 }
 
 type attr struct{ key, val string }
 
-// Start opens a root span.
+// Start opens a root span under a fresh trace ID.
 func (t *Tracer) Start(name string) *Span {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	sp := &Span{tracer: t, id: t.rng.Uint32(), name: name}
+	sp := &Span{tracer: t, trace: t.rng.Uint64(), id: t.rng.Uint32(), name: name}
 	t.roots = append(t.roots, sp)
 	return sp
 }
 
-// Child opens a sub-span.
+// StartRemote opens a root span whose parent lives in another process:
+// the span joins the parent's trace instead of drawing a fresh trace ID,
+// and the rendered tree names the remote parent so the two sides can be
+// stitched together by trace and span ID.
+func (t *Tracer) StartRemote(name string, parent SpanContext) *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := parent
+	sp := &Span{tracer: t, trace: parent.TraceID, id: t.rng.Uint32(), name: name, remote: &p}
+	t.roots = append(t.roots, sp)
+	return sp
+}
+
+// Child opens a sub-span inside the parent's trace.
 func (s *Span) Child(name string) *Span {
 	t := s.tracer
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	sp := &Span{tracer: t, id: t.rng.Uint32(), name: name}
+	sp := &Span{tracer: t, trace: s.trace, id: t.rng.Uint32(), name: name}
 	s.kids = append(s.kids, sp)
 	return sp
+}
+
+// Context returns the span's propagatable identity. The fields are set at
+// creation and never change, so no lock is needed.
+func (s *Span) Context() SpanContext {
+	return SpanContext{TraceID: s.trace, SpanID: s.id}
 }
 
 // Attr records one key=value attribute; the value is rendered with %v.
@@ -95,11 +126,14 @@ func (t *Tracer) Reset() {
 	t.roots = nil
 }
 
-// Tree renders every root span as an indented deterministic tree:
+// Tree renders every root span as an indented deterministic tree. Roots
+// carry their trace ID (or, for remotely-parented roots, the cross-process
+// parent as remote_parent=<trace>/<span>):
 //
-//	charge [22ca1008] duration_s=0.4 powered=5
-//	inventory [45b23f1a] max_rounds=1
+//	charge [22ca1008] trace=a51f03c9e2b47d10 duration_s=0.4 powered=5
+//	inventory [45b23f1a] trace=7741ab0c55e9d2f8 max_rounds=1
 //	  round [fe3ddb2a] q=2 slots=4
+//	receipt [8d02c511] remote_parent=7741ab0c55e9d2f8/45b23f1a type=status
 //
 // Unfinished spans are marked so a truncated trace is visible as such.
 func (t *Tracer) Tree() string {
@@ -117,6 +151,13 @@ func writeSpan(b *strings.Builder, s *Span, depth int) {
 		b.WriteString("  ")
 	}
 	fmt.Fprintf(b, "%s [%08x]", s.name, s.id)
+	if depth == 0 {
+		if s.remote != nil {
+			fmt.Fprintf(b, " remote_parent=%016x/%08x", s.remote.TraceID, s.remote.SpanID)
+		} else {
+			fmt.Fprintf(b, " trace=%016x", s.trace)
+		}
+	}
 	for _, a := range s.attrs {
 		fmt.Fprintf(b, " %s=%s", a.key, a.val)
 	}

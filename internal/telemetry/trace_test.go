@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -36,6 +37,9 @@ func TestTracerDeterministicIDs(t *testing.T) {
 			if i := strings.IndexByte(line, '['); i >= 0 {
 				line = line[:i] + line[i+10:] // drop "[xxxxxxxx]"
 			}
+			if i := strings.Index(line, "trace="); i >= 0 {
+				line = line[:i] + line[i+len("trace=")+16:] // drop the trace ID
+			}
 			out = append(out, line)
 		}
 		return strings.Join(out, "\n")
@@ -65,6 +69,54 @@ func TestTracerTreeShape(t *testing.T) {
 	}
 	if !strings.HasPrefix(lines[1], "  attempt [") || !strings.HasSuffix(lines[1], "n=1") {
 		t.Errorf("child line malformed: %q", lines[1])
+	}
+}
+
+// TestTracerRemoteParent pins the cross-process stitching contract: a
+// StartRemote root joins the parent's trace, renders the remote parent as
+// remote_parent=<trace>/<span>, and its children inherit the trace ID.
+func TestTracerRemoteParent(t *testing.T) {
+	server := NewTracer(42)
+	broadcast := server.Start("broadcast")
+	ctx := broadcast.Context()
+	broadcast.End()
+
+	client := NewTracer(99)
+	receipt := client.StartRemote("receipt", ctx).Attr("type", "status")
+	kid := receipt.Child("decode")
+	kid.End()
+	receipt.End()
+
+	if got := receipt.Context().TraceID; got != ctx.TraceID {
+		t.Errorf("remote root trace %016x, want parent trace %016x", got, ctx.TraceID)
+	}
+	if kid.Context().TraceID != ctx.TraceID {
+		t.Error("child of a remote root must inherit the remote trace ID")
+	}
+	tree := client.Tree()
+	want := fmt.Sprintf("remote_parent=%016x/%08x", ctx.TraceID, ctx.SpanID)
+	if !strings.Contains(tree, want) {
+		t.Errorf("tree %q does not name the remote parent %q", tree, want)
+	}
+	if strings.Contains(tree, "trace=") {
+		t.Errorf("remote root must render remote_parent, not trace=: %q", tree)
+	}
+}
+
+// TestTracerLocalRootsCarryDistinctTraces pins that every Start draws a
+// fresh trace ID and renders it on the root line.
+func TestTracerLocalRootsCarryDistinctTraces(t *testing.T) {
+	tr := NewTracer(5)
+	a, b := tr.Start("a"), tr.Start("b")
+	a.End()
+	b.End()
+	if a.Context().TraceID == b.Context().TraceID {
+		t.Error("sibling roots must not share a trace ID")
+	}
+	for _, line := range strings.Split(strings.TrimRight(tr.Tree(), "\n"), "\n") {
+		if !strings.Contains(line, "trace=") {
+			t.Errorf("root line missing trace ID: %q", line)
+		}
 	}
 }
 

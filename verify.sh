@@ -165,8 +165,48 @@ if ! curl -sf "$TELEMETRY_URL/healthz" | grep -q '"status"'; then
 	cleanup_smoke
 	exit 1
 fi
+# The black box must be serving and already hold events from the self-test
+# survey's injected faults (faultinject/reader subsystems record there).
+if ! curl -sf "$TELEMETRY_URL/debug/flightrecorder" | grep -q '^subsystem '; then
+	echo "verify.sh: /debug/flightrecorder served no recorded events"
+	cleanup_smoke
+	exit 1
+fi
 cleanup_smoke
-echo "   $FAMILIES metric families exposed; /healthz healthy"
+echo "   $FAMILIES metric families exposed; /healthz healthy; flight recorder live"
+stage_done
+
+# Load-harness smoke: shmload drives 50 reconnecting subscribers through 40
+# lock-step broadcast rounds with 5% injected loss. The gate requires the
+# JSON report to be byte-reproducible for a fixed seed, a parsed nonzero
+# p99 latency, and zero leaked goroutines after teardown.
+stage "shmload smoke (50 clients, 5% loss, seeded determinism)"
+LOAD_DIR="$(mktemp -d)"
+go build -o "$LOAD_DIR/shmload" ./cmd/shmload
+"$LOAD_DIR/shmload" -clients 50 -rounds 40 -loss 0.05 -seed 7 -json >"$LOAD_DIR/run1.json"
+"$LOAD_DIR/shmload" -clients 50 -rounds 40 -loss 0.05 -seed 7 -json >"$LOAD_DIR/run2.json"
+if ! cmp -s "$LOAD_DIR/run1.json" "$LOAD_DIR/run2.json"; then
+	echo "verify.sh: shmload report is not deterministic for a fixed seed:"
+	diff "$LOAD_DIR/run1.json" "$LOAD_DIR/run2.json" || true
+	rm -rf "$LOAD_DIR"
+	exit 1
+fi
+P99="$(sed -n 's/^ *"p99": \([0-9.e+-]*\).*/\1/p' "$LOAD_DIR/run1.json")"
+if [ -z "$P99" ] || [ "$P99" = "0" ]; then
+	echo "verify.sh: shmload report carries no nonzero p99 latency:"
+	cat "$LOAD_DIR/run1.json"
+	rm -rf "$LOAD_DIR"
+	exit 1
+fi
+if ! grep -q '"leaked_goroutines": 0' "$LOAD_DIR/run1.json"; then
+	echo "verify.sh: shmload leaked goroutines:"
+	cat "$LOAD_DIR/run1.json"
+	rm -rf "$LOAD_DIR"
+	exit 1
+fi
+DELIVERED="$(sed -n 's/^ *"delivered": \([0-9]*\).*/\1/p' "$LOAD_DIR/run1.json")"
+rm -rf "$LOAD_DIR"
+echo "   deterministic report; ${DELIVERED}/2000 delivered, p99 ${P99}s, no leaks"
 stage_done
 
 # Fuzz smoke: each decoder target fuzzes for a few seconds. Any panic or
@@ -182,12 +222,12 @@ stage_done
 
 # Bench smoke: regenerate the hot-path micro-benchmark matrix and gate
 # the channel transmit, uplink round decode and fleet survey against the
-# committed BENCH_7.json baseline at matching GOMAXPROCS (>20% slower
+# committed BENCH_8.json baseline at matching GOMAXPROCS (>20% slower
 # fails: the convolution crossover, the decode path or the survey fan-out
 # broke).
-stage "bench smoke (ecobench -json vs BENCH_7.json)"
-go run ./cmd/ecobench -json -baseline BENCH_7.json > BENCH_7.json.new
-mv BENCH_7.json.new /tmp/ecobench_bench_last.json
+stage "bench smoke (ecobench -json vs BENCH_8.json)"
+go run ./cmd/ecobench -json -baseline BENCH_8.json > BENCH_8.json.new
+mv BENCH_8.json.new /tmp/ecobench_bench_last.json
 stage_done
 
 VERIFY_DONE=1
