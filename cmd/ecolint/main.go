@@ -1,6 +1,5 @@
 // Command ecolint runs the EcoCapsule domain-aware static-analysis suite
-// (internal/analysis) over the given package patterns and exits non-zero if
-// any analyzer reports a finding.
+// (internal/analysis) over the given package patterns.
 //
 // Usage:
 //
@@ -8,19 +7,30 @@
 //	go run ./cmd/ecolint -list
 //	go run ./cmd/ecolint -only unitsafety,floatcmp ./internal/physics
 //	go run ./cmd/ecolint -include-tests -json ./...
+//	go run ./cmd/ecolint -sarif ./... > findings.sarif
 //
 // Packages are analyzed in dependency order by a parallel worker pool;
 // results are cached under .ecolint-cache/ (keyed by content hash and
 // analyzer version) so repeat runs on an unchanged tree are near-instant.
 // Disable with -cache=false or point elsewhere with -cache-dir.
 //
-// Findings print as `file:line: analyzer: message` (or as a JSON array with
-// -json). A finding is suppressed by an inline directive on the same line or
-// the line above:
+// Findings print as `file:line: analyzer: message`, as a JSON array with
+// -json, or as a SARIF 2.1.0 log with -sarif (for CI code-scanning
+// upload). A finding is suppressed by an inline directive on the same
+// line or the line above:
 //
 //	//ecolint:ignore <analyzer> <reason>
 //
 // The reason is mandatory; directives without one are reported themselves.
+//
+// Exit codes are distinct so CI can tell "the tree is dirty" from "the
+// driver could not even look at the tree":
+//
+//	0  clean
+//	1  findings reported
+//	2  usage error (bad flags, unknown analyzer)
+//	3  driver or load error (go list failed, a package did not parse or
+//	   type-check, the cache directory is unusable)
 package main
 
 import (
@@ -31,6 +41,16 @@ import (
 	"strings"
 
 	"ecocapsule/internal/analysis"
+)
+
+// Exit codes. Findings and driver failures must not alias: a CI gate
+// that treats any non-zero as "findings" would otherwise report a green
+// "0 findings" summary for a tree it never managed to load.
+const (
+	exitClean    = 0
+	exitFindings = 1
+	exitUsage    = 2
+	exitDriver   = 3
 )
 
 // jsonDiag is the stable wire shape of one finding under -json.
@@ -46,15 +66,21 @@ func main() {
 	listFlag := flag.Bool("list", false, "list the analyzers and exit")
 	onlyFlag := flag.String("only", "", "comma-separated subset of analyzers to run")
 	jsonFlag := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	sarifFlag := flag.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log on stdout")
 	testsFlag := flag.Bool("include-tests", false, "also analyze _test.go files (in-package and external)")
 	cacheFlag := flag.Bool("cache", true, "consult and populate the on-disk result cache")
 	cacheDir := flag.String("cache-dir", ".ecolint-cache", "result cache location (with -cache)")
 	parFlag := flag.Int("parallel", 0, "worker pool size; 0 means GOMAXPROCS, 1 forces a sequential run")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ecolint [-list] [-only a,b] [-json] [-include-tests] [-cache=false] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: ecolint [-list] [-only a,b] [-json|-sarif] [-include-tests] [-cache=false] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *jsonFlag && *sarifFlag {
+		fmt.Fprintf(os.Stderr, "ecolint: -json and -sarif are mutually exclusive\n")
+		os.Exit(exitUsage)
+	}
 
 	analyzers := analysis.All()
 	if *listFlag {
@@ -77,7 +103,7 @@ func main() {
 		}
 		for name := range keep {
 			fmt.Fprintf(os.Stderr, "ecolint: unknown analyzer %q (try -list)\n", name)
-			os.Exit(2)
+			os.Exit(exitUsage)
 		}
 		analyzers = selected
 	}
@@ -93,10 +119,16 @@ func main() {
 	diags, stats, err := analysis.Run(opts, flag.Args()...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ecolint: %v\n", err)
-		os.Exit(2)
+		os.Exit(exitDriver)
 	}
 
-	if *jsonFlag {
+	switch {
+	case *sarifFlag:
+		if err := writeSARIF(os.Stdout, analyzers, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "ecolint: encoding SARIF: %v\n", err)
+			os.Exit(exitDriver)
+		}
+	case *jsonFlag:
 		out := make([]jsonDiag, len(diags))
 		for i, d := range diags {
 			out[i] = jsonDiag{File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
@@ -106,13 +138,13 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
 			fmt.Fprintf(os.Stderr, "ecolint: encoding findings: %v\n", err)
-			os.Exit(2)
+			os.Exit(exitDriver)
 		}
-	} else {
+	default:
 		analysis.FormatText(os.Stdout, diags)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "ecolint: %d finding(s) in %d package(s)\n", len(diags), stats.Targets)
-		os.Exit(1)
+		os.Exit(exitFindings)
 	}
 }

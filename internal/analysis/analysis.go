@@ -221,5 +221,7 @@ func All() []*Analyzer {
 		GuardedBy,
 		ClosureCapture,
 		AtomicMix,
+		DimCheck,
+		HotAlloc,
 	}
 }

@@ -148,6 +148,8 @@ func TestGolden(t *testing.T) {
 		{"guardedby", analysis.GuardedBy},
 		{"closurecapture", analysis.ClosureCapture},
 		{"atomicmix", analysis.AtomicMix},
+		{"dimcheck", analysis.DimCheck},
+		{"hotalloc", analysis.HotAlloc},
 		{"suppress", analysis.UnitSafety},
 	}
 	for _, c := range cases {

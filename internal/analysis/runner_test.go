@@ -190,6 +190,141 @@ func TestCacheLifecycle(t *testing.T) {
 	}
 }
 
+// TestCacheAnnotationFactFlip guards the subtlest invalidation case:
+// an edit that changes NOTHING but a comment. //ecolint:unit (like
+// guardedby and hotpath) directives live in comments, and their facts
+// flow into dependent packages — so a cache keyed on anything less than
+// full file content (an AST hash, an export-data hash) would serve the
+// dependent's stale, finding-free entry forever. The key here is the
+// content hash of the file bytes plus all dependency hashes, so adding
+// one comment line to the dependency must re-analyze the dependent and
+// surface the new cross-package unit mismatch.
+func TestCacheAnnotationFactFlip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go list and type-checks stdlib deps")
+	}
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module factflip\n\ngo 1.21\n",
+		"rates/rates.go": `package rates
+
+// SampleRate is the ADC rate.
+var SampleRate = 48000.0
+`,
+		"app/app.go": `package app
+
+import "factflip/rates"
+
+// window is the demodulation window.
+//
+//ecolint:unit s
+var window = 0.005
+
+// Mix folds the rate into the window. Dimensionally nonsense — but only
+// visible once rates.SampleRate carries its hz annotation.
+func Mix() float64 { return rates.SampleRate + window }
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opts := analysis.Options{
+		Dir:       dir,
+		Analyzers: []*analysis.Analyzer{analysis.DimCheck},
+		CacheDir:  filepath.Join(dir, ".ecolint-cache"),
+	}
+
+	// Cold: no annotation on SampleRate, so the add is dimensionally silent.
+	cold, stats, err := analysis.Run(opts, "./...")
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if stats.CacheMisses != 2 {
+		t.Fatalf("cold run: misses=%d, want 2", stats.CacheMisses)
+	}
+	if out := formatDiags(cold); out != "" {
+		t.Fatalf("unannotated tree produced findings:\n%s", out)
+	}
+
+	// Warm sanity.
+	_, stats2, err := analysis.Run(opts, "./...")
+	if err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if stats2.CacheHits != 2 || stats2.UnitsChecked != 0 {
+		t.Fatalf("warm run: hits=%d units=%d, want 2 hits / 0 units", stats2.CacheHits, stats2.UnitsChecked)
+	}
+
+	// The comment-only edit: annotate SampleRate hz. No code changes.
+	ratesSrc := filepath.Join(dir, "rates", "rates.go")
+	src, err := os.ReadFile(ratesSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := strings.Replace(string(src),
+		"// SampleRate is the ADC rate.",
+		"// SampleRate is the ADC rate.\n//\n//ecolint:unit hz", 1)
+	if edited == string(src) {
+		t.Fatal("edit did not apply")
+	}
+	if err := os.WriteFile(ratesSrc, []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both rates (edited) and app (dependent) must miss; the flipped
+	// UnitFact must now surface the mismatch inside app.
+	flipped, stats3, err := analysis.Run(opts, "./...")
+	if err != nil {
+		t.Fatalf("post-flip run: %v", err)
+	}
+	if stats3.CacheHits != 0 || stats3.CacheMisses != 2 {
+		t.Errorf("post-flip run: hits=%d misses=%d, want 0/2 (a comment-only fact flip must invalidate the dependent)",
+			stats3.CacheHits, stats3.CacheMisses)
+	}
+	out := formatDiags(flipped)
+	if !strings.Contains(out, "unit mismatch") || !strings.Contains(out, "rates.SampleRate") {
+		t.Errorf("post-flip run missing the cross-package unit mismatch in app:\n%s", out)
+	}
+
+	// The finding must survive a warm replay from cache, not just the
+	// fresh analysis.
+	rewarm, stats4, err := analysis.Run(opts, "./...")
+	if err != nil {
+		t.Fatalf("re-warm run: %v", err)
+	}
+	if stats4.CacheHits != 2 || stats4.UnitsChecked != 0 {
+		t.Errorf("re-warm run: hits=%d units=%d, want 2 hits / 0 units", stats4.CacheHits, stats4.UnitsChecked)
+	}
+	if got := formatDiags(rewarm); got != out {
+		t.Errorf("cached diagnostics differ from fresh:\nfresh:\n%s\ncached:\n%s", out, got)
+	}
+
+	// Reverting the comment restores the original content hashes, so the
+	// untouched pre-flip entries come straight back — and with them the
+	// finding-free diagnostics. Both states coexist in the cache, keyed
+	// by content.
+	if err := os.WriteFile(ratesSrc, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cleared, stats5, err := analysis.Run(opts, "./...")
+	if err != nil {
+		t.Fatalf("post-revert run: %v", err)
+	}
+	if stats5.CacheHits != 2 || stats5.UnitsChecked != 0 {
+		t.Errorf("post-revert run: hits=%d units=%d, want 2 hits / 0 units (original entries restored)",
+			stats5.CacheHits, stats5.UnitsChecked)
+	}
+	if got := formatDiags(cleared); got != "" {
+		t.Errorf("finding survived reverting the annotation:\n%s", got)
+	}
+}
+
 // TestParallelMatchesSequential asserts the parallel driver is
 // observationally deterministic: whatever the worker interleaving, the
 // ordered diagnostics are byte-identical to a fully sequential run. Run

@@ -1,0 +1,36 @@
+// Package pool is the dependency half of the hotalloc fixture:
+// nothing here is reported (only Fill is marked, and its body is
+// clean), but the exported facts drive the parent package's checks —
+// Grow and Indirect carry AllocFacts, Fill carries a HotFact.
+package pool
+
+// Grow allocates directly; exported, so dependents import its
+// AllocFact.
+func Grow(n int) []float64 {
+	return make([]float64, n)
+}
+
+// Indirect reaches make through Grow; its fact keeps the via link so
+// callers see the whole path.
+func Indirect(n int) []float64 {
+	return Grow(n)
+}
+
+// Sum never allocates: hot callers use it without any mark.
+func Sum(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Fill is hotpath-certified: its body is audited here, and cross-
+// package callers treat it as clean through the HotFact.
+//
+//ecolint:hotpath
+func Fill(dst []float64, v float64) {
+	for i := range dst {
+		dst[i] = v
+	}
+}

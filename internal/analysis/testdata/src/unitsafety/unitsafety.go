@@ -31,3 +31,14 @@ func mixed() float64 {
 	bogus := freqHz + periodS // want `freqHz \+ periodS mixes dimensions \(frequency \+ time\)`
 	return sane + bogus
 }
+
+func electrical(vin float64) float64 {
+	dropVoltage := 120 * 1e-3 // want `magic literal 1e-3 in voltage expression .dropVoltage.; use units\.MV`
+	rippleUV := vin * 1e-6    // want `magic literal 1e-6 in voltage expression .vin.; use units\.UV` `magic literal 1e-6 in voltage expression .rippleUV.; use units\.UV`
+
+	energyBudget := 4.4 * 1e-6 // want `magic literal 1e-6 in energy expression .energyBudget.; use units\.UJ`
+	joulesPerBit := 1e-3       // want `magic literal 1e-3 in energy expression .joulesPerBit.; use units\.MJ`
+
+	wrong := vin + energyBudget // want `vin \+ energyBudget mixes dimensions \(voltage \+ energy\)`
+	return dropVoltage + rippleUV + joulesPerBit + wrong
+}

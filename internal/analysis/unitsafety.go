@@ -25,7 +25,8 @@ var UnitSafety = &Analyzer{
 	Name: "unitsafety",
 	Doc: "flags bare unit-multiplier literals where an internal/units constant exists, " +
 		"and additions mixing identifiers of different physical dimensions",
-	Run: runUnitSafety,
+	Version: "2", // v2: voltage and energy dimension families
+	Run:     runUnitSafety,
 }
 
 type dimension int
@@ -37,6 +38,8 @@ const (
 	dimLength
 	dimPressure
 	dimPower
+	dimVoltage
+	dimEnergy
 )
 
 func (d dimension) String() string {
@@ -51,6 +54,10 @@ func (d dimension) String() string {
 		return "pressure"
 	case dimPower:
 		return "power"
+	case dimVoltage:
+		return "voltage"
+	case dimEnergy:
+		return "energy"
 	}
 	return "unknown"
 }
@@ -77,6 +84,12 @@ var dimWords = map[string]dimension{
 
 	"power": dimPower, "watt": dimPower, "watts": dimPower,
 	"uw": dimPower, "mw": dimPower,
+
+	"voltage": dimVoltage, "volt": dimVoltage, "volts": dimVoltage,
+	"mv": dimVoltage, "uv": dimVoltage, "vin": dimVoltage, "vout": dimVoltage,
+
+	"energy": dimEnergy, "joule": dimEnergy, "joules": dimEnergy,
+	"uj": dimEnergy, "mj": dimEnergy,
 }
 
 // unitConsts lists, per dimension, the internal/units constant to suggest
@@ -87,6 +100,8 @@ var unitConsts = map[dimension]map[float64]string{
 	dimLength:   {1e-3: "units.MM", 1e-2: "units.CM"},
 	dimPressure: {1e3: "units.KPa", 1e6: "units.MPa", 1e9: "units.GPa"},
 	dimPower:    {1e-6: "units.UW", 1e-3: "units.MW"},
+	dimVoltage:  {1e-3: "units.MV", 1e-6: "units.UV"},
+	dimEnergy:   {1e-3: "units.MJ", 1e-6: "units.UJ"},
 }
 
 // splitWords breaks an identifier into lower-cased words at camelCase and
@@ -196,12 +211,20 @@ func runUnitSafety(pass *Pass) {
 }
 
 // checkMagic reports value when it is a bare literal equal to a known unit
-// multiplier for the dimension implied by name.
+// multiplier for the dimension implied by name. Products recurse into both
+// factors, so `DiodeDrop: 120 * 1e-3` flags the 1e-3 the same way a bare
+// `DiodeDrop: 1e-3` would.
 func checkMagic(pass *Pass, name string, value ast.Expr) {
 	if name == "" {
 		return
 	}
-	lit, ok := ast.Unparen(value).(*ast.BasicLit)
+	value = ast.Unparen(value)
+	if bin, ok := value.(*ast.BinaryExpr); ok && bin.Op == token.MUL {
+		checkMagic(pass, name, bin.X)
+		checkMagic(pass, name, bin.Y)
+		return
+	}
+	lit, ok := value.(*ast.BasicLit)
 	if !ok || (lit.Kind != token.FLOAT && lit.Kind != token.INT) {
 		return
 	}

@@ -150,9 +150,17 @@ func NewCache() *Cache {
 // and convolver when the link was built before. Warm channels are
 // byte-identical in behaviour to freshly built ones (same arrivals, same
 // convolution engine, own noise source) — guarded by cache_test.go.
+//
+// The hit path is a PR-7 fast path: the only heap traffic a warm lookup is
+// allowed is the O(1) per-channel state below — everything proportional to
+// the link (arrivals, convolver plans) must come from the entry.
+//
+//ecolint:hotpath warm lookups must stay O(1) in allocations
 func (cc *Cache) Channel(cfg Config) (*Channel, error) {
+	//ecolint:ignore hotalloc defaulting builds the PLA prism descriptor only when the caller left Prism nil
 	cfg = normalize(cfg)
 	if cfg.Structure == nil {
+		//ecolint:ignore hotalloc cold error path, never taken on a warm lookup
 		return New(cfg) // let New produce the canonical error
 	}
 	key := keyOf(cfg)
@@ -165,25 +173,29 @@ func (cc *Cache) Channel(cfg Config) (*Channel, error) {
 	}
 	cc.mu.Unlock()
 	if e != nil {
+		//ecolint:ignore hotalloc one Channel header per lookup is the API contract; the expensive state is shared
 		c := &Channel{
 			cfg:      cfg,
 			arrivals: e.arrivals,
-			noise:    dsp.NewNoiseSource(cfg.Seed),
-			resGain:  e.resGain,
-			conv:     e.conv,
-			shared:   true,
-			cache:    cc,
-			key:      key,
+			//ecolint:ignore hotalloc every channel owns its deterministic noise source (never shared, by contract)
+			noise:   dsp.NewNoiseSource(cfg.Seed),
+			resGain: e.resGain,
+			conv:    e.conv,
+			shared:  true,
+			cache:   cc,
+			key:     key,
 		}
 		mLinks.Inc()
 		mPathGain.Observe(c.PathGain())
 		return c, nil
 	}
+	//ecolint:ignore hotalloc cache miss: the one-time image-source expansion this cache exists to amortise
 	c, err := New(cfg)
 	if err != nil {
 		return nil, err
 	}
 	cc.mu.Lock()
+	//ecolint:ignore hotalloc one entry per distinct link, built on miss only
 	cc.entries[key] = &cacheEntry{arrivals: c.arrivals, conv: c.conv, resGain: c.resGain}
 	cc.mu.Unlock()
 	c.shared = true

@@ -28,9 +28,13 @@ type Config struct {
 	// Destination is the receiver position (embedded node or reader RX).
 	Destination geometry.Vec3
 	// SampleRate of the simulation in Hz (default 1 MS/s).
+	//
+	//ecolint:unit hz
 	SampleRate float64
 	// CarrierFrequency the link is tuned to (Hz), used for attenuation and
 	// the resonance response.
+	//
+	//ecolint:unit hz
 	CarrierFrequency float64
 	// PrismAngle is the incidence angle of the injected wave in radians.
 	// Zero means the PZT is glued directly to the surface (P-only).
@@ -63,7 +67,10 @@ type Channel struct {
 	cfg      Config
 	arrivals []geometry.Arrival
 	noise    *dsp.NoiseSource
-	resGain  float64 // material resonance gain at the carrier (0..1)
+	// resGain is the material resonance gain at the carrier (0..1).
+	//
+	//ecolint:unit dimensionless
+	resGain float64
 	imp      Impairment
 	conv     *dsp.Convolver // tapped-delay line over arrivals (raw gains)
 
@@ -194,11 +201,15 @@ func (c *Channel) ResonanceGain() float64 { return c.resGain }
 // PathGain returns the aggregate linear amplitude gain of the channel —
 // the coherent-power sum of all arrivals times the resonance response.
 // This is the scalar the energy-harvesting model consumes.
+//
+//ecolint:unit return dimensionless
 func (c *Channel) PathGain() float64 {
 	return math.Sqrt(geometry.TotalEnergy(c.arrivals)) * c.resGain
 }
 
 // DelaySpread returns the RMS delay spread of the response in seconds.
+//
+//ecolint:unit return s
 func (c *Channel) DelaySpread() float64 { return geometry.DelaySpread(c.arrivals) }
 
 // Prime precomputes the frequency-domain convolution state an n-sample
@@ -290,6 +301,9 @@ func (c *Channel) TransmitWithLeakageGain(backscatter, carrier []float64, g floa
 // to a continuous tone at frequency f: the magnitude of the frequency
 // response of the tapped-delay line at f, times the material resonance
 // curve evaluated at f (normalised to its value at the carrier).
+//
+//ecolint:unit f hz
+//ecolint:unit return dimensionless
 func (c *Channel) ToneResponse(f float64) float64 {
 	var re, im float64
 	for _, a := range c.arrivals {
@@ -310,6 +324,8 @@ func (c *Channel) ToneResponse(f float64) float64 {
 
 // SNRAt estimates the link SNR in dB for a transmitted tone of the given
 // RMS amplitude at the carrier, against the configured noise floor.
+//
+//ecolint:unit return db
 func (c *Channel) SNRAt(txRMS float64) float64 {
 	if c.cfg.NoiseFloor <= 0 {
 		return math.Inf(1)

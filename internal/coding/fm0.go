@@ -78,6 +78,8 @@ var fm0TrellisPool = sync.Pool{New: func() any { return new([][2]fm0Node) }}
 // from a pool, so when dst has spare capacity for the decoded bits the call
 // performs zero steady-state allocations. The decoded bits are byte-for-byte
 // identical to FM0DecodeML's.
+//
+//ecolint:hotpath pooled trellis; warm decodes into a caller buffer allocate nothing
 func FM0DecodeMLAppend(dst []byte, halves []float64) []byte {
 	n := len(halves) / 2
 	if n == 0 {
@@ -89,6 +91,7 @@ func FM0DecodeMLAppend(dst []byte, halves []float64) []byte {
 	)
 	tp := fm0TrellisPool.Get().(*[][2]fm0Node)
 	if cap(*tp) < n+1 {
+		//ecolint:ignore hotalloc trellis grows only until the pool converges on the largest frame
 		*tp = make([][2]fm0Node, n+1)
 	}
 	// trellis[i][s] is the best path ending before symbol i in state s.
@@ -142,6 +145,7 @@ func FM0DecodeMLAppend(dst []byte, halves []float64) []byte {
 	}
 	base := len(dst)
 	if cap(dst)-base < n {
+		//ecolint:ignore hotalloc growth only when the caller's buffer lacks capacity; the zero-alloc contract requires a sized dst
 		nd := make([]byte, base, base+n)
 		copy(nd, dst)
 		dst = nd

@@ -81,6 +81,8 @@ func (c *Convolver) OutLen(n int) int {
 // must be zeroed (or hold a signal to accumulate onto) and at least
 // OutLen(len(x)) long. The algorithm is chosen by the cost model; both
 // paths produce results equal within ~1e-12 of each other.
+//
+//ecolint:hotpath warm Transmit calls must not allocate (PR 7 fast path)
 func (c *Convolver) ApplyTo(out, x []float64) {
 	if len(x) == 0 || len(c.offsets) == 0 {
 		return
@@ -166,6 +168,8 @@ func (c *Convolver) blockPlan(n int) (N, B int) {
 }
 
 // applyDirect is the sparse tapped-delay-line loop.
+//
+//ecolint:hotpath pure in-place multiply-add loop
 func (c *Convolver) applyDirect(out, x []float64) {
 	for t, off := range c.offsets {
 		g := c.gains[t]
@@ -221,8 +225,11 @@ func (c *Convolver) plan(N int) *fftPlan {
 // each against the cached kernel spectrum, and add the N-long block results
 // (clipped to the true output support) into out. Warm calls (plan built,
 // pool populated) allocate nothing.
+//
+//ecolint:hotpath warm calls run on cached plan state
 func (c *Convolver) applyFFT(out, x []float64) {
 	N, B := c.blockPlan(len(x))
+	//ecolint:ignore hotalloc plan builds FFT state on the first (cold) call only; warm calls hit the plans map
 	p := c.plan(N)
 	sc := p.pool.Get().(*convScratch)
 	defer p.pool.Put(sc)

@@ -5,6 +5,9 @@ import "math"
 // FIRLowPass designs a windowed-sinc low-pass FIR filter with cutoff fc
 // (Hz) for sample rate fs and the given number of taps (forced odd). A
 // Hamming window bounds the sidelobes.
+//
+//ecolint:unit fs hz
+//ecolint:unit fc hz
 func FIRLowPass(fs, fc float64, taps int) []float64 {
 	if taps < 3 {
 		taps = 3
@@ -37,6 +40,10 @@ func FIRLowPass(fs, fc float64, taps int) []float64 {
 }
 
 // FIRBandPass designs a windowed-sinc band-pass filter passing [f1, f2] Hz.
+//
+//ecolint:unit fs hz
+//ecolint:unit f1 hz
+//ecolint:unit f2 hz
 func FIRBandPass(fs, f1, f2 float64, taps int) []float64 {
 	lo := FIRLowPass(fs, f2, taps)
 	hi := FIRLowPass(fs, f1, taps)
@@ -112,6 +119,9 @@ func MovingAverage(x []float64, width int) []float64 {
 // Envelope implements the node's passive envelope detector (§4.2: the
 // voltage multiplier doubles as the detector): full-wave rectification
 // followed by an RC-style low-pass with time constant tau seconds.
+//
+//ecolint:unit fs hz
+//ecolint:unit tau s
 func Envelope(x []float64, fs, tau float64) []float64 {
 	y := make([]float64, len(x))
 	if len(x) == 0 {
@@ -158,6 +168,10 @@ func Decimate(x []float64, factor int) []float64 {
 // DownConvert mixes the real pass-band signal x (sample rate fs) with a
 // complex exponential at carrier fc and low-passes to the baseband
 // bandwidth bw, implementing the reader's digital down-conversion (§5.1).
+//
+//ecolint:unit fs hz
+//ecolint:unit fc hz
+//ecolint:unit bw hz
 func DownConvert(x []float64, fs, fc, bw float64) []complex128 {
 	if len(x) == 0 {
 		return nil
@@ -178,6 +192,9 @@ func DownConvert(x []float64, fs, fc, bw float64) []complex128 {
 // with an exact Sincos every few hundred samples, so it matches the
 // per-sample Sincos of the reference within ~1e-13 while running an order
 // of magnitude faster. len(dst) must be >= len(x). Allocation-free.
+//
+//ecolint:unit fs hz
+//ecolint:unit fc hz
 func MixDown(dst []complex128, x []float64, fs, fc float64) {
 	if len(x) == 0 {
 		return

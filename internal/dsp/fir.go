@@ -54,8 +54,11 @@ func NewFIRFilter(h []float64) *FIRFilter {
 func (f *FIRFilter) Taps() int { return len(f.h) }
 
 // grow returns buf resized to n, reusing capacity.
+//
+//ecolint:hotpath grows only until pooled scratch reaches the largest block; steady state reslices
 func grow(buf []float64, n int) []float64 {
 	if cap(buf) < n {
+		//ecolint:ignore hotalloc cold-path capacity growth; warm calls take the reslice branch
 		return make([]float64, n)
 	}
 	return buf[:n]
@@ -64,6 +67,8 @@ func grow(buf []float64, n int) []float64 {
 // ApplyTo filters x into dst (len(dst) >= len(x)); dst[i] equals
 // Convolve(x, h)[i] within 1e-9. dst must not alias x. Warm calls allocate
 // nothing.
+//
+//ecolint:hotpath warm filtering rides pooled scratch and the shared Convolver
 func (f *FIRFilter) ApplyTo(dst, x []float64) {
 	if len(x) == 0 {
 		return
@@ -90,6 +95,8 @@ func (f *FIRFilter) Apply(x []float64) []float64 {
 // (len(dst) >= len(x)), equal to ConvolveComplex(x, h) within 1e-9: the
 // real and imaginary components each take one real convolution pass. dst
 // must not alias x. Warm calls allocate nothing.
+//
+//ecolint:hotpath warm filtering rides pooled scratch and the shared Convolver
 func (f *FIRFilter) ApplyComplexTo(dst, x []complex128) {
 	if len(x) == 0 {
 		return

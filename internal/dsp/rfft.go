@@ -39,6 +39,8 @@ var (
 // PlanRFFT returns the shared plan for real transform length n, building
 // and caching it on first use. n must be a power of two and at least 1;
 // the function panics otherwise, matching FFT's contract.
+//
+//ecolint:hotpath one plan per transform length; warm lookups are a map read
 func PlanRFFT(n int) *RFFTPlan {
 	if n < 1 || n&(n-1) != 0 {
 		panic("dsp: RFFT length must be a power of two and at least 1")
@@ -48,6 +50,7 @@ func PlanRFFT(n int) *RFFTPlan {
 	if p, ok := rfftPlans[n]; ok {
 		return p
 	}
+	//ecolint:ignore hotalloc twiddle tables are built once per length, then cached for the process lifetime
 	p := newRFFTPlan(n)
 	rfftPlans[n] = p
 	return p
@@ -85,6 +88,8 @@ func (p *RFFTPlan) HalfLen() int { return p.m + 1 }
 // (len(x) == N()) into spec (len >= HalfLen()): spec[k] holds bin k of the
 // n-point DFT for k = 0..n/2; the remaining bins follow by Hermitian
 // symmetry and are never stored. Warm calls allocate nothing.
+//
+//ecolint:hotpath zero-alloc invariant guarded by TestRFFTPlanTransformZeroAlloc
 func (p *RFFTPlan) Transform(spec []complex128, x []float64) {
 	if len(x) != p.n {
 		panic("dsp: RFFT input length does not match the plan")
@@ -117,6 +122,8 @@ func (p *RFFTPlan) Transform(spec []complex128, x []float64) {
 // Inverse reconstructs the real signal y (len(y) == N()) from the packed
 // half-spectrum spec (len >= HalfLen()), inverting Transform. Warm calls
 // allocate nothing.
+//
+//ecolint:hotpath zero-alloc invariant shared with Transform
 func (p *RFFTPlan) Inverse(y []float64, spec []complex128) {
 	if len(y) != p.n {
 		panic("dsp: IRFFT output length does not match the plan")

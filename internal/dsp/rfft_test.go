@@ -142,6 +142,9 @@ func TestPlanRFFTPanicsOnBadLength(t *testing.T) {
 // at zero steady-state allocations — the property the decode hot path's
 // per-op cost budget depends on.
 func TestRFFTPlanTransformZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation defeats sync.Pool reuse; allocation counts are meaningless")
+	}
 	const n = 1024
 	p := PlanRFFT(n)
 	src := NewNoiseSource(9)

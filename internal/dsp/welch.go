@@ -25,6 +25,8 @@ func HannWindow(n int) []float64 {
 // of the given length with 50 % overlap. The segment length is rounded up
 // to a power of two; records shorter than one segment fall back to a
 // single padded periodogram. Returned frequencies run 0..fs/2.
+//
+//ecolint:unit fs hz
 func WelchPSD(x []float64, fs float64, segment int) (freqs, psd []float64) {
 	if len(x) == 0 || fs <= 0 {
 		return nil, nil

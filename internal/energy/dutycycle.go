@@ -3,6 +3,8 @@ package energy
 import (
 	"errors"
 	"math"
+
+	"ecocapsule/internal/units"
 )
 
 // Duty-cycle planning: a capsule that cannot harvest enough for continuous
@@ -16,12 +18,20 @@ import (
 // DutyCyclePlan describes a sustainable reporting schedule.
 type DutyCyclePlan struct {
 	// Period between reports in seconds.
+	//
+	//ecolint:unit s
 	Period float64
 	// ActiveTime per report in seconds (wake + sample + transmit).
+	//
+	//ecolint:unit s
 	ActiveTime float64
 	// EnergyPerReport in joules.
+	//
+	//ecolint:unit j
 	EnergyPerReport float64
 	// HarvestPower available in watts.
+	//
+	//ecolint:unit w
 	HarvestPower float64
 	// Continuous is true when harvesting covers continuous operation and
 	// no duty cycling is needed.
@@ -33,10 +43,16 @@ type ReportCost struct {
 	// FrameBits of the uplink frame (payload + framing).
 	FrameBits int
 	// Bitrate of the uplink in bit/s.
+	//
+	//ecolint:unit hz
 	Bitrate float64
 	// SampleTime is the sensor acquisition time in seconds.
+	//
+	//ecolint:unit s
 	SampleTime float64
 	// SamplePower is the sensor + ADC draw during acquisition in watts.
+	//
+	//ecolint:unit w
 	SamplePower float64
 }
 
@@ -46,8 +62,8 @@ func DefaultReportCost() ReportCost {
 	return ReportCost{
 		FrameBits:   15 * 8,
 		Bitrate:     1000,
-		SampleTime:  8e-3,
-		SamplePower: 120e-6,
+		SampleTime:  8 * units.MS,
+		SamplePower: 120 * units.UW,
 	}
 }
 
@@ -57,6 +73,8 @@ var ErrNeverSustainable = errors.New("energy: harvest below the sleep floor; no 
 
 // PlanDutyCycle computes the shortest sustainable reporting period for a
 // capsule harvesting at PZT amplitude vin.
+//
+//ecolint:unit vin v
 func PlanDutyCycle(b Budget, cost ReportCost, vin float64) (DutyCyclePlan, error) {
 	if cost.Bitrate <= 0 || cost.FrameBits <= 0 {
 		return DutyCyclePlan{}, errors.New("energy: invalid report cost")

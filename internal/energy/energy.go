@@ -18,13 +18,19 @@ type Harvester struct {
 	// Stages of the voltage multiplier (the prototype uses four).
 	Stages int
 	// DiodeDrop is the per-stage rectifier diode forward drop in volts.
+	//
+	//ecolint:unit v
 	DiodeDrop float64
 	// StorageCapacitance in farads.
 	StorageCapacitance float64
 	// RegulatorVoltage is the LDO output (1.8 V for LP5900SD-1.8).
+	//
+	//ecolint:unit v
 	RegulatorVoltage float64
 	// ActivationVoltage is the storage-cap threshold at which the MCU can
 	// boot (Fig. 14: 500 mV is the minimum the multiplier can work from).
+	//
+	//ecolint:unit v
 	ActivationVoltage float64
 	// SourceImpedance of the PZT + matching network in ohms, governing
 	// how fast the capacitor charges for a given input amplitude. It is
@@ -37,6 +43,8 @@ type Harvester struct {
 	// activation threshold.
 	HarvestLoadImpedance float64
 	// LeakagePower is the standing drain while charging, in watts.
+	//
+	//ecolint:unit w
 	LeakagePower float64
 }
 
@@ -46,10 +54,10 @@ type Harvester struct {
 func DefaultHarvester() Harvester {
 	return Harvester{
 		Stages:               4,
-		DiodeDrop:            0.12, // Schottky
+		DiodeDrop:            120 * units.MV, // Schottky
 		StorageCapacitance:   1.0e-6,
 		RegulatorVoltage:     1.8,
-		ActivationVoltage:    0.5,
+		ActivationVoltage:    500 * units.MV,
 		SourceImpedance:      56000,
 		HarvestLoadImpedance: 5050,
 		LeakagePower:         0.9 * units.UW, // MCU sleep floor
@@ -58,6 +66,9 @@ func DefaultHarvester() Harvester {
 
 // OpenCircuitVoltage is the DC level the multiplier reaches from a PZT AC
 // amplitude vin: each stage roughly doubles the peak minus the diode drops.
+//
+//ecolint:unit vin v
+//ecolint:unit return v
 func (h Harvester) OpenCircuitVoltage(vin float64) float64 {
 	if vin <= 0 {
 		return 0
@@ -72,6 +83,8 @@ func (h Harvester) OpenCircuitVoltage(vin float64) float64 {
 // CanActivate reports whether a PZT amplitude vin can ever boot the MCU:
 // the multiplier's open-circuit voltage must clear the activation
 // threshold. Fig. 14 shows 500 mV as the minimum activation voltage.
+//
+//ecolint:unit vin v
 func (h Harvester) CanActivate(vin float64) bool {
 	return vin >= h.ActivationVoltage &&
 		h.OpenCircuitVoltage(vin) >= h.RegulatorVoltage
@@ -86,12 +99,15 @@ var ErrNeverActivates = errors.New("energy: input amplitude below activation thr
 // capacitor charges through the source impedance toward the open-circuit
 // voltage; activation happens when it crosses the boot level (the LDO
 // dropout above the regulator voltage).
+//
+//ecolint:unit vin v
+//ecolint:unit return s
 func (h Harvester) ColdStartTime(vin float64) (float64, error) {
 	if !h.CanActivate(vin) {
 		return 0, ErrNeverActivates
 	}
 	voc := h.OpenCircuitVoltage(vin)
-	vBoot := h.RegulatorVoltage + 0.1 // LDO dropout margin
+	vBoot := h.RegulatorVoltage + 100*units.MV // LDO dropout margin
 	if voc <= vBoot {
 		return 0, ErrNeverActivates
 	}
@@ -108,6 +124,9 @@ func (h Harvester) ColdStartTime(vin float64) (float64, error) {
 // HarvestedPower is the DC power (watts) available to the load from a PZT
 // amplitude vin once running: quadratic in the input with a conversion
 // efficiency, clipped at zero below the diode turn-on.
+//
+//ecolint:unit vin v
+//ecolint:unit return w
 func (h Harvester) HarvestedPower(vin float64) float64 {
 	if vin <= h.DiodeDrop {
 		return 0
@@ -125,15 +144,21 @@ func (h Harvester) HarvestedPower(vin float64) float64 {
 type MCUPower struct {
 	// StandbyPower in watts: LPM3 waiting to decode a downlink (80.1 µW
 	// measured, which includes the level shifter and envelope detector).
+	//
+	//ecolint:unit w
 	StandbyPower float64
 	// ActiveBase is the power with the MCU awake and the backscatter
 	// switch toggling, independent of bitrate (Fig. 13: ≈360 µW plateau).
+	//
+	//ecolint:unit w
 	ActiveBase float64
 	// PerKbps is the marginal power per kbps of uplink bitrate — tiny,
 	// because toggling a GPIO is nearly free ("fluctuates around 360 µW
 	// slightly regardless of the bitrate").
 	PerKbps float64
 	// SleepPower is the deep-sleep floor (0.9 µW for the MSP430G2553).
+	//
+	//ecolint:unit w
 	SleepPower float64
 }
 
@@ -149,6 +174,8 @@ func DefaultMCUPower() MCUPower {
 
 // PowerAt returns the node's total power draw (watts) at the given uplink
 // bitrate in bits/s. Zero bitrate means standby (the Fig. 13 zero point).
+//
+//ecolint:unit return w
 func (m MCUPower) PowerAt(bitrate float64) float64 {
 	if bitrate <= 0 {
 		return m.StandbyPower
@@ -173,6 +200,8 @@ type Budget struct {
 // Sustainable reports whether harvesting at PZT amplitude vin covers the
 // node's draw at the given bitrate — the power-up condition behind the
 // Fig. 12 range limits.
+//
+//ecolint:unit vin v
 func (b Budget) Sustainable(vin, bitrate float64) bool {
 	return b.Harvester.HarvestedPower(vin) >= b.MCU.PowerAt(bitrate)
 }
@@ -180,6 +209,8 @@ func (b Budget) Sustainable(vin, bitrate float64) bool {
 // MinimumAmplitude returns the smallest PZT amplitude that sustains the
 // given bitrate, via bisection over the harvest curve. Returns +Inf if not
 // achievable below 10 V.
+//
+//ecolint:unit return v
 func (b Budget) MinimumAmplitude(bitrate float64) float64 {
 	need := b.MCU.PowerAt(bitrate)
 	lo, hi := b.Harvester.DiodeDrop, 10.0

@@ -12,7 +12,13 @@ import (
 // (relative to the unit-amplitude injection) via Bounces boundary
 // reflections. Mode distinguishes the P and S copies when both exist.
 type Arrival struct {
-	Delay   float64
+	// Delay from injection to arrival, in seconds.
+	//
+	//ecolint:unit s
+	Delay float64
+	// Gain is the linear amplitude relative to the unit injection.
+	//
+	//ecolint:unit dimensionless
 	Gain    float64
 	Bounces int
 	Shear   bool // true for S-wave arrivals
@@ -21,6 +27,8 @@ type Arrival struct {
 // ImpulseConfig parameterises the image-source model.
 type ImpulseConfig struct {
 	// Frequency of the carrier (Hz), for attenuation scaling.
+	//
+	//ecolint:unit hz
 	Frequency float64
 	// MaxOrder is the highest reflection order expanded per axis.
 	MaxOrder int
@@ -72,7 +80,10 @@ func (s *Structure) ImpulseResponse(src, dst Vec3, cfg ImpulseConfig) []Arrival 
 	attDBPerM := s.Material.AttenuationAt(cfg.Frequency)
 
 	type modeSpec struct {
-		frac  float64
+		frac float64
+		// speed of the mode in m/s.
+		//
+		//ecolint:unit m/s
 		speed float64
 		shear bool
 	}
@@ -158,6 +169,8 @@ func abs(i int) int {
 
 // TotalEnergy sums the squared gains of the arrivals — proportional to the
 // power the receiving PZT harvests from the reverberant field.
+//
+//ecolint:unit return dimensionless
 func TotalEnergy(arrivals []Arrival) float64 {
 	var e float64
 	for _, a := range arrivals {
@@ -169,6 +182,8 @@ func TotalEnergy(arrivals []Arrival) float64 {
 // DelaySpread returns the RMS delay spread of the arrivals (seconds), the
 // quantity that bounds the usable symbol rate before inter-symbol
 // interference dominates.
+//
+//ecolint:unit return s
 func DelaySpread(arrivals []Arrival) float64 {
 	if len(arrivals) == 0 {
 		return 0

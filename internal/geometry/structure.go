@@ -25,10 +25,14 @@ func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
 // Scale returns v·s.
 func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
 
-// Norm returns |v|.
+// Norm returns |v| in metres (coordinates are metres).
+//
+//ecolint:unit return m
 func (v Vec3) Norm() float64 { return math.Sqrt(v.X*v.X + v.Y*v.Y + v.Z*v.Z) }
 
-// Dist returns |v − w|.
+// Dist returns |v − w| in metres.
+//
+//ecolint:unit return m
 func (v Vec3) Dist(w Vec3) float64 { return v.Sub(w).Norm() }
 
 // Shape enumerates the gross geometry of a structure.

@@ -21,9 +21,11 @@ import (
 type Profile struct {
 	Name string
 	// CarrierHz of the power/backscatter carrier.
+	//ecolint:unit hz
 	CarrierHz float64
 	// UsableBandwidthHz the carrier can piggyback: "a carrier with a
 	// higher frequency can piggyback a wider data band" (§5.3).
+	//ecolint:unit hz
 	UsableBandwidthHz float64
 	// ReferenceSNRdB is the link SNR at 1 kbps under the experiment's
 	// nominal geometry.

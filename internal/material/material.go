@@ -66,8 +66,12 @@ type Material struct {
 	// Density is the bulk density in kg/m³.
 	Density float64
 	// CompressiveStrength f_co in Pa (Table 1 row f_co).
+	//
+	//ecolint:unit pa
 	CompressiveStrength float64
 	// ElasticModulus E_c in Pa (Table 1 row E_c).
+	//
+	//ecolint:unit pa
 	ElasticModulus float64
 	// PoissonRatio ν (Table 1 row ν); dimensionless.
 	PoissonRatio float64
@@ -80,6 +84,8 @@ type Material struct {
 	// measuredVP/measuredVS override the Lamé-derived velocities with
 	// measured values when the literature reports them (m/s). Zero means
 	// "derive from elastic constants".
+	//
+	//ecolint:unit m/s
 	measuredVP, measuredVS float64
 
 	// measuredImpedance overrides the ρ·c impedance with a measured value
@@ -89,16 +95,22 @@ type Material struct {
 	// AttenuationDBPerMeter is the amplitude attenuation of the preferred
 	// body-wave mode at the 230 kHz carrier, in dB/m. Higher-strength
 	// concretes attenuate less (§3.3 finding 2).
+	//
+	//ecolint:unit db/m
 	AttenuationDBPerMeter float64
 
 	// ResonantFrequency is the centre of the concrete's resonance band in
 	// Hz (Fig. 5b: between 200 and 250 kHz for all tested blocks), and
 	// ResonanceQ its quality factor.
+	//
+	//ecolint:unit hz
 	ResonantFrequency float64
 	ResonanceQ        float64
 
 	// PeakResponse is the receive amplitude in volts at the resonant
 	// frequency under the Fig. 5 stimulus (100 V, 45° prism, 15 cm block).
+	//
+	//ecolint:unit v
 	PeakResponse float64
 }
 
@@ -115,6 +127,8 @@ func (m *Material) LameParameters() (lambda, mu float64) {
 
 // VP returns the P-wave (primary/compressional) velocity in m/s, either the
 // measured value or α = sqrt((λ+2µ)/ρ) from Appendix A eq. 8.
+//
+//ecolint:unit return m/s
 func (m *Material) VP() float64 {
 	if m.measuredVP > 0 {
 		return m.measuredVP
@@ -129,6 +143,8 @@ func (m *Material) VP() float64 {
 // VS returns the S-wave (secondary/shear) velocity in m/s, either the
 // measured value or β = sqrt(µ/ρ) from Appendix A eq. 10. Fluids return 0:
 // shear waves do not exist in liquids (§3.1).
+//
+//ecolint:unit return m/s
 func (m *Material) VS() float64 {
 	if m.Kind == Fluid {
 		return 0
@@ -163,6 +179,9 @@ func (m *Material) SupportsShear() bool { return m.Kind == Solid && m.VS() > 0 }
 // The response is a Lorentzian resonance multiplied by a high-frequency
 // roll-off; the absolute peak amplitude is PeakResponse (volts under the
 // Fig. 5 stimulus).
+//
+//ecolint:unit f hz
+//ecolint:unit return dimensionless
 func (m *Material) FrequencyResponse(f float64) float64 {
 	if f <= 0 {
 		return 0
@@ -189,6 +208,10 @@ func (m *Material) FrequencyResponse(f float64) float64 {
 
 // lorentzSide gives a gentle skirt so the off-resonance floor mirrors the
 // measured curves (non-zero response across the sweep band).
+//
+//ecolint:unit f hz
+//ecolint:unit f0 hz
+//ecolint:unit return dimensionless
 func lorentzSide(f, f0 float64) float64 {
 	d := math.Abs(f-f0) / f0
 	return 1 / (1 + 4*d)
@@ -196,6 +219,9 @@ func lorentzSide(f, f0 float64) float64 {
 
 // ResponseVolts is the absolute RX amplitude (volts) for the Fig. 5 stimulus
 // at frequency f: PeakResponse scaled by the relative response.
+//
+//ecolint:unit f hz
+//ecolint:unit return v
 func (m *Material) ResponseVolts(f float64) float64 {
 	peak := m.FrequencyResponse(m.ResonantFrequency)
 	if peak == 0 {
@@ -207,6 +233,9 @@ func (m *Material) ResponseVolts(f float64) float64 {
 // AttenuationAt returns amplitude attenuation in dB/m for body waves at
 // frequency f. Attenuation in solids grows roughly with f² (Kishore 1968,
 // cited as [39]); we anchor the curve at the 230 kHz carrier value.
+//
+//ecolint:unit f hz
+//ecolint:unit return db/m
 func (m *Material) AttenuationAt(f float64) float64 {
 	const carrier = 230 * units.KHz
 	if f <= 0 {

@@ -81,16 +81,23 @@ type Node struct {
 	state   State
 	slotter *protocol.Slotter
 	budget  energy.Budget
-	blfHz   float64
+	// blfHz is the backscatter link frequency offset.
+	//
+	//ecolint:unit hz
+	blfHz float64
 
 	sensorsByType map[sensors.SensorType]sensors.Sensor
 
 	// vin is the current PZT amplitude delivered by the channel (volts),
 	// including the HRA gain.
+	//
+	//ecolint:unit v
 	vin float64
-	// charge tracks cold-start progress in seconds of accumulated charging.
-	chargeProgress float64
-	coldStartNeed  float64
+	// chargeProgress tracks cold-start progress in seconds of accumulated
+	// charging; coldStartNeed is the target from ColdStartTime.
+	//
+	//ecolint:unit s
+	chargeProgress, coldStartNeed float64
 
 	// stats
 	framesSent   int
@@ -140,6 +147,8 @@ func (n *Node) State() State {
 }
 
 // BLF returns the node's backscatter link frequency offset in Hz.
+//
+//ecolint:unit return hz
 func (n *Node) BLF() float64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -168,6 +177,8 @@ func (n *Node) Sensors() []sensors.Sensor {
 
 // EmbedCheck verifies the shell survives the embedment depth in the host
 // concrete (eq. 4). depth is metres of concrete head above the node.
+//
+//ecolint:unit depth m
 func (n *Node) EmbedCheck(concreteDensity, depth float64) error {
 	return n.cfg.Shell.StressCheck(concreteDensity, depth)
 }
@@ -175,6 +186,11 @@ func (n *Node) EmbedCheck(concreteDensity, depth float64) error {
 // Excite updates the node's incident PZT amplitude (volts, before the HRA)
 // at carrier frequency f in a medium with S-wave speed cs, and advances the
 // power state machine by dt seconds.
+//
+//ecolint:unit vIncident v
+//ecolint:unit f hz
+//ecolint:unit cs m/s
+//ecolint:unit dt s
 func (n *Node) Excite(vIncident, f, cs, dt float64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -218,6 +234,8 @@ func (n *Node) PoweredUp() bool {
 }
 
 // Vin returns the current (post-HRA) PZT amplitude.
+//
+//ecolint:unit return v
 func (n *Node) Vin() float64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -326,6 +344,8 @@ func (n *Node) Stats() (framesSent, cmdsDecoded int) {
 
 // PowerDraw returns the node's current power consumption in watts based on
 // its state and the uplink bitrate.
+//
+//ecolint:unit return w
 func (n *Node) PowerDraw(bitrate float64) float64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()

@@ -46,8 +46,10 @@ type DownlinkTX struct {
 	Synth *waveform.Synth
 	PIE   coding.PIEConfig
 	// ResonantFreq (high edges) and OffResonantFreq (FSK low edges), Hz.
+	//ecolint:unit hz
 	ResonantFreq, OffResonantFreq float64
 	// Amplitude is the drive amplitude in volts at the PZT.
+	//ecolint:unit v
 	Amplitude float64
 	// Modulation selects FSK (default) or OOK.
 	Modulation DownlinkModulation
@@ -60,6 +62,8 @@ type DownlinkTX struct {
 
 // NewDownlinkTX returns the evaluation's default transmitter: 230 kHz
 // resonant carrier, 180 kHz off-resonant low tone, 1 kbps PIE.
+//
+//ecolint:unit fs hz
 func NewDownlinkTX(fs float64, m *material.Material) *DownlinkTX {
 	return &DownlinkTX{
 		Synth:           waveform.NewSynth(fs),
@@ -106,16 +110,21 @@ func (tx *DownlinkTX) Modulate(bits []byte) ([]float64, error) {
 // reused as an envelope detector, a level shifter binarising the output,
 // and the MCU timer measuring intervals between edges (§4.2).
 type NodeRX struct {
+	//ecolint:unit hz
 	SampleRate float64
 	// EnvelopeTau is the detector's RC time constant.
+	//ecolint:unit s
 	EnvelopeTau float64
 	// Hysteresis around the adaptive threshold, as a fraction of the
 	// envelope swing.
+	//ecolint:unit dimensionless
 	Hysteresis float64
 	PIE        coding.PIEConfig
 }
 
 // NewNodeRX returns the default node demodulator.
+//
+//ecolint:unit fs hz
 func NewNodeRX(fs float64) *NodeRX {
 	return &NodeRX{
 		SampleRate:  fs,

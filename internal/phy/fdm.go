@@ -23,16 +23,23 @@ type SubcarrierTX struct {
 	Synth interface {
 		Samples(d float64) int
 	}
+	//ecolint:unit hz
 	SampleRate float64
 	// Bitrate of the FM0 payload.
+	//ecolint:unit hz
 	Bitrate float64
 	// BLF is the subcarrier frequency in Hz.
+	//ecolint:unit hz
 	BLF float64
 	// ReflectGain, AbsorbGain as in BackscatterTX.
 	ReflectGain, AbsorbGain float64
 }
 
 // NewSubcarrierTX returns a subcarrier modulator.
+//
+//ecolint:unit fs hz
+//ecolint:unit bitrate hz
+//ecolint:unit blf hz
 func NewSubcarrierTX(fs, bitrate, blf float64) *SubcarrierTX {
 	return &SubcarrierTX{
 		SampleRate:  fs,
@@ -87,13 +94,22 @@ func fm0Halves(bits []byte) ([]float64, error) {
 // SubcarrierRX demodulates one node's stream from a shared capture by
 // tracking the energy in its subcarrier band per half-symbol window.
 type SubcarrierRX struct {
+	//ecolint:unit hz
 	SampleRate float64
-	Carrier    float64
-	Bitrate    float64
-	BLF        float64
+	//ecolint:unit hz
+	Carrier float64
+	//ecolint:unit hz
+	Bitrate float64
+	//ecolint:unit hz
+	BLF float64
 }
 
 // NewSubcarrierRX returns a per-node demodulator.
+//
+//ecolint:unit fs hz
+//ecolint:unit carrier hz
+//ecolint:unit bitrate hz
+//ecolint:unit blf hz
 func NewSubcarrierRX(fs, carrier, bitrate, blf float64) *SubcarrierRX {
 	return &SubcarrierRX{SampleRate: fs, Carrier: carrier, Bitrate: bitrate, BLF: blf}
 }

@@ -28,6 +28,15 @@ import (
 	"ecocapsule/internal/dsp"
 )
 
+// Static decode errors, hoisted to package scope so the hotpath-marked
+// decode chain reports them without a per-call errors.New allocation.
+var (
+	errNBitsNotPositive = errors.New("phy: nBits must be positive")
+	errBitrateTooHigh   = errors.New("phy: bitrate too high for the sample rate")
+	errCaptureShort     = errors.New("phy: capture shorter than the frame")
+	errSlotOutside      = errors.New("phy: slot window outside the capture")
+)
+
 // firMu guards the shared down-conversion low-pass plan cache.
 var firMu sync.Mutex
 
@@ -41,12 +50,15 @@ type firKey struct{ fs, bw float64 }
 
 // lowpassFor returns the shared plan-cached equivalent of the FIR low-pass
 // DownConvert designs on every call.
+//
+//ecolint:hotpath one filter per (fs, bw) shape; warm lookups are a map read
 func lowpassFor(fs, bw float64) *dsp.FIRFilter {
 	firMu.Lock()
 	defer firMu.Unlock()
 	k := firKey{fs, bw}
 	f := firPlans[k]
 	if f == nil {
+		//ecolint:ignore hotalloc filter design runs once per shape, then the cache serves every capture
 		f = dsp.NewFIRFilter(dsp.FIRLowPass(fs, bw, 101))
 		firPlans[k] = f
 	}
@@ -74,15 +86,19 @@ type feScratch struct {
 
 var fePool = sync.Pool{New: func() any { return &feScratch{} }}
 
+//ecolint:hotpath grows only until the pooled scratch reaches the largest capture; steady state reslices
 func growF(b []float64, n int) []float64 {
 	if cap(b) < n {
+		//ecolint:ignore hotalloc cold-path capacity growth; warm calls take the reslice branch
 		return make([]float64, n)
 	}
 	return b[:n]
 }
 
+//ecolint:hotpath grows only until the pooled scratch reaches the largest capture; steady state reslices
 func growC(b []complex128, n int) []complex128 {
 	if cap(b) < n {
+		//ecolint:ignore hotalloc cold-path capacity growth; warm calls take the reslice branch
 		return make([]complex128, n)
 	}
 	return b[:n]
@@ -91,6 +107,8 @@ func growC(b []complex128, n int) []complex128 {
 // estimateCarrierFast reproduces EstimateCarrier (PeakFrequency over the
 // zero-padded spectrum) bit for bit, but through the pooled scratch and the
 // cached real-input FFT plan instead of fresh spectrum slices.
+//
+//ecolint:hotpath runs once per capture on pooled scratch and the shared RFFT plan
 func (rx *ReaderRX) estimateCarrierFast(sc *feScratch, signal []float64) (float64, error) {
 	if len(signal) == 0 {
 		return 0, ErrNoCarrier
@@ -127,6 +145,8 @@ func (rx *ReaderRX) estimateCarrierFast(sc *feScratch, signal []float64) (float6
 // frontEnd fills sc with the shared decode state for the capture: carrier
 // estimate, projected baseband ac (the basebandAC equivalent within 1e-9),
 // and the ac prefix sums every matched-filter window reads from.
+//
+//ecolint:hotpath the once-per-capture front-end; all buffers come from pooled scratch
 func (rx *ReaderRX) frontEnd(sc *feScratch, signal []float64) (float64, error) {
 	fc, err := rx.estimateCarrierFast(sc, signal)
 	if err != nil {
@@ -254,10 +274,12 @@ func (sc *feScratch) pilotCosineFast(start int, half float64, hi int) float64 {
 // coarse-to-fine search and acceptance rule as SynchronizeReference;
 // searchLimit bounds the candidate start relative to lo (≤0 means half the
 // window).
+//
+//ecolint:hotpath pilot search is strided reads of the shared prefix sums
 func (rx *ReaderRX) syncWindow(sc *feScratch, lo, hi, searchLimit int) (int, error) {
 	half := rx.SampleRate / (2 * rx.Bitrate)
 	if half < 1 {
-		return 0, errors.New("phy: bitrate too high for the sample rate")
+		return 0, errBitrateTooHigh
 	}
 	window := hi - lo
 	tmplLen := int(float64(len(pilotHalves)) * half)
@@ -308,13 +330,15 @@ func (rx *ReaderRX) syncWindow(sc *feScratch, lo, hi, searchLimit int) (int, err
 // start (bounded by hi), normalises, and decodes — DemodulateReference's
 // back half on the shared front-end. FM0 bits are appended to dst through
 // the pooled trellis decoder, so warm calls allocate nothing.
+//
+//ecolint:hotpath matched filter + trellis decode on pooled buffers
 func (rx *ReaderRX) demodWindow(sc *feScratch, dst []byte, start, nBits, hi int) ([]byte, error) {
 	if nBits <= 0 {
-		return nil, errors.New("phy: nBits must be positive")
+		return nil, errNBitsNotPositive
 	}
 	halfSamples := rx.SampleRate / (2 * rx.Bitrate)
 	if halfSamples < 1 {
-		return nil, errors.New("phy: bitrate too high for the sample rate")
+		return nil, errBitrateTooHigh
 	}
 	halvesPerBit := 2
 	if rx.Coding == CodingMiller4 {
@@ -326,7 +350,7 @@ func (rx *ReaderRX) demodWindow(sc *feScratch, dst []byte, start, nBits, hi int)
 		a := start + int(float64(h)*halfSamples)
 		b := start + int(float64(h+1)*halfSamples)
 		if b > hi {
-			return nil, errors.New("phy: capture shorter than the frame")
+			return nil, errCaptureShort
 		}
 		sc.halves[h] = sc.meanWindow(a, b)
 	}
@@ -338,6 +362,7 @@ func (rx *ReaderRX) demodWindow(sc *feScratch, dst []byte, start, nBits, hi int)
 		}
 	}
 	if rx.Coding == CodingMiller4 {
+		//ecolint:ignore hotalloc the Miller decoder allocates its symbol buffer; the zero-alloc contract covers FM0 only
 		bits, err := coding.MillerDecode(halves, coding.Miller4)
 		if err != nil {
 			return nil, err
@@ -352,6 +377,8 @@ func (rx *ReaderRX) demodWindow(sc *feScratch, dst []byte, start, nBits, hi int)
 // searchLimit bounds the candidate start (samples); zero means half the
 // capture. Equal to SynchronizeReference on every capture the equivalence
 // battery draws.
+//
+//ecolint:hotpath fast-path entry point; pooled scratch end to end
 func (rx *ReaderRX) Synchronize(signal []float64, searchLimit int) (int, error) {
 	sc := fePool.Get().(*feScratch)
 	defer fePool.Put(sc)
@@ -365,9 +392,11 @@ func (rx *ReaderRX) Synchronize(signal []float64, searchLimit int) (int, error) 
 // contains nBits bits starting at sample offset start. This is the fast
 // equivalent of DemodulateReference (bit-identical decoded symbols across
 // the seeded battery).
+//
+//ecolint:hotpath fast-path entry point; pooled scratch end to end
 func (rx *ReaderRX) Demodulate(signal []float64, start, nBits int) ([]byte, error) {
 	if nBits <= 0 {
-		return nil, errors.New("phy: nBits must be positive")
+		return nil, errNBitsNotPositive
 	}
 	sc := fePool.Get().(*feScratch)
 	defer fePool.Put(sc)
@@ -389,6 +418,8 @@ func (rx *ReaderRX) DemodulateFrame(signal []float64, nBits int) ([]byte, error)
 // When dst has capacity for nBits and the front-end pools are warm, the
 // whole decode performs zero steady-state allocations (FM0 coding; the
 // Miller decoder still allocates its symbol buffer).
+//
+//ecolint:hotpath zero-alloc invariant guarded by TestDemodulateFrameIntoZeroAlloc
 func (rx *ReaderRX) DemodulateFrameInto(dst []byte, signal []float64, nBits int) ([]byte, error) {
 	sc := fePool.Get().(*feScratch)
 	defer fePool.Put(sc)
@@ -449,7 +480,10 @@ type SlotBits struct {
 // per-slot reference decode (DemodulateFrameReference over each slot's
 // sub-capture) bit for bit on every slot both paths decode — guarded by the
 // equivalence battery.
+//
+//ecolint:hotpath the front-end runs once per round; per-slot work is O(slot) reads of shared state
 func (rx *ReaderRX) DemodulateSlots(signal []float64, slots []Slot) []SlotBits {
+	//ecolint:ignore hotalloc one result element per requested slot is the API product
 	out := make([]SlotBits, len(slots))
 	if len(slots) == 0 {
 		return out
@@ -465,7 +499,7 @@ func (rx *ReaderRX) DemodulateSlots(signal []float64, slots []Slot) []SlotBits {
 	for i, sl := range slots {
 		lo, hi := sl.Start, sl.Start+sl.Len
 		if lo < 0 || hi > sc.n || lo >= hi {
-			out[i].Err = errors.New("phy: slot window outside the capture")
+			out[i].Err = errSlotOutside
 			continue
 		}
 		start, err := rx.syncWindow(sc, lo, hi, 0)
@@ -488,6 +522,7 @@ func (rx *ReaderRX) DemodulateSlots(signal []float64, slots []Slot) []SlotBits {
 		}
 		cDemodOK.Inc()
 		out[i] = SlotBits{
+			//ecolint:ignore hotalloc each decoded payload escapes to the caller by contract; scratch bits are pooled
 			Bits:  append([]byte(nil), sc.bits[len(PilotBits):]...),
 			Start: start,
 		}

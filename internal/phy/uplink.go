@@ -27,6 +27,7 @@ const (
 type BackscatterTX struct {
 	Synth *waveform.Synth
 	// Bitrate of the uplink in bits/s (default 1 kbps per §5.1).
+	//ecolint:unit hz
 	Bitrate float64
 	// ReflectGain and AbsorbGain are the node's two radar cross-sections.
 	ReflectGain, AbsorbGain float64
@@ -35,6 +36,8 @@ type BackscatterTX struct {
 }
 
 // NewBackscatterTX returns the default uplink modulator.
+//
+//ecolint:unit fs hz
 func NewBackscatterTX(fs float64) *BackscatterTX {
 	return &BackscatterTX{
 		Synth:       waveform.NewSynth(fs),
@@ -47,6 +50,8 @@ func NewBackscatterTX(fs float64) *BackscatterTX {
 // HalfSymbolDuration returns the duration of one half-symbol of the
 // configured code: FM0 spends two halves per bit; Miller-4 spends eight at
 // the same switching rate (so its effective bitrate is 4× lower).
+//
+//ecolint:unit return s
 func (tx *BackscatterTX) HalfSymbolDuration() float64 { return 1 / (2 * tx.Bitrate) }
 
 // encode renders the configured line code to half-symbol levels.
@@ -80,21 +85,28 @@ func (tx *BackscatterTX) Modulate(bits []byte, incident []float64) ([]float64, e
 // the CBW self-interference through the guard band), matched-filter the
 // half-symbols and run the maximum-likelihood FM0 decoder.
 type ReaderRX struct {
+	//ecolint:unit hz
 	SampleRate float64
 	// CarrierHint brackets the carrier estimator (Hz).
+	//ecolint:unit hz
 	CarrierHint float64
 	// CarrierSearch half-width around the hint (Hz).
+	//ecolint:unit hz
 	CarrierSearch float64
 	// Bitrate of the uplink (must match the node).
+	//ecolint:unit hz
 	Bitrate float64
 	// GuardBand is the spectral gap between the carrier and the
 	// backscatter band edge (Hz).
+	//ecolint:unit hz
 	GuardBand float64
 	// Coding must match the node's uplink code (FM0 default).
 	Coding UplinkCoding
 }
 
 // NewReaderRX returns the default reader chain for the 230 kHz carrier.
+//
+//ecolint:unit fs hz
 func NewReaderRX(fs float64) *ReaderRX {
 	return &ReaderRX{
 		SampleRate:    fs,
@@ -110,6 +122,8 @@ var ErrNoCarrier = errors.New("phy: no carrier found in the search band")
 
 // EstimateCarrier runs the §5.1 carrier-frequency estimation on the raw
 // capture.
+//
+//ecolint:unit return hz
 func (rx *ReaderRX) EstimateCarrier(signal []float64) (float64, error) {
 	f := dsp.PeakFrequency(signal, rx.SampleRate,
 		rx.CarrierHint-rx.CarrierSearch, rx.CarrierHint+rx.CarrierSearch)
@@ -243,9 +257,9 @@ func (rx *ReaderRX) DemodulateReference(signal []float64, start, nBits int) ([]b
 // BLFPlan assigns backscatter link frequencies to nodes: node i gets
 // Base + i·Spacing, each at least GuardBand away from the carrier.
 type BLFPlan struct {
-	Base    float64 // first BLF offset from the carrier, Hz
-	Spacing float64 // spacing between adjacent nodes, Hz
-	Guard   float64 // minimum offset from the carrier, Hz
+	Base    float64 //ecolint:unit hz first BLF offset from the carrier
+	Spacing float64 //ecolint:unit hz spacing between adjacent nodes
+	Guard   float64 //ecolint:unit hz minimum offset from the carrier
 }
 
 // DefaultBLFPlan reserves a few kHz as the §3.4 guard band.
@@ -254,6 +268,8 @@ func DefaultBLFPlan() BLFPlan {
 }
 
 // Offset returns the BLF offset for node index i (i ≥ 0).
+//
+//ecolint:unit return hz
 func (p BLFPlan) Offset(i int) float64 {
 	off := p.Base + float64(i)*p.Spacing
 	if off < p.Guard {
@@ -265,6 +281,11 @@ func (p BLFPlan) Offset(i int) float64 {
 // SNREstimate measures the uplink SNR (dB) of a capture: the power in the
 // two backscatter sidebands (carrier ± blf) against the noise floor
 // measured away from carrier and sidebands.
+//
+//ecolint:unit fs hz
+//ecolint:unit carrier hz
+//ecolint:unit blf hz
+//ecolint:unit return db
 func SNREstimate(signal []float64, fs, carrier, blf float64) float64 {
 	pSig := dsp.Goertzel(signal, fs, carrier+blf) + dsp.Goertzel(signal, fs, carrier-blf)
 	// Noise probes offset from all deterministic lines.

@@ -13,10 +13,16 @@ import (
 // frequency.
 type HelmholtzResonator struct {
 	// NeckArea A_n is the cross-sectional area of the neck in m².
+	//
+	//ecolint:unit m^2
 	NeckArea float64
 	// NeckLength H_n in m.
+	//
+	//ecolint:unit m
 	NeckLength float64
 	// CavityVolume V_c in m³.
+	//
+	//ecolint:unit m^3
 	CavityVolume float64
 	// Q is the resonance quality factor controlling the gain bandwidth.
 	Q float64
@@ -38,6 +44,9 @@ func PaperHRACell() HelmholtzResonator {
 //	f_r = (C_s / 2π) · sqrt(3·A_n / (4·V_c·H_n))
 //
 // where cs is the S-wave speed in the surrounding concrete (m/s).
+//
+//ecolint:unit cs m/s
+//ecolint:unit return hz
 func (h HelmholtzResonator) ResonantFrequency(cs float64) float64 {
 	if h.CavityVolume <= 0 || h.NeckLength <= 0 || h.NeckArea <= 0 || cs <= 0 {
 		return 0
@@ -51,6 +60,10 @@ func (h HelmholtzResonator) ResonantFrequency(cs float64) float64 {
 // speed cs. The response is a second-order resonance with quality factor Q;
 // at resonance the gain is 1+Q·boost capped by the cell's Q, far off
 // resonance it tends to 1 (the resonator neither helps nor hurts).
+//
+//ecolint:unit cs m/s
+//ecolint:unit f hz
+//ecolint:unit return dimensionless
 func (h HelmholtzResonator) Gain(cs, f float64) float64 {
 	fr := h.ResonantFrequency(cs)
 	if fr == 0 || f <= 0 {
@@ -80,6 +93,10 @@ func PaperHRA() HRA {
 // Gain is the array amplitude gain at frequency f in a medium with S-speed
 // cs. Cells are mutually coherent near resonance but array gain grows
 // sub-linearly (√N) because arrival phases across the face differ.
+//
+//ecolint:unit cs m/s
+//ecolint:unit f hz
+//ecolint:unit return dimensionless
 func (a HRA) Gain(cs, f float64) float64 {
 	if a.Cells <= 0 {
 		return 1

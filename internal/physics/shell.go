@@ -14,13 +14,19 @@ import (
 type Shell struct {
 	Material *material.Material
 	// OuterDiameter of the sphere in metres.
+	//
+	//ecolint:unit m
 	OuterDiameter float64
 	// WallThickness of the shell in metres.
+	//
+	//ecolint:unit m
 	WallThickness float64
 	// MaxPressureDelta is the maximum internal/external pressure
 	// difference the shell tolerates before exceeding the deformation
 	// budget, in Pa. This is the finite-element result the paper quotes
 	// (4.3 MPa for resin, 115.2 MPa for alloy steel).
+	//
+	//ecolint:unit pa
 	MaxPressureDelta float64
 }
 
@@ -49,6 +55,9 @@ func SteelShell() Shell {
 // concrete pressure at depth h below the top of the pour and the internal
 // (atmospheric) pressure: ΔP = ρ·g·h − P_air. Negative values (very shallow
 // embedment) are clamped to zero — the shell is never helped by suction.
+//
+//ecolint:unit height m
+//ecolint:unit return pa
 func PressureDelta(concreteDensity, height float64) float64 {
 	dp := concreteDensity*units.Gravity*height - units.AtmosphericPressure
 	if dp < 0 {
@@ -60,6 +69,8 @@ func PressureDelta(concreteDensity, height float64) float64 {
 // MaxBuildingHeight inverts eq. 4: the tallest building (m of concrete
 // head) this shell survives in concrete of the given density:
 // h_max = (ΔPmax + P_air) / (ρ·g).
+//
+//ecolint:unit return m
 func (s Shell) MaxBuildingHeight(concreteDensity float64) float64 {
 	if concreteDensity <= 0 {
 		return 0
@@ -70,12 +81,16 @@ func (s Shell) MaxBuildingHeight(concreteDensity float64) float64 {
 
 // Survives reports whether the shell tolerates embedment at depth h in
 // concrete of density rho.
+//
+//ecolint:unit h m
 func (s Shell) Survives(rho, h float64) bool {
 	return PressureDelta(rho, h) <= s.MaxPressureDelta
 }
 
 // StressCheck returns a descriptive error when the shell would crack at the
 // given embedment, nil otherwise.
+//
+//ecolint:unit h m
 func (s Shell) StressCheck(rho, h float64) error {
 	dp := PressureDelta(rho, h)
 	if dp > s.MaxPressureDelta {

@@ -39,6 +39,8 @@ func (m WaveMode) String() string {
 
 // Velocity returns the propagation speed of mode m in medium mat, or 0 when
 // the mode cannot propagate there (S in fluids).
+//
+//ecolint:unit return m/s
 func Velocity(mat *material.Material, m WaveMode) float64 {
 	switch m {
 	case PWave:
@@ -76,6 +78,9 @@ var ErrTotalReflection = errors.New("physics: incident angle beyond critical ang
 // at velocity vIn hits the interface at incidentRad and converts into a mode
 // with velocity vOut. It returns the refracted angle in radians, or
 // ErrTotalReflection if sin θ_out would exceed 1.
+//
+//ecolint:unit vIn m/s
+//ecolint:unit vOut m/s
 func Refract(vIn, vOut, incidentRad float64) (float64, error) {
 	if vIn <= 0 || vOut <= 0 {
 		return 0, fmt.Errorf("physics: non-positive velocities vIn=%g vOut=%g", vIn, vOut)
@@ -91,6 +96,9 @@ func Refract(vIn, vOut, incidentRad float64) (float64, error) {
 // which the refracted mode with velocity vOut grazes the interface
 // (refraction angle = 90°). When vOut <= vIn there is no critical angle and
 // the function returns π/2.
+//
+//ecolint:unit vIn m/s
+//ecolint:unit vOut m/s
 func CriticalAngle(vIn, vOut float64) float64 {
 	if vOut <= vIn {
 		return math.Pi / 2
@@ -175,6 +183,10 @@ func (b Boundary) ModeAmplitudes(incidentRad float64) (p, s float64) {
 // disc of diameter d driving at frequency f into a medium with P-velocity
 // vp: α = arcsin(0.514·vp / (f·d)) (§3.2). If the argument exceeds 1 the
 // source is omnidirectional and π/2 is returned.
+//
+//ecolint:unit vp m/s
+//ecolint:unit f hz
+//ecolint:unit d m
 func TransducerHalfBeamAngle(vp, f, d float64) float64 {
 	if f <= 0 || d <= 0 {
 		return math.Pi / 2
@@ -190,6 +202,9 @@ func TransducerHalfBeamAngle(vp, f, d float64) float64 {
 // of half-angle alpha penetrating depth h: V = π·(h·tan α)²·h / 3. With the
 // paper's parameters (D = 40 mm, f = 230 kHz, 15 cm wall) this is the
 // ≈132 cm³ "small cone" that motivates the prism (§3.2).
+//
+//ecolint:unit depth m
+//ecolint:unit return m^3
 func BeamConeVolume(alpha, depth float64) float64 {
 	r := depth * math.Tan(alpha)
 	return math.Pi * r * r * depth / 3

@@ -32,17 +32,19 @@ type Config struct {
 	// TXPosition and RXPosition on the surface (≈20 cm apart in §5.1).
 	TXPosition, RXPosition geometry.Vec3
 	// DriveVoltage at the transmitting PZT (V); the amplifier caps at 250 V.
+	//ecolint:unit v
 	DriveVoltage float64
 	// PrismAngleDeg is the prism's incidence angle (default 60°).
 	PrismAngleDeg float64
 	// CarrierHz (default 230 kHz).
+	//ecolint:unit hz
 	CarrierHz float64
 	// Seed for deterministic behaviour.
 	Seed int64
 }
 
 // MaxDriveVoltage is the amplifier ceiling (§5.2).
-const MaxDriveVoltage = 250.0
+const MaxDriveVoltage = 250.0 //ecolint:unit v
 
 // DefaultPZTCoupling converts channel path gain × drive voltage into PZT
 // amplitude at a node; calibrated against the Fig. 12 range anchors.
@@ -195,6 +197,8 @@ func (r *Reader) nodeAmplitudeLocked(handle uint16) (float64, error) {
 // Charge runs the continuous body wave for the given duration, advancing
 // every node's power state machine in millisecond steps. It returns the
 // number of nodes powered up at the end.
+//
+//ecolint:unit duration s
 func (r *Reader) Charge(duration float64) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -512,6 +516,8 @@ func (r *Reader) finishRead(sp *telemetry.Span, result string, attempts int) {
 }
 
 // SetDriveVoltage changes the amplifier setting (clamped to the ceiling).
+//
+//ecolint:unit v v
 func (r *Reader) SetDriveVoltage(v float64) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"ecocapsule/internal/dsp"
+	"ecocapsule/internal/units"
 )
 
 // Environment is the ground-truth physical state at a capsule's location,
@@ -24,8 +25,12 @@ type Environment struct {
 	RelativeHumidity float64
 	// StrainX, StrainY are the two-directional internal strains
 	// (dimensionless, e.g. 1e-6 = 1 µε).
+	//
+	//ecolint:unit dimensionless
 	StrainX, StrainY float64
 	// AccelerationMS2 is the instantaneous structural acceleration, m/s².
+	//
+	//ecolint:unit m/s^2
 	AccelerationMS2 float64
 	// StressMPa is the internal stress in MPa (negative = compression).
 	StressMPa float64
@@ -94,7 +99,9 @@ func (s *TempHumiditySensor) Type() SensorType { return TypeTempHumidity }
 
 // PowerDraw implements Sensor (the AHT10 measures at ≈ 0.25 mA @1.8 V but
 // duty-cycles hard; we charge the averaged figure).
-func (s *TempHumiditySensor) PowerDraw() float64 { return 23e-6 }
+//
+//ecolint:unit return w
+func (s *TempHumiditySensor) PowerDraw() float64 { return 23 * units.UW }
 
 // Sample implements Sensor: AHT10 framing packs humidity and temperature
 // into 20-bit fields: RH = raw/2^20·100, T = raw/2^20·200 − 50.
@@ -158,12 +165,14 @@ func NewStrain(seed int64) *StrainSensor {
 func (s *StrainSensor) Type() SensorType { return TypeStrain }
 
 // PowerDraw implements Sensor (bridge excitation dominates).
-func (s *StrainSensor) PowerDraw() float64 { return 45e-6 }
+//
+//ecolint:unit return w
+func (s *StrainSensor) PowerDraw() float64 { return 45 * units.UW }
 
 // Sample implements Sensor: two int24 micro-strain fields.
 func (s *StrainSensor) Sample(env Environment) Reading {
-	x := env.StrainX + s.noise.Gaussian(0.5e-6)
-	y := env.StrainY + s.noise.Gaussian(0.5e-6)
+	x := env.StrainX + s.noise.Gaussian(0.5*units.UE)
+	y := env.StrainY + s.noise.Gaussian(0.5*units.UE)
 	buf := make([]byte, 8)
 	binary.BigEndian.PutUint32(buf[0:4], uint32(int32(x*1e9)))
 	binary.BigEndian.PutUint32(buf[4:8], uint32(int32(y*1e9)))
@@ -189,6 +198,8 @@ func DecodeStrain(raw []byte) (x, y float64, err error) {
 type Accelerometer struct {
 	noise *dsp.NoiseSource
 	// NoiseDensity is the RMS noise in m/s².
+	//
+	//ecolint:unit m/s^2
 	NoiseDensity float64
 }
 
@@ -201,7 +212,9 @@ func NewAccelerometer(seed int64) *Accelerometer {
 func (a *Accelerometer) Type() SensorType { return TypeAccelerometer }
 
 // PowerDraw implements Sensor.
-func (a *Accelerometer) PowerDraw() float64 { return 30e-6 }
+//
+//ecolint:unit return w
+func (a *Accelerometer) PowerDraw() float64 { return 30 * units.UW }
 
 // Sample implements Sensor: int32 micro-m/s² field plus the stress channel
 // (int16 in 0.1 MPa steps) since the pilot reports both.

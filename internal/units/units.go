@@ -9,31 +9,45 @@ import "math"
 // Physical constants.
 const (
 	// Gravity is standard gravitational acceleration in m/s².
+	//
+	//ecolint:unit m/s^2
 	Gravity = 9.80665
 	// AtmosphericPressure is one standard atmosphere in Pa (101.325 kPa),
 	// the internal pressure of a sealed EcoCapsule shell.
+	//
+	//ecolint:unit pa
 	AtmosphericPressure = 101325.0
 	// SpeedOfSoundAir is the nominal speed of sound in air, m/s.
+	//
+	//ecolint:unit m/s
 	SpeedOfSoundAir = 343.0
 )
 
-// Convenience multipliers.
+// Convenience multipliers. The dimcheck annotations make expressions
+// like 40*KHz carry their unit, so a frequency scaled by MS instead of
+// KHz is flagged at the point of use.
 const (
-	KHz = 1e3  // kilohertz in Hz
-	MHz = 1e6  // megahertz in Hz
-	KPa = 1e3  // kilopascal in Pa
-	MPa = 1e6  // megapascal in Pa
-	GPa = 1e9  // gigapascal in Pa
-	MM  = 1e-3 // millimetre in m
-	CM  = 1e-2 // centimetre in m
-	UW  = 1e-6 // microwatt in W
-	MW  = 1e-3 // milliwatt in W
-	MS  = 1e-3 // millisecond in s
-	US  = 1e-6 // microsecond in s
-	UE  = 1e-6 // microstrain in strain
+	KHz = 1e3  //ecolint:unit hz (kilohertz in Hz)
+	MHz = 1e6  //ecolint:unit hz (megahertz in Hz)
+	KPa = 1e3  //ecolint:unit pa (kilopascal in Pa)
+	MPa = 1e6  //ecolint:unit pa (megapascal in Pa)
+	GPa = 1e9  //ecolint:unit pa (gigapascal in Pa)
+	MM  = 1e-3 //ecolint:unit m (millimetre in m)
+	CM  = 1e-2 //ecolint:unit m (centimetre in m)
+	UW  = 1e-6 //ecolint:unit w (microwatt in W)
+	MW  = 1e-3 //ecolint:unit w (milliwatt in W)
+	MS  = 1e-3 //ecolint:unit s (millisecond in s)
+	US  = 1e-6 //ecolint:unit s (microsecond in s)
+	UE  = 1e-6 //ecolint:unit dimensionless (microstrain in strain)
+	MV  = 1e-3 //ecolint:unit v (millivolt in V)
+	UV  = 1e-6 //ecolint:unit v (microvolt in V)
+	MJ  = 1e-3 //ecolint:unit j (millijoule in J)
+	UJ  = 1e-6 //ecolint:unit j (microjoule in J)
 )
 
 // DB converts a linear power ratio to decibels. Ratios <= 0 return -Inf.
+//
+//ecolint:unit return db
 func DB(ratio float64) float64 {
 	if ratio <= 0 {
 		return math.Inf(-1)
@@ -42,11 +56,15 @@ func DB(ratio float64) float64 {
 }
 
 // FromDB converts decibels to a linear power ratio.
+//
+//ecolint:unit db db
 func FromDB(db float64) float64 {
 	return math.Pow(10, db/10)
 }
 
 // AmplitudeDB converts a linear amplitude ratio to decibels (20·log10).
+//
+//ecolint:unit return db
 func AmplitudeDB(ratio float64) float64 {
 	if ratio <= 0 {
 		return math.Inf(-1)
@@ -55,6 +73,8 @@ func AmplitudeDB(ratio float64) float64 {
 }
 
 // FromAmplitudeDB converts decibels to a linear amplitude ratio.
+//
+//ecolint:unit db db
 func FromAmplitudeDB(db float64) float64 {
 	return math.Pow(10, db/20)
 }

@@ -69,8 +69,10 @@ stage_done
 
 # ecolint over everything, test files included, against a fresh cache:
 # self-cleanliness is a hard gate. The full analyzer suite — the CFG lock
-# checks plus the concurrency-safety analyzers (guardedby, closurecapture,
-# atomicmix) — gates the tree; any finding fails the build.
+# checks, the concurrency-safety analyzers (guardedby, closurecapture,
+# atomicmix) and the v4 dataflow analyzers (dimcheck dimensional analysis,
+# hotalloc hotpath allocation discipline) — gates the tree; any finding
+# fails the build.
 ECOLINT_CACHE=".ecolint-cache"
 stage "ecolint -include-tests ./... (cold cache)"
 rm -rf "$ECOLINT_CACHE"
@@ -91,6 +93,19 @@ if [ $(( WARM_MS * 3 )) -gt "$COLD_MS" ]; then
 	exit 1
 fi
 
+# The cold/warm runs above gate the whole tree clean under dimcheck and
+# hotalloc because both are in the default suite — assert they actually
+# are, so a registration regression cannot silently drop the gate.
+stage "dimcheck + hotalloc registered in the default suite"
+LIST_OUT="$(/tmp/ecolint.verify -list)"
+for a in dimcheck hotalloc; do
+	if ! printf '%s\n' "$LIST_OUT" | grep -q "^$a "; then
+		echo "verify.sh: analyzer $a is missing from the default ecolint suite"
+		exit 1
+	fi
+done
+stage_done
+
 if [ "$SHORT" = 1 ]; then
 	stage "go test -short ./..."
 	go test -short ./...
@@ -102,6 +117,19 @@ fi
 
 stage "go test -race ./..."
 go test -race ./...
+stage_done
+
+# Cross-check: the hotalloc lint and the runtime AllocsPerRun tests must
+# agree that the PR-7 warm decode path is allocation-free. The lint
+# proves it for every control-flow path of every //ecolint:hotpath
+# function; the tests measure it on real inputs. A clean lint with a
+# failing test means the analyzer went blind; a clean test with lint
+# findings means an unvetted allocation crept onto a path the test
+# doesn't drive. Either way the invariant is gone and the gate fails.
+stage "hotalloc vs AllocsPerRun cross-check (warm decode path)"
+/tmp/ecolint.verify -only hotalloc -cache=false \
+	./internal/phy ./internal/dsp ./internal/coding ./internal/channel
+go test -run 'ZeroAlloc' -count=1 ./internal/phy ./internal/dsp ./internal/coding
 stage_done
 
 # Coverage floor over the uplink fast-path packages: the RFFT/convolver
