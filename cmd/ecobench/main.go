@@ -14,6 +14,13 @@
 //	                       # same, and fail if the channel transmit, uplink
 //	                       # round decode or fleet survey ns/op regressed
 //	                       # >20% against the committed baseline
+//	ecobench -fleetscale smoke -baseline BENCH_10.json
+//	                       # city-scale fleet survey throughput at 1k
+//	                       # capsules, gated against the committed baseline
+//	ecobench -fleetscale full
+//	                       # regenerate BENCH_10.json: 1k, 10k (with the
+//	                       # flat-registry comparator and the >=3x sharding
+//	                       # gate) and 100k as two 50k building segments
 package main
 
 import (
@@ -32,10 +39,14 @@ func main() {
 		outDir   = flag.String("out", "", "directory to write per-experiment .txt reports")
 		csvDir   = flag.String("csv", "", "directory to write per-experiment .csv data (tables + series)")
 		jsonOut  = flag.Bool("json", false, "run the hot-path micro-benchmarks and print BENCH JSON")
-		baseline = flag.String("baseline", "", "with -json: committed BENCH json to gate regressions against")
+		baseline = flag.String("baseline", "", "with -json or -fleetscale: committed BENCH json to gate regressions against")
+		scale    = flag.String("fleetscale", "", "run the city-scale fleet survey benches: smoke (1k) or full (1k/10k/100k + flat comparator)")
 	)
 	flag.Parse()
 
+	if *scale != "" {
+		os.Exit(scaleMain(*scale, *baseline))
+	}
 	if *jsonOut {
 		os.Exit(benchMain(*baseline))
 	}

@@ -1,0 +1,249 @@
+package main
+
+// The -fleetscale bench mode: city-scale fleet survey throughput, emitted
+// as BENCH_10.json. Where the -json micro-benchmarks pin the per-exchange
+// hot paths, this suite pins the fleet layer's scaling shape: a sharded
+// registry surveying 1k/10k/100k capsules, reported as capsules/s. The
+// smoke tier (1k, seconds) runs in verify.sh and gates against the
+// committed BENCH_10.json; the full tier (10k with a flat-registry
+// comparator, 100k as two 50k building segments, minutes) regenerates the
+// baseline and enforces the sharding win itself — the 10k sharded survey
+// must clear scaleSpeedupFloor× the flat serial path's throughput.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"ecocapsule/internal/fleet"
+)
+
+// scaleEntry is one fleet-survey measurement.
+type scaleEntry struct {
+	Name     string `json:"name"`
+	Capsules int    `json:"capsules"`
+	// Segments is how many independent building fleets the population is
+	// split over (16-bit capsule handles cap one fleet at 60k).
+	Segments int `json:"segments"`
+	// Shards is the per-segment shard count.
+	Shards         int     `json:"shards"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	CapsulesPerSec float64 `json:"capsules_per_sec"`
+	// FlatNsPerOp / Speedup report the flat-registry comparator (same
+	// wall, same capsules, one cell) when the tier measures it.
+	FlatNsPerOp float64 `json:"flat_ns_per_op,omitempty"`
+	Speedup     float64 `json:"speedup,omitempty"`
+}
+
+// scaleReport is the BENCH_10.json document.
+type scaleReport struct {
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Surveys    []scaleEntry `json:"surveys"`
+}
+
+// scaleSpeedupFloor is the minimum sharded-over-flat survey throughput
+// ratio at 10k capsules: the spatial registry exists to turn the flat
+// path's O(population) per-read scan into O(population/coverage), and
+// anything under this floor means the partitioning stopped paying for
+// itself.
+const scaleSpeedupFloor = 3.0
+
+// chargeDuration is the survey charge window (s), matching the demo-fleet
+// micro-benchmark.
+const scaleChargeDuration = 0.4
+
+// buildSegments constructs a population of total capsules as equal
+// building segments, environment installed and one warmup survey run (the
+// first survey pays the full charge ramp; steady state is what the bench
+// pins).
+func buildSegments(total, segments, shards int) ([]*fleet.Fleet, error) {
+	per := total / segments
+	fleets := make([]*fleet.Fleet, 0, segments)
+	for s := 0; s < segments; s++ {
+		t0 := time.Now()
+		f, err := fleet.NewCityFleet(per, shards, int64(42+s))
+		if err != nil {
+			return nil, fmt.Errorf("segment %d: %w", s, err)
+		}
+		f.SetEnvironment(fleet.CityEnvironment)
+		rep := f.Survey(scaleChargeDuration)
+		if rep.Reporting != rep.Expected {
+			return nil, fmt.Errorf("segment %d: warmup survey reported %d/%d capsules",
+				s, rep.Reporting, rep.Expected)
+		}
+		fmt.Fprintf(os.Stderr, "ecobench: segment %d: %d capsules, %d stations, %d shards, built+warmed in %v\n",
+			s, per, f.Stations(), f.Shards(), time.Since(t0).Round(time.Millisecond))
+		fleets = append(fleets, f)
+	}
+	return fleets, nil
+}
+
+// measureSurvey times one full pass over every segment.
+func measureSurvey(fleets []*fleet.Fleet) float64 {
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, f := range fleets {
+				if rep := f.Survey(scaleChargeDuration); rep.Reporting == 0 {
+					b.Fatal("survey reported nothing")
+				}
+			}
+		}
+	})
+	return float64(r.NsPerOp())
+}
+
+// scaleBench measures one tier.
+func scaleBench(name string, total, segments, shards int) (scaleEntry, error) {
+	fleets, err := buildSegments(total, segments, shards)
+	if err != nil {
+		return scaleEntry{}, fmt.Errorf("%s: %w", name, err)
+	}
+	ns := measureSurvey(fleets)
+	return scaleEntry{
+		Name:           name,
+		Capsules:       total,
+		Segments:       segments,
+		Shards:         shards,
+		NsPerOp:        ns,
+		CapsulesPerSec: float64(total) / (ns / 1e9),
+	}, nil
+}
+
+// runScaleSuite measures the smoke tier and, in full mode, the 10k tier
+// with its flat comparator and the 100k two-segment tier.
+func runScaleSuite(mode string) (scaleReport, error) {
+	rep := scaleReport{GoMaxProcs: runtime.GOMAXPROCS(0)}
+	e, err := scaleBench("fleet_survey_1k", 1000, 1, 8)
+	if err != nil {
+		return rep, err
+	}
+	rep.Surveys = append(rep.Surveys, e)
+	if mode != "full" {
+		return rep, nil
+	}
+
+	e, err = scaleBench("fleet_survey_10k", 10000, 1, 16)
+	if err != nil {
+		return rep, err
+	}
+	// The flat comparator: same wall, same capsules, one cell — the
+	// pre-shard registry shape. Construction is O(capsules × stations), so
+	// expect this stage to dominate the full run's wall clock.
+	fmt.Fprintf(os.Stderr, "ecobench: building the 10k flat comparator (O(capsules × stations) channels)...\n")
+	t0 := time.Now()
+	flat, err := fleet.NewCityFleetFlat(10000, 42)
+	if err != nil {
+		return rep, fmt.Errorf("fleet_survey_10k flat comparator: %w", err)
+	}
+	flat.SetEnvironment(fleet.CityEnvironment)
+	if frep := flat.Survey(scaleChargeDuration); frep.Reporting != frep.Expected {
+		return rep, fmt.Errorf("flat comparator warmup reported %d/%d", frep.Reporting, frep.Expected)
+	}
+	fmt.Fprintf(os.Stderr, "ecobench: flat comparator built+warmed in %v\n", time.Since(t0).Round(time.Millisecond))
+	e.FlatNsPerOp = measureSurvey([]*fleet.Fleet{flat})
+	e.Speedup = e.FlatNsPerOp / e.NsPerOp
+	rep.Surveys = append(rep.Surveys, e)
+
+	e, err = scaleBench("fleet_survey_100k", 100000, 2, 32)
+	if err != nil {
+		return rep, err
+	}
+	rep.Surveys = append(rep.Surveys, e)
+	return rep, nil
+}
+
+// findSurvey locates an entry by name (nil when absent).
+func (r scaleReport) findSurvey(name string) *scaleEntry {
+	for i := range r.Surveys {
+		if r.Surveys[i].Name == name {
+			return &r.Surveys[i]
+		}
+	}
+	return nil
+}
+
+// gateScaleAgainst compares every measured tier against the committed
+// baseline entry of the same name with the shared regression tolerance.
+// Tiers absent from the baseline fail (the baseline must be regenerated
+// in full mode); a gomaxprocs mismatch is reported and skipped, as with
+// the micro-benchmark matrix.
+func gateScaleAgainst(rep, base scaleReport) int {
+	if base.GoMaxProcs != rep.GoMaxProcs {
+		fmt.Fprintf(os.Stderr, "ecobench: BENCH_10 baseline measured at gomaxprocs=%d, this host runs %d; skipping the fleet-scale gate\n",
+			base.GoMaxProcs, rep.GoMaxProcs)
+		return 0
+	}
+	failures := 0
+	for _, e := range rep.Surveys {
+		b := base.findSurvey(e.Name)
+		if b == nil {
+			fmt.Fprintf(os.Stderr, "ecobench: baseline has no %s entry; regenerate BENCH_10.json with -fleetscale full\n", e.Name)
+			failures++
+			continue
+		}
+		if e.NsPerOp > b.NsPerOp*regressionTolerance {
+			fmt.Fprintf(os.Stderr,
+				"ecobench: %s regressed: %.0f capsules/s vs baseline %.0f (>%.0f%% slower)\n",
+				e.Name, e.CapsulesPerSec, b.CapsulesPerSec, (regressionTolerance-1)*100)
+			failures++
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "ecobench: %s %.0f capsules/s within %.0f%% of baseline %.0f capsules/s\n",
+			e.Name, e.CapsulesPerSec, (regressionTolerance-1)*100, b.CapsulesPerSec)
+	}
+	return failures
+}
+
+// scaleMain runs the fleet-scale suite, prints BENCH_10 JSON on stdout
+// and enforces the gates. Returns the process exit code.
+func scaleMain(mode, baselinePath string) int {
+	if mode != "smoke" && mode != "full" {
+		fmt.Fprintf(os.Stderr, "ecobench: -fleetscale wants smoke or full, got %q\n", mode)
+		return 2
+	}
+	rep, err := runScaleSuite(mode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ecobench: %v\n", err)
+		return 1
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ecobench: %v\n", err)
+		return 1
+	}
+	fmt.Println(string(out))
+	if mode == "full" {
+		tenK := rep.findSurvey("fleet_survey_10k")
+		if tenK == nil || tenK.Speedup < scaleSpeedupFloor {
+			got := 0.0
+			if tenK != nil {
+				got = tenK.Speedup
+			}
+			fmt.Fprintf(os.Stderr, "ecobench: sharded 10k survey only %.2fx the flat path (floor %.1fx); the spatial registry stopped paying for itself\n",
+				got, scaleSpeedupFloor)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "ecobench: sharded 10k survey %.2fx the flat path (floor %.1fx)\n",
+			tenK.Speedup, scaleSpeedupFloor)
+	}
+	if baselinePath == "" {
+		return 0
+	}
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ecobench: baseline: %v\n", err)
+		return 1
+	}
+	var base scaleReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "ecobench: baseline %s: %v\n", baselinePath, err)
+		return 1
+	}
+	if gateScaleAgainst(rep, base) > 0 {
+		return 1
+	}
+	return 0
+}

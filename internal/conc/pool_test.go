@@ -1,0 +1,103 @@
+package conc
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestQueuesVisitsEveryItemExactlyOnce(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	counts := []int{5, 0, 17, 3, 1}
+	var hits [][]atomic.Int32
+	for _, c := range counts {
+		hits = append(hits, make([]atomic.Int32, c))
+	}
+	Queues(counts, 42, func(q, item int) {
+		hits[q][item].Add(1)
+	})
+	for q := range hits {
+		for item := range hits[q] {
+			if n := hits[q][item].Load(); n != 1 {
+				t.Errorf("item (%d,%d) visited %d times", q, item, n)
+			}
+		}
+	}
+}
+
+func TestQueuesSlotMergeMatchesSerial(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	counts := []int{7, 11, 2}
+	compute := func(q, item int) int { return q*1000 + item*item }
+	want := make(map[[2]int]int)
+	for q, c := range counts {
+		for item := 0; item < c; item++ {
+			want[[2]int{q, item}] = compute(q, item)
+		}
+	}
+	slots := [][]int{make([]int, 7), make([]int, 11), make([]int, 2)}
+	Queues(counts, 7, func(q, item int) {
+		slots[q][item] = compute(q, item)
+	})
+	for key, w := range want {
+		if got := slots[key[0]][key[1]]; got != w {
+			t.Errorf("slot %v = %d, want %d", key, got, w)
+		}
+	}
+}
+
+func TestQueuesStealsFromSkewedQueue(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	}
+	// One heavy queue, several empty ones: every worker must end up helping
+	// the heavy queue or the pass would serialise.
+	counts := []int{200, 0, 0, 0}
+	var visited atomic.Int32
+	Queues(counts, 1, func(q, item int) {
+		if q != 0 {
+			t.Errorf("visited phantom item (%d,%d)", q, item)
+		}
+		visited.Add(1)
+	})
+	if visited.Load() != 200 {
+		t.Fatalf("visited %d/200", visited.Load())
+	}
+}
+
+func TestQueuesEmptyAndZero(t *testing.T) {
+	Queues(nil, 0, func(q, item int) { t.Error("called on nil counts") })
+	Queues([]int{0, 0}, 0, func(q, item int) { t.Error("called on empty queues") })
+}
+
+func TestQueuesPanicPropagates(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	Queues([]int{50, 50}, 3, func(q, item int) {
+		if q == 1 && item == 10 {
+			panic("boom")
+		}
+	})
+	t.Fatal("Queues returned instead of panicking")
+}
+
+func TestQueuesInlinePathPreservesOrder(t *testing.T) {
+	// With one queue and GOMAXPROCS=1 the inline path must run items in
+	// ascending order, matching a serial loop.
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	var got []int
+	Queues([]int{5}, 0, func(q, item int) { got = append(got, item) })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("inline order %v", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("visited %d/5", len(got))
+	}
+}

@@ -1,0 +1,69 @@
+package deploy
+
+import (
+	"fmt"
+	"math"
+
+	"ecocapsule/internal/geometry"
+)
+
+// CellAssignment maps every coverage cell of a grid to the stations whose
+// acoustic range plausibly reaches it. It is the geometric backbone of fleet
+// sharding: a shard owns a contiguous run of cells, and a capsule is only
+// deployed into the readers assigned to its cell — turning the flat
+// every-capsule-on-every-station registry into a spatially local one.
+type CellAssignment struct {
+	// Stations[c] lists the station indices covering cell c, ascending.
+	Stations [][]int
+}
+
+// AssignCells maps each cell of the grid to the plan's stations within
+// reach. A station covers a cell when the axis distance between the
+// station's footprint and the nearest point of the cell's span is within the
+// station's planned power-up range plus margin (the same 1.3× slack the
+// planner itself uses for its reachability pre-filter, covering confinement
+// gain pushing the delivered amplitude past the nominal radius).
+func AssignCells(s *geometry.Structure, grid *geometry.CellGrid, stations []Station) (*CellAssignment, error) {
+	if grid == nil || grid.Cells() == 0 {
+		return nil, fmt.Errorf("deploy: cell assignment needs a non-empty grid")
+	}
+	if len(stations) == 0 {
+		return nil, fmt.Errorf("deploy: cell assignment needs at least one station")
+	}
+	a := &CellAssignment{Stations: make([][]int, grid.Cells())}
+	for c := 0; c < grid.Cells(); c++ {
+		lo, hi := grid.Span(c)
+		for si, st := range stations {
+			d := axisCoord(s, st.Position)
+			reach := st.RangeM * 1.3
+			// Nearest axis distance from the station footprint to the cell.
+			var gap float64
+			switch {
+			case d < lo:
+				gap = lo - d
+			case d > hi:
+				gap = d - hi
+			}
+			if gap <= reach {
+				a.Stations[c] = append(a.Stations[c], si)
+			}
+		}
+	}
+	for c, covs := range a.Stations {
+		if len(covs) == 0 {
+			lo, hi := grid.Span(c)
+			return nil, fmt.Errorf("deploy: cell %d [%.1f, %.1f) m has no covering station", c, lo, hi)
+		}
+	}
+	return a, nil
+}
+
+// axisCoord projects a position onto the structure's partition axis,
+// mirroring geometry.CellGrid's convention (boxes along X, cylinders along
+// the vertical axis).
+func axisCoord(s *geometry.Structure, p geometry.Vec3) float64 {
+	if s.Shape == geometry.Cylinder {
+		return math.Min(p.Y, s.Height)
+	}
+	return math.Min(p.X, s.Length)
+}

@@ -1,0 +1,84 @@
+package deploy
+
+import (
+	"testing"
+
+	"ecocapsule/internal/geometry"
+)
+
+func TestAssignCellsCoversEveryCell(t *testing.T) {
+	wall := geometry.CommonWall()
+	var capsules []geometry.Vec3
+	for x := 0.5; x < 20; x += 1.0 {
+		capsules = append(capsules, geometry.Vec3{X: x, Y: 10, Z: 0.1})
+	}
+	plan, err := Cover(wall, capsules, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible() {
+		t.Fatalf("plan infeasible: %+v", plan.Uncovered)
+	}
+	grid, err := geometry.NewCellGrid(wall, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := AssignCells(wall, grid, plan.Stations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Stations) != grid.Cells() {
+		t.Fatalf("%d cell entries for %d cells", len(a.Stations), grid.Cells())
+	}
+	for c, covs := range a.Stations {
+		if len(covs) == 0 {
+			t.Errorf("cell %d uncovered", c)
+		}
+		for i := 1; i < len(covs); i++ {
+			if covs[i] <= covs[i-1] {
+				t.Errorf("cell %d stations not ascending: %v", c, covs)
+			}
+		}
+		for _, si := range covs {
+			if si < 0 || si >= len(plan.Stations) {
+				t.Errorf("cell %d references station %d of %d", c, si, len(plan.Stations))
+			}
+		}
+	}
+}
+
+func TestAssignCellsRespectsRange(t *testing.T) {
+	wall := geometry.CommonWall()
+	grid, err := geometry.NewCellGrid(wall, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One short-range station at the near end: far cells must be rejected as
+	// uncovered rather than silently assigned.
+	st := []Station{{Position: geometry.Vec3{X: 0.1, Y: 10, Z: 0}, RangeM: 3}}
+	if _, err := AssignCells(wall, grid, st); err == nil {
+		t.Fatal("far cells beyond a 3 m range station were not reported uncovered")
+	}
+	// The same station with fleet-scale range covers everything.
+	st[0].RangeM = 20
+	a, err := AssignCells(wall, grid, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, covs := range a.Stations {
+		if len(covs) != 1 || covs[0] != 0 {
+			t.Errorf("cell %d: %v", c, covs)
+		}
+	}
+}
+
+func TestAssignCellsValidatesInputs(t *testing.T) {
+	wall := geometry.CommonWall()
+	grid, _ := geometry.NewCellGrid(wall, 4)
+	if _, err := AssignCells(wall, nil, []Station{{RangeM: 5}}); err == nil {
+		t.Error("nil grid accepted")
+	}
+	if _, err := AssignCells(wall, grid, nil); err == nil {
+		t.Error("no stations accepted")
+	}
+}

@@ -1,0 +1,43 @@
+package fleet
+
+// Hierarchical survey aggregation: each shard's batched pass emits its rows
+// in ascending handle order (the shard's node order), and the partial
+// reports fold together in shard-index order — shard 0 merged with shard 1,
+// the result merged with shard 2, and so on. Handles are unique across the
+// fleet, so the fold is a plain ordered merge and the final row sequence is
+// byte-identical to a single serial pass over the handle-sorted population,
+// at any shard count.
+
+// mergeRows folds per-shard row slices (each ascending by handle) into one
+// handle-sorted slice, merging in shard-index order.
+func mergeRows(shardRows [][]SurveyRow) []SurveyRow {
+	var out []SurveyRow
+	for _, rows := range shardRows {
+		out = mergeTwo(out, rows)
+	}
+	return out
+}
+
+// mergeTwo is the ordered two-way merge of handle-ascending row slices.
+func mergeTwo(a, b []SurveyRow) []SurveyRow {
+	if len(a) == 0 {
+		return append([]SurveyRow(nil), b...)
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]SurveyRow, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].Handle < b[j].Handle {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

@@ -1,0 +1,50 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"ecocapsule/internal/telemetry"
+)
+
+// TestChargeSkippedCapsulesAreAccounted is the regression test for the
+// silent charge-skip bug: Charge used to drop capsules with no alive
+// server from the excitation jobs without a trace while still counting
+// them in the powered-up denominator the caller sees — a fleet that
+// charged nothing looked like a fleet that charged and failed. Skipped
+// capsules must now land on the skip counter and in the flight recorder.
+// This test fails on the pre-fix Charge (no counter, no flight note).
+func TestChargeSkippedCapsulesAreAccounted(t *testing.T) {
+	f, capsules := wallFleet(t)
+	for i := 0; i < f.Stations(); i++ {
+		f.KillStation(i)
+	}
+	before := mChargeSkipped.Value()
+	if up := f.Charge(0.4); up != 0 {
+		t.Fatalf("powered up %d capsules with every station dead", up)
+	}
+	if got, want := mChargeSkipped.Value()-before, float64(len(capsules)); got != want {
+		t.Errorf("charge-skipped counter rose by %g, want %g", got, want)
+	}
+	found := false
+	for _, ev := range telemetry.Flight().Events() {
+		if ev.Subsystem == "fleet" && ev.Kind == "charge_skipped" &&
+			strings.Contains(ev.Detail, "no alive server") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no charge_skipped flight event recorded for the dropped capsules")
+	}
+}
+
+// TestChargeFullySkippedDoesNotFireOnHealthyFleet pins the inverse: a
+// healthy charge pass records no skip.
+func TestChargeFullySkippedDoesNotFireOnHealthyFleet(t *testing.T) {
+	f, _ := wallFleet(t)
+	before := mChargeSkipped.Value()
+	f.Charge(0.4)
+	if got := mChargeSkipped.Value() - before; got != 0 {
+		t.Errorf("healthy fleet recorded %g skipped capsules", got)
+	}
+}

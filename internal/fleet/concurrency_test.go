@@ -88,9 +88,9 @@ func TestSurveyParallelMatchesSerial(t *testing.T) {
 		f, _ := wallFleet(t)
 		f.SetEnvironment(surveyEnv)
 		if forceSerial {
-			f.mu.Lock()
+			f.route.Lock()
 			f.faultsOn = true // serial schedule without any installed hook
-			f.mu.Unlock()
+			f.route.Unlock()
 		}
 		return f.Survey(0.4).Text()
 	}

@@ -6,6 +6,17 @@
 // amplitude, merges the per-station inventories, and routes sensor reads
 // through each capsule's best station.
 //
+// At building scale the registry is spatially partitioned: the structure's
+// long axis is cut into coverage cells (geometry.CellGrid), each capsule
+// belongs to the cell under its position, stations cover the cells within
+// their range (deploy.AssignCells), and a shard owns a contiguous run of
+// cells — its stations, capsules, routing table and scheduling RNG stream.
+// Survey, inventory and charge run as per-shard batched passes on a
+// work-stealing pool (conc.Queues) whose partial reports merge in
+// shard-index order, byte-identical to a serial run at any shard count. The
+// classic flat constructor (New) is the 1-shard, 1-cell special case with
+// every capsule deployed into every station, preserved bit-for-bit.
+//
 // Stations fail in the field: a reader falls off the wall, loses mains
 // power, or its cable corrodes. The fleet therefore tracks per-station
 // liveness, re-routes capsules away from dead stations, falls back to the
@@ -33,45 +44,54 @@ import (
 	"ecocapsule/internal/units"
 )
 
-// Fleet is a set of readers attached to one structure.
+// Fleet is a set of readers attached to one structure, partitioned into
+// spatial shards.
 //
-// The charge/inventory/survey paths fan station work out over the available
-// cores (see conc.For); mu guards the routing state they share. readers,
-// nodes and reachable are immutable after New, and each capsule's MCU state
+// readers, nodes, grid, amps and the shard skeletons (cells, stations,
+// nodes, seed) are immutable after construction; each capsule's MCU state
 // is only ever driven through one goroutine at a time, so stations operate
-// concurrently without touching each other's capsules.
+// concurrently without touching each other's capsules. Mutable state splits
+// two ways: fleet-wide liveness and execution mode live behind the route
+// lock, per-capsule routing lives behind each shard's own mutex. Lock order
+// is route before shard mu; KillStation and ReviveStation hold the route
+// write lock across all their shard rewrites, so a reader holding route
+// (read) plus the shard locks observes routing that is never torn.
 type Fleet struct {
 	structure *geometry.Structure
 	readers   []*reader.Reader
 	nodes     []*node.Node
-	// reachable[handle][station] records whether the station could build a
-	// channel to the capsule at construction time.
-	reachable map[uint16][]bool
+	// grid partitions the structure's long axis into coverage cells; the
+	// cell under a capsule decides its shard.
+	grid *geometry.CellGrid
+	// amps[handle][station] is the delivered PZT amplitude of every built
+	// channel, -1 where the station cannot reach the capsule. Precomputed at
+	// construction (drive voltage and path gain never change afterwards) so
+	// rerouting and read ordering touch no reader locks.
+	amps map[uint16][]float64
+	// shards partition the capsules; shardByHandle finds a capsule's owner.
+	shards        []*shard
+	shardByHandle map[uint16]*shard
+	// seed is the fleet's base RNG seed (per-shard streams derive from it).
+	seed int64
 
-	// mu guards the mutable routing state below — stations die and revive
-	// concurrently with surveys in the field, so liveness, routing and the
-	// reroute counter take the lock.
-	mu sync.Mutex
+	// route guards the fleet-wide mutable state below — stations die and
+	// revive concurrently with surveys in the field. Writers (kill, revive)
+	// take the write lock for their entire operation, including every
+	// per-shard routing rewrite.
+	route sync.RWMutex
 	// alive[i] reports whether station i is operational.
-	//ecolint:guardedby mu
+	//ecolint:guardedby route
 	alive []bool
-	// best maps each capsule handle to the index of the alive station that
-	// delivers the highest PZT amplitude.
-	//ecolint:guardedby mu
-	best map[uint16]int
-	// reroutedReads counts successful reads served by a fallback station.
-	//ecolint:guardedby mu
-	reroutedReads int
 	// faultsOn records that a frame-fault hook is installed. Injectors
 	// consume one shared seeded RNG, so the fleet falls back to its serial
 	// TDMA schedule to keep fault draws — and golden traces —
 	// reproducible.
-	//ecolint:guardedby mu
+	//ecolint:guardedby route
 	faultsOn bool
 	// tracer is the span tracer surveys attach to. Spans draw IDs from the
 	// tracer's seeded RNG, so a traced fleet also runs the serial schedule
 	// to keep span order reproducible.
-	//ecolint:guardedby mu
+	//ecolint:guardedby route
 	tracer *telemetry.Tracer
 }
 
@@ -81,13 +101,72 @@ var (
 	ErrNoNodes    = errors.New("fleet: no capsules supplied")
 )
 
-// New builds a fleet from a deployment plan: one reader per station, every
-// capsule deployed into every station's acoustic field, and the best
-// station per capsule resolved from the channel gains. A station failing to
-// reach one capsule is tolerated (the capsule rides on other stations); a
-// capsule no station can reach at all fails construction, because it could
-// never be monitored.
+// Options parameterises a sharded fleet.
+type Options struct {
+	// Shards is the number of spatial shards (default 1). More shards than
+	// cells clamps to the cell count.
+	Shards int
+	// Cells is the number of coverage cells the structure's long axis is
+	// cut into (default 2 per station). The grid — not the shard count —
+	// keys capsule ownership, so the same Cells value at different Shards
+	// values yields byte-identical behaviour.
+	Cells int
+	// MaxOrder overrides the per-link image-source reflection order
+	// (0 = channel default). City-scale fleets run order 1.
+	MaxOrder int
+}
+
+// New builds a flat fleet from a deployment plan: one reader per station,
+// every capsule deployed into every station's acoustic field, and the best
+// station per capsule resolved from the channel gains. It is exactly the
+// 1-shard, 1-cell case of NewSharded with range limits disabled — the
+// classic fleet, preserved bit-for-bit. A station failing to reach one
+// capsule is tolerated (the capsule rides on other stations); a capsule no
+// station can reach at all fails construction, because it could never be
+// monitored.
 func New(s *geometry.Structure, plan deploy.Plan, capsules []*node.Node, seed int64) (*Fleet, error) {
+	grid, err := geometry.NewCellGrid(s, 1)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	all := make([]int, len(plan.Stations))
+	for i := range all {
+		all[i] = i
+	}
+	return build(s, plan, capsules, seed, grid, [][]int{all}, 1, 0)
+}
+
+// NewSharded builds a spatially partitioned fleet: capsules deploy only
+// into the stations covering their cell, and shards own contiguous cell
+// runs. Any shard count produces byte-identical surveys for the same Cells
+// value — sharding decides scheduling, the grid decides ownership.
+func NewSharded(s *geometry.Structure, plan deploy.Plan, capsules []*node.Node, seed int64, opts Options) (*Fleet, error) {
+	cells := opts.Cells
+	if cells <= 0 {
+		cells = 2 * len(plan.Stations)
+	}
+	if cells < 1 {
+		cells = 1
+	}
+	grid, err := geometry.NewCellGrid(s, cells)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	assign, err := deploy.AssignCells(s, grid, plan.Stations)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	shardsN := opts.Shards
+	if shardsN <= 0 {
+		shardsN = 1
+	}
+	return build(s, plan, capsules, seed, grid, assign.Stations, shardsN, opts.MaxOrder)
+}
+
+// build is the common constructor: readers, cell-limited deployment, the
+// amplitude table, shards, and the initial route resolution.
+func build(s *geometry.Structure, plan deploy.Plan, capsules []*node.Node, seed int64,
+	grid *geometry.CellGrid, cellStations [][]int, shardsN, maxOrder int) (*Fleet, error) {
 	if len(plan.Stations) == 0 {
 		return nil, ErrNoStations
 	}
@@ -95,14 +174,30 @@ func New(s *geometry.Structure, plan deploy.Plan, capsules []*node.Node, seed in
 		return nil, ErrNoNodes
 	}
 	f := &Fleet{
-		structure: s,
-		nodes:     capsules,
-		alive:     make([]bool, len(plan.Stations)),
-		reachable: make(map[uint16][]bool, len(capsules)),
-		best:      make(map[uint16]int),
+		structure:     s,
+		nodes:         capsules,
+		grid:          grid,
+		alive:         make([]bool, len(plan.Stations)),
+		amps:          make(map[uint16][]float64, len(capsules)),
+		shardByHandle: make(map[uint16]*shard, len(capsules)),
+		seed:          seed,
 	}
 	for _, n := range capsules {
-		f.reachable[n.Handle()] = make([]bool, len(plan.Stations))
+		a := make([]float64, len(plan.Stations))
+		for i := range a {
+			a[i] = -1
+		}
+		f.amps[n.Handle()] = a
+	}
+	// coveredBy[station] marks the capsules inside the station's cells.
+	coveredBy := make([]map[uint16]bool, len(plan.Stations))
+	for i := range coveredBy {
+		coveredBy[i] = make(map[uint16]bool)
+	}
+	for _, n := range capsules {
+		for _, st := range cellStations[grid.CellOf(n.Position())] {
+			coveredBy[st][n.Handle()] = true
+		}
 	}
 	for i, st := range plan.Stations {
 		r, err := reader.New(reader.Config{
@@ -110,71 +205,94 @@ func New(s *geometry.Structure, plan deploy.Plan, capsules []*node.Node, seed in
 			TXPosition:   st.Position,
 			DriveVoltage: plan.Voltage,
 			Seed:         seed + int64(i),
+			MaxOrder:     maxOrder,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fleet: station %d: %w", i, err)
 		}
 		for _, n := range capsules {
+			if !coveredBy[i][n.Handle()] {
+				continue
+			}
 			if err := r.Deploy(n); err != nil {
 				// Partial coverage: this station cannot serve the capsule,
 				// but another might.
-				continue
-			}
-			f.reachable[n.Handle()][i] = true
-		}
-		f.readers = append(f.readers, r)
-		f.alive[i] = true
-	}
-	for _, n := range capsules {
-		served := false
-		for _, ok := range f.reachable[n.Handle()] {
-			served = served || ok
-		}
-		if !served {
-			return nil, fmt.Errorf("fleet: capsule %#04x unreachable from every station", n.Handle())
-		}
-	}
-	f.mu.Lock()
-	f.rerouteLocked()
-	f.mu.Unlock()
-	return f, nil
-}
-
-// rerouteLocked resolves the best alive station per capsule from the
-// delivered PZT amplitudes. Capsules with no alive server drop out of the
-// best map (they become orphans in the coverage report). Caller holds mu.
-func (f *Fleet) rerouteLocked() {
-	for h := range f.best {
-		delete(f.best, h)
-	}
-	for _, n := range f.nodes {
-		bestIdx, bestAmp := -1, 0.0
-		for i, r := range f.readers {
-			if !f.alive[i] || !f.reachable[n.Handle()][i] {
 				continue
 			}
 			amp, err := r.NodeAmplitude(n.Handle())
 			if err != nil {
 				continue
 			}
-			if amp > bestAmp {
-				bestIdx, bestAmp = i, amp
-			}
+			f.amps[n.Handle()][i] = amp
 		}
-		if bestIdx >= 0 {
-			f.best[n.Handle()] = bestIdx
+		f.readers = append(f.readers, r)
+		f.alive[i] = true
+	}
+	for _, n := range capsules {
+		served := false
+		for _, amp := range f.amps[n.Handle()] {
+			served = served || amp >= 0
 		}
+		if !served {
+			return nil, fmt.Errorf("fleet: capsule %#04x unreachable from every station", n.Handle())
+		}
+	}
+	cellOf := func(n *node.Node) int { return grid.CellOf(n.Position()) }
+	f.shards = buildShards(shardsN, grid.Cells(), cellStations, cellOf, capsules, seed)
+	for _, sh := range f.shards {
+		for _, n := range sh.nodes {
+			f.shardByHandle[n.Handle()] = sh
+		}
+	}
+	f.route.Lock()
+	f.rerouteAllLocked()
+	f.route.Unlock()
+	return f, nil
+}
+
+// rerouteAllLocked re-resolves every shard's routing. Caller holds the
+// route write lock.
+func (f *Fleet) rerouteAllLocked() {
+	for _, sh := range f.shards {
+		sh.mu.Lock()
+		sh.rerouteLocked(f.alive, f.amps)
+		sh.mu.Unlock()
 	}
 	mReroutes.Inc()
 	f.publishGaugesLocked()
 }
 
-// publishGaugesLocked refreshes the liveness/coverage gauges. Caller holds mu.
+// orphanCountLocked counts capsules with no alive server. Caller holds the
+// route lock.
+func (f *Fleet) orphanCountLocked() int {
+	served := 0
+	for _, sh := range f.shards {
+		sh.mu.Lock()
+		served += len(sh.best)
+		sh.mu.Unlock()
+	}
+	return len(f.nodes) - served
+}
+
+// publishGaugesLocked refreshes the liveness/coverage gauges. Caller holds
+// the route lock.
 func (f *Fleet) publishGaugesLocked() {
 	mStations.Set(float64(len(f.readers)))
 	mStationsAlive.Set(float64(f.aliveStationsLocked()))
-	mOrphans.Set(float64(len(f.nodes) - len(f.best)))
-	for i, c := range f.coverageLocked() {
+	cover := make([]int, len(f.readers))
+	served := 0
+	for _, sh := range f.shards {
+		sh.mu.Lock()
+		for _, idx := range sh.best {
+			cover[idx]++
+			served++
+		}
+		mShardCapsules.With(shardLabel(sh.index)).Set(float64(len(sh.nodes)))
+		mShardStations.With(shardLabel(sh.index)).Set(float64(len(sh.stations)))
+		sh.mu.Unlock()
+	}
+	mOrphans.Set(float64(len(f.nodes) - served))
+	for i, c := range cover {
 		mCoverage.With(stationLabel(i)).Set(float64(c))
 	}
 }
@@ -182,10 +300,16 @@ func (f *Fleet) publishGaugesLocked() {
 // Stations returns the number of readers in the fleet.
 func (f *Fleet) Stations() int { return len(f.readers) }
 
+// Shards returns the number of spatial shards.
+func (f *Fleet) Shards() int { return len(f.shards) }
+
+// Cells returns the number of coverage cells partitioning the structure.
+func (f *Fleet) Cells() int { return f.grid.Cells() }
+
 // AliveStations returns the number of operational stations.
 func (f *Fleet) AliveStations() int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.route.RLock()
+	defer f.route.RUnlock()
 	return f.aliveStationsLocked()
 }
 
@@ -200,38 +324,40 @@ func (f *Fleet) aliveStationsLocked() int {
 }
 
 // KillStation marks a station dead and re-routes its capsules to their
-// next-best alive server. Unknown indices are ignored.
+// next-best alive server. The write lock spans the liveness flip and every
+// shard's routing rewrite, so no reader ever observes the two disagreeing.
+// Unknown indices are ignored.
 func (f *Fleet) KillStation(i int) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.route.Lock()
+	defer f.route.Unlock()
 	if i < 0 || i >= len(f.alive) || !f.alive[i] {
 		return
 	}
 	f.alive[i] = false
 	mKills.Inc()
-	f.rerouteLocked()
+	f.rerouteAllLocked()
 	telemetry.RecordFlight("fleet", "station_killed",
-		fmt.Sprintf("station %d down, %d orphans after reroute", i, len(f.nodes)-len(f.best)))
+		fmt.Sprintf("station %d down, %d orphans after reroute", i, f.orphanCountLocked()))
 }
 
 // ReviveStation brings a dead station back and re-routes.
 func (f *Fleet) ReviveStation(i int) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.route.Lock()
+	defer f.route.Unlock()
 	if i < 0 || i >= len(f.alive) || f.alive[i] {
 		return
 	}
 	f.alive[i] = true
 	mRevives.Inc()
-	f.rerouteLocked()
+	f.rerouteAllLocked()
 	telemetry.RecordFlight("fleet", "station_revived",
-		fmt.Sprintf("station %d back, %d orphans after reroute", i, len(f.nodes)-len(f.best)))
+		fmt.Sprintf("station %d back, %d orphans after reroute", i, f.orphanCountLocked()))
 }
 
 // StationAlive reports one station's liveness.
 func (f *Fleet) StationAlive(i int) bool {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.route.RLock()
+	defer f.route.RUnlock()
 	return i >= 0 && i < len(f.alive) && f.alive[i]
 }
 
@@ -243,9 +369,9 @@ func (f *Fleet) SetFrameFaults(ff reader.FrameFaults) {
 	for _, r := range f.readers {
 		r.SetFrameFaults(ff)
 	}
-	f.mu.Lock()
+	f.route.Lock()
 	f.faultsOn = ff != nil
-	f.mu.Unlock()
+	f.route.Unlock()
 }
 
 // SetTracer installs (or, with nil, removes) a span tracer on the fleet and
@@ -256,9 +382,9 @@ func (f *Fleet) SetTracer(tr *telemetry.Tracer) {
 	for _, r := range f.readers {
 		r.SetTracer(tr)
 	}
-	f.mu.Lock()
+	f.route.Lock()
 	f.tracer = tr
-	f.mu.Unlock()
+	f.route.Unlock()
 }
 
 // ApplyInjector wires one fault injector into every layer the fleet owns:
@@ -285,10 +411,22 @@ func (f *Fleet) ApplyInjector(in *faultinject.Injector) {
 
 // BestStation returns the station index serving a capsule (-1 if none).
 func (f *Fleet) BestStation(handle uint16) int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if i, ok := f.best[handle]; ok {
+	sh, ok := f.shardByHandle[handle]
+	if !ok {
+		return -1
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if i, ok := sh.best[handle]; ok {
 		return i
+	}
+	return -1
+}
+
+// ShardOf returns the shard index owning a capsule (-1 if unknown).
+func (f *Fleet) ShardOf(handle uint16) int {
+	if sh, ok := f.shardByHandle[handle]; ok {
+		return sh.index
 	}
 	return -1
 }
@@ -297,9 +435,11 @@ func (f *Fleet) BestStation(handle uint16) int {
 // and returns the number powered up. Each capsule is excited by its
 // strongest server only (simultaneous same-carrier transmissions would
 // interfere), so the best-station assignment partitions the capsules into
-// disjoint groups — one per station — that charge concurrently. The
-// delivered amplitude is hoisted out of the step loop: it is a property of
-// the channel, and the per-step lookup dominated the charge cost.
+// disjoint per-shard batches that charge concurrently on the work-stealing
+// pool. Capsules no alive station serves cannot be charged at all; they
+// still count toward the powered-up denominator the caller sees, so the
+// skip is surfaced on a counter metric and the flight recorder instead of
+// vanishing.
 func (f *Fleet) Charge(duration float64) int {
 	cs := f.structure.Material.VS()
 	if cs == 0 {
@@ -314,27 +454,35 @@ func (f *Fleet) Charge(duration float64) int {
 		n   *node.Node
 		amp float64
 	}
-	f.mu.Lock()
-	groups := make([][]job, len(f.readers))
-	for _, n := range f.nodes {
-		idx, ok := f.best[n.Handle()]
-		if !ok {
-			continue
-		}
-		amp, err := f.readers[idx].NodeAmplitude(n.Handle())
-		if err != nil {
-			continue
-		}
-		groups[idx] = append(groups[idx], job{n: n, amp: amp})
-	}
-	f.mu.Unlock()
-	conc.For(len(groups), func(i int) {
-		for _, j := range groups[i] {
-			for s := 0; s < steps; s++ {
-				j.n.Excite(j.amp, 230*units.KHz, cs, dt)
+	skipped := 0
+	f.route.RLock()
+	jobs := make([][]job, len(f.shards))
+	for qi, sh := range f.shards {
+		sh.mu.Lock()
+		for _, n := range sh.nodes {
+			idx, ok := sh.best[n.Handle()]
+			if !ok {
+				skipped++
+				continue
 			}
+			jobs[qi] = append(jobs[qi], job{n: n, amp: f.amps[n.Handle()][idx]})
 		}
+		sh.mu.Unlock()
+	}
+	f.route.RUnlock()
+	counts := make([]int, len(jobs))
+	for i := range jobs {
+		counts[i] = len(jobs[i])
+	}
+	conc.Queues(counts, f.seed, func(q, item int) {
+		j := jobs[q][item]
+		j.n.ExciteFor(j.amp, 230*units.KHz, cs, dt, steps)
 	})
+	if skipped > 0 {
+		mChargeSkipped.Add(float64(skipped))
+		telemetry.RecordFlight("fleet", "charge_skipped",
+			fmt.Sprintf("%d of %d capsules had no alive server and were not charged", skipped, len(f.nodes)))
+	}
 	up := 0
 	for _, n := range f.nodes {
 		if n.PoweredUp() {
@@ -345,23 +493,28 @@ func (f *Fleet) Charge(duration float64) int {
 }
 
 // Inventory inventories each alive station and merges the discoveries.
-// Without a fault hook, stations arbitrate concurrently, each soliciting
-// only the capsules it serves best (the fleet's TDMA partition made
-// spatial), and the merged set is sorted so the result is deterministic
-// regardless of scheduling. With frame faults installed the stations take
-// strict turns over the full population — the injector's shared RNG makes
-// draw order part of the reproducible behaviour.
+// Without a fault hook, stations arbitrate concurrently as per-shard
+// batches on the work-stealing pool, each station soliciting only the
+// capsules it serves best (the fleet's TDMA partition made spatial), and
+// the merged set is sorted so the result is deterministic regardless of
+// scheduling. With frame faults installed the stations take strict turns
+// over the full population — the injector's shared RNG makes draw order
+// part of the reproducible behaviour.
 func (f *Fleet) Inventory(maxRoundsPerStation int) []uint16 {
-	f.mu.Lock()
+	f.route.RLock()
 	alive := append([]bool(nil), f.alive...)
 	faultsOn := f.faultsOn
 	assigned := make([][]uint16, len(f.readers))
-	for _, n := range f.nodes {
-		if idx, ok := f.best[n.Handle()]; ok {
-			assigned[idx] = append(assigned[idx], n.Handle())
+	for _, sh := range f.shards {
+		sh.mu.Lock()
+		for _, n := range sh.nodes {
+			if idx, ok := sh.best[n.Handle()]; ok {
+				assigned[idx] = append(assigned[idx], n.Handle())
+			}
 		}
+		sh.mu.Unlock()
 	}
-	f.mu.Unlock()
+	f.route.RUnlock()
 	found := make(map[uint16]bool)
 	if faultsOn {
 		for i, r := range f.readers {
@@ -375,7 +528,12 @@ func (f *Fleet) Inventory(maxRoundsPerStation int) []uint16 {
 		}
 	} else {
 		results := make([][]uint16, len(f.readers))
-		conc.For(len(f.readers), func(i int) {
+		counts := make([]int, len(f.shards))
+		for qi, sh := range f.shards {
+			counts[qi] = len(sh.stations)
+		}
+		conc.Queues(counts, f.seed, func(q, item int) {
+			i := f.shards[q].stations[item]
 			if !alive[i] || len(assigned[i]) == 0 {
 				return
 			}
@@ -408,16 +566,29 @@ func (f *Fleet) ReadSensor(handle uint16, st sensors.SensorType) ([]float64, err
 // served the read — which the fallback path can make different from
 // BestStation. A failed read returns station -1.
 func (f *Fleet) ReadSensorVia(handle uint16, st sensors.SensorType) ([]float64, int, error) {
-	// Snapshot the routing under the lock, then run the (slow) acoustic
-	// exchanges outside it so concurrent reads of different capsules
+	// Snapshot the routing under the locks, then run the (slow) acoustic
+	// exchanges outside them so concurrent reads of different capsules
 	// proceed in parallel; each reader serialises its own link internally.
-	f.mu.Lock()
-	stations := f.readOrderLocked(handle)
-	best, ok := f.best[handle]
-	f.mu.Unlock()
-	if !ok {
-		best = -1
+	f.route.RLock()
+	alive := append([]bool(nil), f.alive...)
+	best := -1
+	sh := f.shardByHandle[handle]
+	if sh != nil {
+		sh.mu.Lock()
+		if b, ok := sh.best[handle]; ok {
+			best = b
+		}
+		sh.mu.Unlock()
 	}
+	f.route.RUnlock()
+	stations := f.readOrder(handle, alive)
+	return f.readVia(handle, st, stations, best, sh)
+}
+
+// readVia walks the candidate stations in order, returning the first
+// successful read and maintaining the routing metrics and the owning
+// shard's rerouted counter.
+func (f *Fleet) readVia(handle uint16, st sensors.SensorType, stations []int, best int, sh *shard) ([]float64, int, error) {
 	if len(stations) == 0 {
 		mFleetReads.With(routeFailed).Inc()
 		return nil, -1, fmt.Errorf("fleet: no station serves capsule %#04x", handle)
@@ -430,9 +601,11 @@ func (f *Fleet) ReadSensorVia(handle uint16, st sensors.SensorType) ([]float64, 
 				mFleetReads.With(routePrimary).Inc()
 			} else {
 				mFleetReads.With(routeRerouted).Inc()
-				f.mu.Lock()
-				f.reroutedReads++
-				f.mu.Unlock()
+				if sh != nil {
+					sh.mu.Lock()
+					sh.reroutedReads++
+					sh.mu.Unlock()
+				}
 			}
 			return vals, idx, nil
 		}
@@ -446,15 +619,20 @@ func (f *Fleet) ReadSensorVia(handle uint16, st sensors.SensorType) ([]float64, 
 // ReroutedReads returns the number of successful reads a fallback station
 // (not the capsule's best) served over the fleet's lifetime.
 func (f *Fleet) ReroutedReads() int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.reroutedReads
+	total := 0
+	for _, sh := range f.shards {
+		sh.mu.Lock()
+		total += sh.reroutedReads
+		sh.mu.Unlock()
+	}
+	return total
 }
 
-// readOrderLocked lists the alive stations that can reach the capsule, best
-// amplitude first. Caller holds mu.
-func (f *Fleet) readOrderLocked(handle uint16) []int {
-	reach, ok := f.reachable[handle]
+// readOrder lists the alive stations that can reach the capsule, best
+// amplitude first, from the immutable amplitude table and the given
+// liveness snapshot.
+func (f *Fleet) readOrder(handle uint16, alive []bool) []int {
+	amps, ok := f.amps[handle]
 	if !ok {
 		return nil
 	}
@@ -463,15 +641,11 @@ func (f *Fleet) readOrderLocked(handle uint16) []int {
 		amp float64
 	}
 	var cands []cand
-	for i, r := range f.readers {
-		if !f.alive[i] || !reach[i] {
+	for i := range f.readers {
+		if !alive[i] || amps[i] < 0 {
 			continue
 		}
-		amp, err := r.NodeAmplitude(handle)
-		if err != nil {
-			continue
-		}
-		cands = append(cands, cand{idx: i, amp: amp})
+		cands = append(cands, cand{idx: i, amp: amps[i]})
 	}
 	sort.Slice(cands, func(a, b int) bool {
 		if cands[a].amp > cands[b].amp {
@@ -501,15 +675,13 @@ func (f *Fleet) SetEnvironment(fn func(pos geometry.Vec3) sensors.Environment) {
 
 // Coverage reports, per station, how many capsules it serves best.
 func (f *Fleet) Coverage() []int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.coverageLocked()
-}
-
-func (f *Fleet) coverageLocked() []int {
 	out := make([]int, len(f.readers))
-	for _, idx := range f.best {
-		out[idx]++
+	for _, sh := range f.shards {
+		sh.mu.Lock()
+		for _, idx := range sh.best {
+			out[idx]++
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
@@ -530,26 +702,77 @@ func (c CoverageReport) Degraded() bool {
 	return len(c.DeadStations) > 0 || len(c.Orphans) > 0
 }
 
-// CoverageReport builds the current coverage view.
+// CoverageReport builds the current coverage view as one consistent
+// snapshot: the route read lock excludes kill/revive for the whole
+// assembly.
 func (f *Fleet) CoverageReport() CoverageReport {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	snap := f.snapshotRouting()
 	rep := CoverageReport{
-		Stations:   len(f.readers),
-		PerStation: f.coverageLocked(),
+		Stations:     len(f.readers),
+		DeadStations: snap.dead,
+		PerStation:   make([]int, len(f.readers)),
+		Orphans:      snap.orphans,
 	}
-	for i, a := range f.alive {
-		if !a {
-			rep.DeadStations = append(rep.DeadStations, i)
-		}
+	for _, idx := range snap.best {
+		rep.PerStation[idx]++
 	}
-	for _, n := range f.nodes {
-		if _, ok := f.best[n.Handle()]; !ok {
-			rep.Orphans = append(rep.Orphans, n.Handle())
-		}
-	}
-	sort.Slice(rep.Orphans, func(i, j int) bool { return rep.Orphans[i] < rep.Orphans[j] })
 	return rep
+}
+
+// routeSnapshot is one torn-proof copy of the fleet's routing state: every
+// field is collected under a single route read-lock acquisition (shard
+// locks taken in index order inside it), and kill/revive write the same
+// lock, so the liveness, dead list, best map and orphan set always agree
+// with each other.
+type routeSnapshot struct {
+	alive      []bool
+	aliveCount int
+	dead       []int
+	best       map[uint16]int
+	orphan     map[uint16]bool
+	orphans    []uint16
+}
+
+// bestOf returns the snapshot's serving station for a capsule (-1 if none).
+func (s *routeSnapshot) bestOf(handle uint16) int {
+	if i, ok := s.best[handle]; ok {
+		return i
+	}
+	return -1
+}
+
+// snapshotRouting collects the snapshot. Safe to call concurrently with
+// reads and kill/revive; never called with route already held.
+func (f *Fleet) snapshotRouting() *routeSnapshot {
+	snap := &routeSnapshot{
+		best:   make(map[uint16]int, len(f.nodes)),
+		orphan: make(map[uint16]bool),
+	}
+	f.route.RLock()
+	snap.alive = append([]bool(nil), f.alive...)
+	for i, a := range f.alive {
+		if a {
+			snap.aliveCount++
+		} else {
+			snap.dead = append(snap.dead, i)
+		}
+	}
+	for _, sh := range f.shards {
+		sh.mu.Lock()
+		for h, idx := range sh.best {
+			snap.best[h] = idx
+		}
+		sh.mu.Unlock()
+	}
+	f.route.RUnlock()
+	for _, n := range f.nodes {
+		if _, ok := snap.best[n.Handle()]; !ok {
+			snap.orphan[n.Handle()] = true
+			snap.orphans = append(snap.orphans, n.Handle())
+		}
+	}
+	sort.Slice(snap.orphans, func(i, j int) bool { return snap.orphans[i] < snap.orphans[j] })
+	return snap
 }
 
 // FaultStats sums the resilience counters over every station's reader.

@@ -1,0 +1,140 @@
+package fleet
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"ecocapsule/internal/deploy"
+	"ecocapsule/internal/faultinject"
+	"ecocapsule/internal/geometry"
+	"ecocapsule/internal/node"
+)
+
+// shardedSurveyFleet builds a sharded fleet over fresh capsules (node state
+// is mutable, so every shard count gets its own population with identical
+// configs and seeds).
+func shardedSurveyFleet(t *testing.T, shards int) *Fleet {
+	t.Helper()
+	wall := geometry.CommonWall()
+	var capsules []*node.Node
+	var positions []geometry.Vec3
+	for i := 0; i < 24; i++ {
+		pos := geometry.Vec3{X: 0.5 + float64(i)*0.8, Y: 10, Z: 0.1}
+		positions = append(positions, pos)
+		capsules = append(capsules, node.New(node.Config{
+			Handle:   uint16(0x300 + i),
+			Position: pos,
+			Seed:     int64(i),
+		}))
+	}
+	plan, err := deploy.Cover(wall, positions, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewSharded(wall, plan, capsules, 7, Options{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestShardCountInvariance is the sharding contract as a property test:
+// capsule ownership keys off the geometry-derived cell grid, never the
+// shard count, so resharding the same fleet must leave the survey report
+// byte-identical — including to the strictly serial schedule, which the
+// 1-shard fleet runs when forced onto the fault path.
+func TestShardCountInvariance(t *testing.T) {
+	serialFleet := shardedSurveyFleet(t, 1)
+	serialFleet.SetEnvironment(surveyEnv)
+	serialFleet.route.Lock()
+	serialFleet.faultsOn = true // serial schedule without any installed hook
+	serialFleet.route.Unlock()
+	serial := serialFleet.Survey(0.4).Text()
+
+	for _, k := range []int{1, 3, 7, 1 << 10} { // over-asking clamps to the cell count
+		f := shardedSurveyFleet(t, k)
+		f.SetEnvironment(surveyEnv)
+		if k > 1 && f.Shards() < 2 {
+			t.Fatalf("shards=%d built only %d shards", k, f.Shards())
+		}
+		if got := f.Survey(0.4).Text(); got != serial {
+			t.Errorf("shards=%d diverged from 1-shard serial:\n--- shards=%d\n%s--- serial\n%s",
+				k, k, got, serial)
+		}
+	}
+}
+
+// TestShardCountInvarianceUnderInjector extends the property to the fault
+// path: an installed injector draws from one shared seeded RNG, so every
+// shard count must fall back to the same global TDMA schedule and burn the
+// identical draw sequence — dead station, frame losses and all.
+func TestShardCountInvarianceUnderInjector(t *testing.T) {
+	run := func(k int) string {
+		f := shardedSurveyFleet(t, k)
+		f.SetEnvironment(surveyEnv)
+		f.ApplyInjector(faultinject.MustNew(faultinject.Plan{
+			Seed:          11,
+			FrameLossProb: 0.15,
+			DeadStations:  []int{1},
+		}))
+		return f.Survey(0.4).Text()
+	}
+	serial := run(1)
+	for _, k := range []int{3, 7} {
+		if got := run(k); got != serial {
+			t.Errorf("shards=%d diverged under injector:\n--- shards=%d\n%s--- serial\n%s",
+				k, k, got, serial)
+		}
+	}
+}
+
+// TestShardedSurveyConsistentUnderChurn runs the torn-snapshot invariants
+// against a multi-shard fleet while stations die and revive across shard
+// boundaries — the cross-shard analogue of the flat churn test, and the
+// -race exercise for the route/shard lock ordering.
+func TestShardedSurveyConsistentUnderChurn(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	f := shardedSurveyFleet(t, 3)
+	f.SetEnvironment(surveyEnv)
+	f.Charge(0.4)
+
+	var stop atomic.Bool
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		for i := 0; !stop.Load(); i++ {
+			victim := i % f.Stations()
+			f.KillStation(victim)
+			f.ReviveStation(victim)
+		}
+	}()
+	defer func() {
+		stop.Store(true)
+		<-churnDone
+	}()
+	for i := 0; i < 60; i++ {
+		rep := f.Survey(0.001)
+		if rep.AliveStations+len(rep.DeadStations) != rep.Stations {
+			t.Fatalf("survey %d: torn snapshot: %d alive + %d dead != %d stations",
+				i, rep.AliveStations, len(rep.DeadStations), rep.Stations)
+		}
+		dead := make(map[int]bool, len(rep.DeadStations))
+		for _, s := range rep.DeadStations {
+			dead[s] = true
+		}
+		orphanRows := 0
+		for _, row := range rep.Rows {
+			if row.Status == "orphan" {
+				orphanRows++
+			}
+			if row.Status == "ok" && dead[row.Station] {
+				t.Fatalf("survey %d: row %#04x served by station %d that the same report lists dead",
+					i, row.Handle, row.Station)
+			}
+		}
+		if orphanRows != len(rep.Orphans) {
+			t.Fatalf("survey %d: %d orphan rows vs %d listed orphans", i, orphanRows, len(rep.Orphans))
+		}
+	}
+}

@@ -114,11 +114,11 @@ func (f *Fleet) Survey(chargeDuration float64) SHMReport {
 // Without a tracer the span is nil and the survey is identical to Survey.
 func (f *Fleet) SurveyTraced(chargeDuration float64) (SHMReport, *telemetry.Span) {
 	before := f.FaultStats()
-	f.mu.Lock()
-	reroutedBefore := f.reroutedReads
+	reroutedBefore := f.ReroutedReads()
+	f.route.RLock()
 	serial := f.faultsOn || f.tracer != nil
 	tracer := f.tracer
-	f.mu.Unlock()
+	f.route.RUnlock()
 	var sp *telemetry.Span
 	if tracer != nil {
 		sp = tracer.Start("survey")
@@ -139,50 +139,65 @@ func (f *Fleet) SurveyTraced(chargeDuration float64) (SHMReport, *telemetry.Span
 	} else {
 		f.Charge(chargeDuration)
 	}
-	cov := f.CoverageReport()
+	// One torn-proof routing snapshot feeds the whole report: the header
+	// counts, the dead list, the orphan set and every row's candidate
+	// stations all come from the same instant, so a station kill or revive
+	// racing the survey can never make the report disagree with itself —
+	// a row is only ever served by a station the same report lists alive.
+	snap := f.snapshotRouting()
 	rep := SHMReport{
-		Stations:      cov.Stations,
-		AliveStations: f.AliveStations(),
-		DeadStations:  cov.DeadStations,
+		Stations:      len(f.readers),
+		AliveStations: snap.aliveCount,
+		DeadStations:  snap.dead,
 		Expected:      len(f.nodes),
-		Orphans:       cov.Orphans,
+		Orphans:       snap.orphans,
 	}
-	orphan := make(map[uint16]bool, len(cov.Orphans))
-	for _, h := range cov.Orphans {
-		orphan[h] = true
-	}
-	nodes := append([]*nodeRef(nil), f.sortedNodes()...)
-	rows := make([]SurveyRow, len(nodes))
-	visit := func(k int) {
-		nr := nodes[k]
-		row := SurveyRow{Handle: nr.handle, Station: f.BestStation(nr.handle)}
-		switch {
-		case orphan[nr.handle]:
+	visit := func(h uint16) SurveyRow {
+		row := SurveyRow{Handle: h, Station: snap.bestOf(h)}
+		if snap.orphan[h] {
 			row.Status = "orphan"
-		default:
-			th, servedT, errT := f.ReadSensorVia(nr.handle, sensors.TypeTempHumidity)
-			st, _, errS := f.ReadSensorVia(nr.handle, sensors.TypeStrain)
-			if errT != nil || errS != nil || len(th) < 2 || len(st) < 2 {
-				row.Status = "missing"
-			} else {
-				row.Status = "ok"
-				// Report the station that actually answered, which a
-				// fallback read can make different from BestStation.
-				row.Station = servedT
-				row.TemperatureC, row.RelativeHumidity = th[0], th[1]
-				row.StrainX, row.StrainY = st[0], st[1]
-			}
+			return row
 		}
-		rows[k] = row
+		stations := f.readOrder(h, snap.alive)
+		sh := f.shardByHandle[h]
+		th, servedT, errT := f.readVia(h, sensors.TypeTempHumidity, stations, row.Station, sh)
+		st, _, errS := f.readVia(h, sensors.TypeStrain, stations, row.Station, sh)
+		if errT != nil || errS != nil || len(th) < 2 || len(st) < 2 {
+			row.Status = "missing"
+		} else {
+			row.Status = "ok"
+			// Report the station that actually answered, which a fallback
+			// read can make different from the snapshot's best.
+			row.Station = servedT
+			row.TemperatureC, row.RelativeHumidity = th[0], th[1]
+			row.StrainX, row.StrainY = st[0], st[1]
+		}
+		return row
 	}
+	var rows []SurveyRow
 	if serial {
-		for k := range nodes {
-			visit(k)
+		// Fault injectors and tracers draw from shared seeded RNGs, so the
+		// visit order must be the global TDMA schedule — ascending handle
+		// over the whole fleet — regardless of the shard count.
+		for _, nr := range f.sortedNodes() {
+			rows = append(rows, visit(nr.handle))
 		}
 	} else {
-		conc.For(len(nodes), visit)
+		// Per-shard batched passes on the work-stealing pool; each shard's
+		// partial report lands pre-sorted in its own slot and the
+		// hierarchical aggregator folds them in shard-index order.
+		shardRows := make([][]SurveyRow, len(f.shards))
+		counts := make([]int, len(f.shards))
+		for qi, sh := range f.shards {
+			shardRows[qi] = make([]SurveyRow, len(sh.nodes))
+			counts[qi] = len(sh.nodes)
+		}
+		conc.Queues(counts, f.seed, func(q, item int) {
+			shardRows[q][item] = visit(f.shards[q].nodes[item].Handle())
+		})
+		rows = mergeRows(shardRows)
 	}
-	// Merge the row slots in handle order; Missing inherits that order.
+	// Fold the merged rows into the report; Missing inherits handle order.
 	for _, row := range rows {
 		if row.Status == "missing" {
 			rep.Missing = append(rep.Missing, row.Handle)
@@ -196,9 +211,7 @@ func (f *Fleet) SurveyTraced(chargeDuration float64) (SHMReport, *telemetry.Span
 	rep.CorruptedReplies = after.CorruptedReplies - before.CorruptedReplies
 	rep.Retries = after.Retries - before.Retries
 	rep.Backoff = after.Backoff - before.Backoff
-	f.mu.Lock()
-	rep.ReroutedReads = f.reroutedReads - reroutedBefore
-	f.mu.Unlock()
+	rep.ReroutedReads = f.ReroutedReads() - reroutedBefore
 	rep.Degraded = len(rep.DeadStations) > 0 || len(rep.Missing) > 0 || len(rep.Orphans) > 0
 	if rep.Degraded {
 		mSurveys.With("degraded").Inc()

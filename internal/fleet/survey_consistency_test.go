@@ -1,0 +1,101 @@
+package fleet
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"ecocapsule/internal/deploy"
+	"ecocapsule/internal/geometry"
+	"ecocapsule/internal/node"
+)
+
+// churnFleet builds a fleet dense enough that the survey's read phase
+// dominates its runtime, so concurrent kill/revive churn lands inside the
+// report assembly rather than between surveys.
+func churnFleet(t *testing.T) *Fleet {
+	t.Helper()
+	wall := geometry.CommonWall()
+	var capsules []*node.Node
+	var positions []geometry.Vec3
+	for i := 0; i < 48; i++ {
+		pos := geometry.Vec3{X: 0.5 + float64(i)*0.4, Y: 10, Z: 0.1}
+		positions = append(positions, pos)
+		capsules = append(capsules, node.New(node.Config{
+			Handle:   uint16(0x200 + i),
+			Position: pos,
+			Seed:     int64(i),
+		}))
+	}
+	plan, err := deploy.Cover(wall, positions, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(wall, plan, capsules, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestSurveyReportConsistentUnderKill provokes the torn-snapshot race the
+// survey assembly used to have: the report's inputs (coverage, alive count,
+// per-row routing) were collected over separate lock acquisitions spread
+// across the whole read phase, so a KillStation or ReviveStation landing
+// between them produced a self-contradictory report — most visibly a
+// station listed in DeadStations still serving "ok" rows after a mid-survey
+// revival. With every input snapshotted under one acquisition and the rows
+// routed from that snapshot, the invariants below hold for every report,
+// whatever interleaving the churn goroutine achieves.
+func TestSurveyReportConsistentUnderKill(t *testing.T) {
+	// On a single-core host the churn goroutine only ever runs at coarse
+	// preemption points; give it its own OS thread so the kernel timeslices
+	// it against the survey and the kill/revive lands mid-assembly.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	f := churnFleet(t)
+	f.SetEnvironment(surveyEnv)
+	f.Charge(0.4)
+
+	var stop atomic.Bool
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		for i := 0; !stop.Load(); i++ {
+			victim := i % f.Stations()
+			f.KillStation(victim)
+			f.ReviveStation(victim)
+		}
+	}()
+	defer func() {
+		stop.Store(true)
+		<-churnDone
+	}()
+	for i := 0; i < 120; i++ {
+		rep := f.Survey(0.001)
+		if rep.AliveStations+len(rep.DeadStations) != rep.Stations {
+			t.Fatalf("survey %d: torn snapshot: %d alive + %d dead != %d stations\n%s",
+				i, rep.AliveStations, len(rep.DeadStations), rep.Stations, rep.Text())
+		}
+		dead := make(map[int]bool, len(rep.DeadStations))
+		for _, s := range rep.DeadStations {
+			dead[s] = true
+		}
+		orphanRows := 0
+		for _, row := range rep.Rows {
+			if row.Status == "orphan" {
+				orphanRows++
+			}
+			if row.Status == "ok" && dead[row.Station] {
+				t.Fatalf("survey %d: row %#04x served by station %d that the same report lists dead\n%s",
+					i, row.Handle, row.Station, rep.Text())
+			}
+		}
+		// Rows and coverage must come from the same snapshot: an orphan row
+		// requires its capsule to be in the report's orphan list and vice
+		// versa.
+		if orphanRows != len(rep.Orphans) {
+			t.Fatalf("survey %d: %d orphan rows vs %d listed orphans\n%s",
+				i, orphanRows, len(rep.Orphans), rep.Text())
+		}
+	}
+}

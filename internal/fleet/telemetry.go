@@ -28,6 +28,12 @@ var (
 		"surveys executed by coverage outcome", "coverage")
 	mReportingRatio = telemetry.NewGauge("ecocapsule_fleet_survey_reporting_ratio",
 		"reporting/expected capsule fraction of the last survey")
+	mShardCapsules = telemetry.NewGaugeVec("ecocapsule_fleet_shard_capsules",
+		"capsules owned by each spatial shard", "shard")
+	mShardStations = telemetry.NewGaugeVec("ecocapsule_fleet_shard_stations",
+		"stations covering each spatial shard", "shard")
+	mChargeSkipped = telemetry.NewCounter("ecocapsule_fleet_charge_skipped_total",
+		"capsules a charge pass could not drive because no alive station serves them")
 )
 
 // Read route label values: primary means the capsule's best station served
@@ -40,3 +46,6 @@ const (
 
 // stationLabel renders a station index the way every metric labels it.
 func stationLabel(i int) string { return strconv.Itoa(i) }
+
+// shardLabel renders a shard index the way every metric labels it.
+func shardLabel(i int) string { return strconv.Itoa(i) }

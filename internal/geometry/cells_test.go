@@ -1,0 +1,79 @@
+package geometry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCellGridPartitionsWall(t *testing.T) {
+	wall := CommonWall() // 20 m long axis
+	g, err := NewCellGrid(wall, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Cells() != 10 {
+		t.Fatalf("cells = %d", g.Cells())
+	}
+	if math.Abs(g.Width()-2.0) > 1e-12 {
+		t.Fatalf("width = %g", g.Width())
+	}
+	for _, tc := range []struct {
+		x    float64
+		want int
+	}{
+		{0, 0}, {1.99, 0}, {2.0, 1}, {9.5, 4}, {19.99, 9},
+		// Clamped: on or past the far boundary still lands in the last cell,
+		// and numerically-negative coordinates in the first.
+		{20.0, 9}, {25.0, 9}, {-0.5, 0},
+	} {
+		if got := g.CellOf(Vec3{X: tc.x, Y: 10, Z: 0.1}); got != tc.want {
+			t.Errorf("CellOf(x=%g) = %d, want %d", tc.x, got, tc.want)
+		}
+	}
+	if c := g.Center(4); math.Abs(c-9.0) > 1e-12 {
+		t.Errorf("Center(4) = %g", c)
+	}
+	lo, hi := g.Span(4)
+	if math.Abs(lo-8.0) > 1e-12 || math.Abs(hi-10.0) > 1e-12 {
+		t.Errorf("Span(4) = [%g, %g)", lo, hi)
+	}
+}
+
+func TestCellGridCylinderUsesVerticalAxis(t *testing.T) {
+	col := Column() // 2.5 m high
+	g, err := NewCellGrid(col, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.Width()-0.5) > 1e-12 {
+		t.Fatalf("width = %g", g.Width())
+	}
+	if got := g.CellOf(Vec3{X: 0.1, Y: 1.3, Z: 0}); got != 2 {
+		t.Errorf("CellOf(y=1.3) = %d, want 2", got)
+	}
+}
+
+func TestCellGridRejectsBadCounts(t *testing.T) {
+	if _, err := NewCellGrid(CommonWall(), 0); err == nil {
+		t.Error("0 cells accepted")
+	}
+	if _, err := NewCellGrid(CommonWall(), -3); err == nil {
+		t.Error("negative cells accepted")
+	}
+}
+
+// TestCellMembershipIndependentOfGridlessReshard pins the sharding
+// contract: cell indices derive from geometry alone, so two grids with the
+// same cell count assign identical cells regardless of how shards later
+// group them.
+func TestCellMembershipIndependentOfGridlessReshard(t *testing.T) {
+	wall := CommonWall()
+	g1, _ := NewCellGrid(wall, 16)
+	g2, _ := NewCellGrid(wall, 16)
+	for x := 0.0; x < 20.0; x += 0.37 {
+		p := Vec3{X: x, Y: 5, Z: 0.1}
+		if g1.CellOf(p) != g2.CellOf(p) {
+			t.Fatalf("grids disagree at x=%g", x)
+		}
+	}
+}

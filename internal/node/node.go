@@ -194,6 +194,35 @@ func (n *Node) EmbedCheck(concreteDensity, depth float64) error {
 func (n *Node) Excite(vIncident, f, cs, dt float64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	n.exciteLocked(vIncident, f, cs, dt)
+}
+
+// ExciteFor advances the state machine by steps ticks of dt seconds under a
+// constant incident amplitude — exactly equivalent to calling Excite steps
+// times with the same arguments, but under one lock acquisition and with an
+// early exit once a tick changes neither state nor charge progress: with
+// constant inputs the machine is then at a fixpoint and the remaining ticks
+// are no-ops. Fleet-scale charging leans on this — a powered-or-hopeless
+// capsule costs O(1) instead of O(steps).
+//
+//ecolint:unit vIncident v
+//ecolint:unit f hz
+//ecolint:unit cs m/s
+//ecolint:unit dt s
+func (n *Node) ExciteFor(vIncident, f, cs, dt float64, steps int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i := 0; i < steps; i++ {
+		prevState, prevProgress := n.state, n.chargeProgress
+		n.exciteLocked(vIncident, f, cs, dt)
+		if n.state == prevState && n.chargeProgress == prevProgress {
+			return
+		}
+	}
+}
+
+// exciteLocked is one Excite tick. Caller holds the lock.
+func (n *Node) exciteLocked(vIncident, f, cs, dt float64) {
 	n.vin = vIncident * n.cfg.HRA.Gain(cs, f)
 	switch n.state {
 	case Dormant:

@@ -41,6 +41,12 @@ type Config struct {
 	CarrierHz float64
 	// Seed for deterministic behaviour.
 	Seed int64
+	// MaxOrder overrides the image-source reflection order of every channel
+	// this reader builds (0 = the channel default). Fleet-scale deployments
+	// drop to order 1: tens of thousands of capsules cannot afford the
+	// dense order-3 reverberation tail per link, and the power-up decision
+	// is anchored on the early arrivals anyway.
+	MaxOrder int
 }
 
 // MaxDriveVoltage is the amplifier ceiling (§5.2).
@@ -157,6 +163,7 @@ func (r *Reader) Deploy(n *node.Node) error {
 		CarrierFrequency: r.cfg.CarrierHz,
 		PrismAngle:       units.Deg2Rad(r.cfg.PrismAngleDeg),
 		Seed:             r.cfg.Seed + int64(n.Handle()),
+		MaxOrder:         r.cfg.MaxOrder,
 	})
 	if err != nil {
 		return fmt.Errorf("reader: channel to node %#04x: %w", n.Handle(), err)
@@ -227,13 +234,15 @@ func (r *Reader) Charge(duration float64) int {
 		}
 		amps[i] = vin
 	}
-	for s := 0; s < steps; s++ {
-		for i, n := range r.nodes {
-			if amps[i] < 0 {
-				continue
-			}
-			n.Excite(amps[i], r.cfg.CarrierHz, cs, dt)
+	// Per-node evolution under a constant amplitude is independent of the
+	// other nodes, so the steps×nodes interleaved loop collapses to one
+	// batched pass per node — ExciteFor exits early once the state machine
+	// reaches its fixpoint.
+	for i, n := range r.nodes {
+		if amps[i] < 0 {
+			continue
 		}
+		n.ExciteFor(amps[i], r.cfg.CarrierHz, cs, dt, steps)
 	}
 	up := 0
 	for _, n := range r.nodes {

@@ -1,0 +1,60 @@
+package shmwire
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSubscriberDisconnectReapedWithoutBroadcast pins the reader-side EOF
+// watchdog: a subscriber that closes its connection between broadcasts must
+// be torn down promptly — map entry gone, writer goroutine released —
+// without waiting for the next broadcast write to notice the dead socket.
+func TestSubscriberDisconnectReapedWithoutBroadcast(t *testing.T) {
+	s := startServer(t)
+	cl, err := Dial(s.Addr().String(), "short-lived")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitSubscribers(t, s, 1)
+
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// No broadcast happens here: the reaping must come from the server's
+	// own read-side watchdog noticing the EOF.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Subscribers() == 0 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("disconnected subscriber still registered after 3s without a broadcast (count %d)",
+		s.Subscribers())
+}
+
+// TestSubscriberByeReapedWithoutBroadcast covers the graceful variant: a
+// client that sends Bye and hangs up is reaped just like a hard disconnect.
+func TestSubscriberByeReapedWithoutBroadcast(t *testing.T) {
+	s := startServer(t)
+	cl, err := Dial(s.Addr().String(), "polite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitSubscribers(t, s, 1)
+
+	if err := cl.c.Send(MsgBye, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Subscribers() == 0 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("bye'd subscriber still registered after 3s (count %d)", s.Subscribers())
+}

@@ -112,14 +112,22 @@ func (s *Server) acceptLoop() {
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	c := NewConn(conn)
-	// The session must open with a Hello.
-	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	// The session must open with a Hello. A deadline that cannot be armed
+	// means the socket is already unusable — bail instead of risking an
+	// unbounded Recv on it.
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		conn.Close()
+		return
+	}
 	f, err := c.Recv()
 	if err != nil || f.Type != MsgHello {
 		conn.Close()
 		return
 	}
-	conn.SetReadDeadline(time.Time{})
+	if err := conn.SetReadDeadline(time.Time{}); err != nil {
+		conn.Close()
+		return
+	}
 
 	sub := &subscriber{
 		name: string(f.Body),
@@ -156,6 +164,33 @@ func (s *Server) handle(conn net.Conn) {
 	logf := s.logf
 	s.mu.Unlock()
 	logf("shmwire: subscriber %q connected from %s", sub.name, conn.RemoteAddr())
+
+	// Reader-side watchdog: subscribers never speak after the Hello, so any
+	// further Recv resolving — Bye, EOF, or a reset — means the peer is gone.
+	// Without it, a disconnect between broadcasts lingers until the next
+	// broadcast write notices the dead socket; a quiet server would pin the
+	// map entry and writer goroutine indefinitely. The Conn keeps separate
+	// read and write buffers, so this Recv is safe alongside the writer's
+	// SendTraced below.
+	s.wg.Add(1)
+	//ecolint:ignore leakcheck watchdog exits when the conn closes (teardown below or Close()) and is awaited via s.wg
+	go func() {
+		defer s.wg.Done()
+		for {
+			f, err := c.Recv()
+			if err != nil || f.Type == MsgBye {
+				break
+			}
+			// Anything else is outside the protocol; keep draining so a
+			// chatty peer cannot wedge its own teardown.
+		}
+		telemetry.RecordFlight("shmwire", "subscriber_gone",
+			fmt.Sprintf("subscriber %d (%s) hung up; reaping without a broadcast", sub.id, sub.name))
+		// Closing the channel releases the writer below; closing the conn
+		// unblocks any in-flight write.
+		s.removeSub(sub.id)
+		conn.Close()
+	}()
 
 	// Writer drains the fan-out channel onto the socket. Each write runs
 	// under a deadline: a subscriber that stops draining its socket times

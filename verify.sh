@@ -258,5 +258,14 @@ go run ./cmd/ecobench -json -baseline BENCH_8.json > BENCH_8.json.new
 mv BENCH_8.json.new /tmp/ecobench_bench_last.json
 stage_done
 
+# Fleet-scale smoke: survey a 1k-capsule city segment through the sharded
+# registry and gate its capsules/s against the committed BENCH_10.json
+# (>20% slower fails: the spatial partitioning, the per-shard pool or the
+# hierarchical aggregation regressed). The 10k/100k tiers and the flat
+# comparator run in full mode only (`ecobench -fleetscale full`, minutes).
+stage "fleet-scale smoke (ecobench -fleetscale smoke vs BENCH_10.json)"
+go run ./cmd/ecobench -fleetscale smoke -baseline BENCH_10.json > /tmp/ecobench_fleetscale_last.json
+stage_done
+
 VERIFY_DONE=1
 echo "verify.sh: all gates passed"
